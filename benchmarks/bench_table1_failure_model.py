@@ -1,0 +1,18 @@
+"""Table 1 — the failure-rate schedule drives the simulated hazard.
+
+Regenerates the paper's input table empirically: a large cohort of
+simulated drives must exhibit the specified percent-per-1000-hour rates in
+every age period, and ~10% cumulative failures over six years.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_failure_rates(benchmark, report):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report(result)
+
+    for row in result.rows[:-1]:
+        assert row["rel_err_pct"] < 6.0, row
+    cumulative = result.rows[-1]["empirical_pct"]
+    assert 9.0 < cumulative < 13.0          # the paper's ~10% in six years

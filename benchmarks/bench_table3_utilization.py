@@ -1,0 +1,40 @@
+"""Table 3 / Figure 6 — disk space utilization before and after six years.
+
+Shape: mean utilization starts at ~400 GB (40% of 1 TB) and *grows* as
+FARM redistributes failed disks' data over the survivors; smaller
+redundancy groups keep the utilization standard deviation lower, both
+initially and after six years.
+"""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_table3_utilization_balance(benchmark, report):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    report(result)
+
+    initial = {r["group_gb"]: r for r in result.rows
+               if r["when"] == "initial"}
+    final = {r["group_gb"]: r for r in result.rows
+             if r["when"] == "after 6y"}
+
+    for gb, row in initial.items():
+        # 40% of 1 TB, for every group size
+        assert row["mean_gb"] == pytest.approx(400.0, rel=0.05), gb
+
+    for gb in initial:
+        # survivors absorb the redistributed data
+        assert final[gb]["mean_gb"] > initial[gb]["mean_gb"], gb
+        # drives failed during the six years (Figure 6's zero-load disk)
+        assert final[gb]["failed_disks"] > 0, gb
+        # recovery adds imbalance on top of placement noise
+        assert final[gb]["std_gb"] >= initial[gb]["std_gb"] * 0.8, gb
+
+    # smaller groups balance better (paper: "smaller-sized redundancy
+    # groups result in a lower standard deviation")
+    sizes = sorted(initial)
+    for small, large in zip(sizes, sizes[1:]):
+        assert initial[small]["std_gb"] < initial[large]["std_gb"]
+        assert final[small]["std_gb"] < final[large]["std_gb"]

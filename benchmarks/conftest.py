@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at the scale
+selected by ``REPRO_SCALE`` (smoke / small / paper; see
+``repro.experiments.base``), prints the resulting series to the terminal,
+and saves it under ``results/`` so EXPERIMENTS.md can be refreshed from a
+run's artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def strict():
+    """Whether this scale has enough Monte-Carlo runs for stochastic shape
+    assertions (smoke runs only exercise the machinery)."""
+    from repro.experiments.base import current_scale
+    return current_scale().n_runs >= 20
+
+
+@pytest.fixture
+def paper_scale():
+    """True at REPRO_SCALE=paper, where rare-event assertions have power."""
+    from repro.experiments.base import current_scale
+    return current_scale().name == "paper"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentResult live and persist it to results/."""
+
+    def _report(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report
+
+
+def by(result, **filters):
+    """Rows of an ExperimentResult matching all the given column values."""
+    return [r for r in result.rows
+            if all(r.get(k) == v for k, v in filters.items())]
+
+
+def total(rows, column):
+    return sum(r[column] for r in rows)

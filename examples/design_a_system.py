@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: design the redundancy for a national-lab archive.
+
+The paper's motivating workload is a two-petabyte scientific-computing
+store where "losing just the data from a single drive ... can result in
+the loss of a large file spread over thousands of drives", and where
+"at $1/GB, the difference between two- and three-way mirroring amounts
+to millions of dollars".
+
+This example does what a system designer would do with the library:
+sweep the paper's six redundancy schemes under FARM, estimate six-year
+reliability, cost each one out, and pick the cheapest scheme that meets
+a reliability target.
+
+Run:  python examples/design_a_system.py
+"""
+
+from repro import PAPER_SCHEMES, SystemConfig, estimate_p_loss
+from repro.experiments.report import render_table
+from repro.reliability import p_loss
+from repro.units import GB, PB, TB
+
+COST_PER_GB = 1.0              # the paper's 2004 dollars
+TARGET_P_LOSS = 0.02           # <=2% chance of any loss in six years
+USER_DATA = 0.25 * PB          # quarter scale; shapes match the 2 PB system
+N_RUNS = 30
+
+def main() -> None:
+    rows = []
+    for scheme in PAPER_SCHEMES:
+        cfg = SystemConfig(total_user_bytes=USER_DATA,
+                           group_user_bytes=10 * GB, scheme=scheme)
+        mc = estimate_p_loss(cfg, n_runs=N_RUNS, n_jobs=0)
+        raw_gb = cfg.raw_bytes / GB
+        rows.append({
+            "scheme": scheme.name,
+            "efficiency": f"{scheme.storage_efficiency:.0%}",
+            "disks": cfg.n_disks,
+            "raw_TB": round(cfg.raw_bytes / TB),
+            "storage_cost_$M": raw_gb * COST_PER_GB / 1e6,
+            "analytic_pct": 100 * p_loss(cfg),
+            "measured_pct": 100 * mc.p_loss.estimate,
+            "ci_hi_pct": 100 * mc.p_loss.hi,
+        })
+    print(render_table(list(rows[0]), rows))
+    print()
+
+    # Decision rule: cheapest scheme whose *analytic* P(loss) meets the
+    # target, provided the Monte-Carlo runs don't contradict it (their
+    # point estimate stays below the CI-widened target).  Resolving a 2%
+    # target purely by simulation would need thousands of runs; the window
+    # model is pinned against the simulators in the test suite.
+    ok = [r for r in rows
+          if r["analytic_pct"] <= 100 * TARGET_P_LOSS
+          and r["measured_pct"] <= r["ci_hi_pct"]]
+    if ok:
+        best = min(ok, key=lambda r: r["storage_cost_$M"])
+        print(f"cheapest scheme meeting P(loss) <= "
+              f"{TARGET_P_LOSS:.0%}: {best['scheme']} at "
+              f"${best['storage_cost_$M']:.2f}M")
+        two_way = next(r for r in rows if r["scheme"] == "1/2")
+        delta = two_way["storage_cost_$M"] - best["storage_cost_$M"]
+        if delta > 0:
+            print(f"  saves ${delta:.2f}M over two-way mirroring "
+                  f"(the paper's cost argument for m/n codes)")
+    else:
+        print("no scheme meets the target at this scale — "
+              "raise redundancy or shrink failure domains")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: does FARM actually make a petabyte system safer?
+
+Builds the paper's base system (scaled down so this runs in ~a minute),
+estimates the probability of data loss over six years with and without
+FARM, and checks the answer against the closed-form window model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, estimate_p_loss
+from repro.reliability import p_loss_window_model
+from repro.units import GB, PB, fmt_bytes
+
+def main() -> None:
+    # The paper's Table 2 base system is 2 PB / 10,000 disks; a quarter-scale
+    # system keeps the same per-disk geometry (and therefore the same *shape*
+    # of results) while running fast on a laptop.
+    cfg = SystemConfig(total_user_bytes=0.25 * PB, group_user_bytes=10 * GB)
+    print(f"System: {cfg.describe()}")
+    print(f"  blocks/disk={cfg.blocks_per_disk:.0f}, "
+          f"rebuild one block={cfg.rebuild_seconds_per_block:.0f}s, "
+          f"rebuild whole disk={cfg.disk_rebuild_seconds / 3600:.1f}h")
+    print()
+
+    n_runs = 40
+    for use_farm in (True, False):
+        variant = cfg.with_(use_farm=use_farm)
+        mc = estimate_p_loss(variant, n_runs=n_runs, n_jobs=0)
+        model = p_loss_window_model(variant)
+        label = "FARM distributed recovery" if use_farm \
+            else "traditional spare-disk rebuild"
+        print(f"{label}:")
+        print(f"  P(data loss in 6 years) = {mc.p_loss}")
+        print(f"  mean window of vulnerability = {mc.mean_window:,.0f} s "
+              f"(analytic: {model.mean_window:,.0f} s)")
+        print(f"  analytic P(loss) = {100 * model.p_loss:.2f}%")
+        print(f"  user data at risk: {fmt_bytes(variant.total_user_bytes)} "
+              f"across {variant.n_disks} disks")
+        print()
+
+    print("FARM shrinks the window of vulnerability from the whole-disk")
+    print("rebuild time to a single-group rebuild — hours down to minutes —")
+    print("which is exactly the paper's Figure 3 result.")
+
+if __name__ == "__main__":
+    main()

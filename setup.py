@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works in offline
+environments that lack the `wheel` package (PEP 660 editable installs need
+bdist_wheel).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

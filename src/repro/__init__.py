@@ -1,0 +1,56 @@
+"""repro — FARM: distributed recovery for large-scale storage systems.
+
+A full reproduction of *Evaluation of Distributed Recovery in Large-Scale
+Storage Systems* (Qin Xin, Ethan L. Miller, Thomas J. E. Schwarz —
+HPDC 2004), built as a reusable Python library:
+
+* :mod:`repro.sim` — discrete-event simulation engine (PARSEC substitute);
+* :mod:`repro.redundancy` — (m, n) schemes, redundancy groups, and real
+  Reed–Solomon / XOR erasure codecs over GF(2^8);
+* :mod:`repro.disks` — drive model with bathtub failure rates (Table 1);
+* :mod:`repro.placement` — RUSH-style decentralized placement with
+  candidate lists, plus a vectorized statistical equivalent;
+* :mod:`repro.cluster` — storage-system model, failure detection,
+  batch replacement, workload;
+* :mod:`repro.core` — **FARM** and the traditional-RAID baseline;
+* :mod:`repro.reliability` — fast Monte-Carlo engine, Markov/analytic
+  cross-checks;
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import SystemConfig, estimate_p_loss
+
+    cfg = SystemConfig()                       # the paper's 2 PB base system
+    farm = estimate_p_loss(cfg, n_runs=20)
+    raid = estimate_p_loss(cfg.with_(use_farm=False), n_runs=20)
+    print(farm.p_loss, "vs", raid.p_loss)
+"""
+
+from .config import PAPER_BASE, SystemConfig
+from .core import (FarmRecovery, PolicyConfig, RecoveryStats,
+                   TraditionalRecovery, simulate_run)
+from .disks import BathtubFailureModel, Disk, DiskVintage
+from .placement import RandomPlacement, RushPlacement
+from .redundancy import (PAPER_SCHEMES, RedundancyGroup, RedundancyScheme,
+                         ReedSolomon, XorParity)
+from .reliability import (MonteCarloResult, ReliabilitySimulation,
+                          estimate_p_loss, wilson_interval)
+from .sim import RandomStreams, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig", "PAPER_BASE",
+    "FarmRecovery", "TraditionalRecovery", "PolicyConfig", "RecoveryStats",
+    "simulate_run",
+    "ReliabilitySimulation", "estimate_p_loss", "MonteCarloResult",
+    "wilson_interval",
+    "RedundancyScheme", "PAPER_SCHEMES", "RedundancyGroup",
+    "ReedSolomon", "XorParity",
+    "Disk", "DiskVintage", "BathtubFailureModel",
+    "RushPlacement", "RandomPlacement",
+    "Simulator", "RandomStreams",
+    "__version__",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure3 --scale smoke
+    python -m repro run all --scale small --out results/
+    python -m repro estimate --data-pb 2 --scheme 1/2 --runs 20 [--no-farm]
+    python -m repro sensitivity --scheme 1/2 [--no-farm]
+
+``run`` executes the named experiment(s) at the chosen scale and prints the
+regenerated table; ``estimate`` answers the library's core question — the
+probability of data loss for one configuration — and ``sensitivity`` ranks
+which design knob moves it the most.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from .config import SystemConfig
+from .experiments import SCALES, ablations, base
+from .experiments import (figure3, figure4, figure5, figure7, figure8,
+                          mttdl_table, perf_table, redirection, table1,
+                          table3)
+from .redundancy.schemes import RedundancyScheme
+from .reliability import estimate_p_loss, p_loss_window_model
+from .units import GB, PB
+
+#: Experiment registry: name -> callable(scale, base_seed) -> result(s).
+EXPERIMENTS = {
+    "table1": lambda s, seed: [table1.run(s, seed)],
+    "figure3": lambda s, seed: list(figure3.run_both_panels(s, seed)),
+    "figure4": lambda s, seed: [figure4.run(s, seed)],
+    "figure5": lambda s, seed: [figure5.run(s, seed)],
+    "table3": lambda s, seed: [table3.run(s, seed)],
+    "figure7": lambda s, seed: [figure7.run(s, seed)],
+    "figure8": lambda s, seed: [figure8.run(s, seed),
+                                figure8.run(s, seed, rate_multiplier=2.0)],
+    "redirection": lambda s, seed: [redirection.run(s, seed)],
+    "mttdl": lambda s, seed: [mttdl_table.run(s, seed)],
+    "perf": lambda s, seed: [perf_table.run(s, seed)],
+    "ablations": lambda s, seed: [ablations.run_placement(s, seed),
+                                  ablations.run_policy(s, seed),
+                                  ablations.run_workload(s, seed),
+                                  ablations.run_bathtub(s, seed),
+                                  ablations.run_mixed_scheme(s, seed)],
+}
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print(f"scales: {', '.join(SCALES)} (REPRO_SCALE also honoured)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale] if args.scale else base.current_scale()
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        start = time.time()
+        for result in EXPERIMENTS[name](scale, args.seed):
+            text = result.render()
+            print(text)
+            print()
+            if out_dir:
+                (out_dir / f"{result.experiment}.txt").write_text(
+                    text + "\n")
+        print(f"[{name}: {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    cfg = SystemConfig(
+        total_user_bytes=args.data_pb * PB,
+        group_user_bytes=args.group_gb * GB,
+        scheme=RedundancyScheme.parse(args.scheme),
+        detection_latency=args.detection,
+        use_farm=not args.no_farm,
+    )
+    print(cfg.describe())
+    model = p_loss_window_model(cfg)
+    print(f"analytic window model: P(loss over 6 yr) = "
+          f"{100 * model.p_loss:.3f}%  (mean window "
+          f"{model.mean_window:,.0f} s, "
+          f"~{model.expected_disk_failures:,.0f} drive failures)")
+    if args.runs > 0:
+        mc = estimate_p_loss(cfg, n_runs=args.runs, n_jobs=args.jobs)
+        print(f"monte carlo ({args.runs} runs): P(loss) = {mc.p_loss}")
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .reliability.sensitivity import render_tornado, tornado
+    cfg = SystemConfig(
+        total_user_bytes=args.data_pb * PB,
+        group_user_bytes=args.group_gb * GB,
+        scheme=RedundancyScheme.parse(args.scheme),
+        detection_latency=args.detection,
+        use_farm=not args.no_farm,
+    )
+    print(cfg.describe())
+    rows = tornado(cfg)
+    print("elasticity of the 6-year loss rate (analytic window model):")
+    print(render_tornado(rows))
+    worst = rows[0]
+    print(f"most influential: {worst.parameter} "
+          f"(x1.25 => P(loss) {100 * worst.p_plus:.3f}%, "
+          f"x0.75 => {100 * worst.p_minus:.3f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FARM reproduction (HPDC 2004) experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scales")
+
+    run = sub.add_parser("run", help="regenerate a paper table/figure")
+    run.add_argument("experiment",
+                     help="experiment name or 'all' (see 'list')")
+    run.add_argument("--scale", choices=list(SCALES), default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", help="directory to save rendered tables")
+
+    est = sub.add_parser("estimate",
+                         help="P(data loss) for one configuration")
+    est.add_argument("--data-pb", type=float, default=2.0)
+    est.add_argument("--group-gb", type=float, default=10.0)
+    est.add_argument("--scheme", default="1/2")
+    est.add_argument("--detection", type=float, default=30.0,
+                     help="failure-detection latency (seconds)")
+    est.add_argument("--no-farm", action="store_true",
+                     help="use the traditional spare-disk baseline")
+    est.add_argument("--runs", type=int, default=0,
+                     help="Monte-Carlo runs (0 = analytic only)")
+    est.add_argument("--jobs", type=int, default=None,
+                     help="processes for Monte-Carlo (0 = all cores)")
+
+    sens = sub.add_parser("sensitivity",
+                          help="rank design knobs by influence on P(loss)")
+    sens.add_argument("--data-pb", type=float, default=2.0)
+    sens.add_argument("--group-gb", type=float, default=10.0)
+    sens.add_argument("--scheme", default="1/2")
+    sens.add_argument("--detection", type=float, default=30.0)
+    sens.add_argument("--no-farm", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"list": cmd_list, "run": cmd_run, "estimate": cmd_estimate,
+            "sensitivity": cmd_sensitivity}[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

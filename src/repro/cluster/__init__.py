@@ -1,0 +1,17 @@
+"""Cluster substrate: system model, detection, replacement, workload."""
+
+from .detection import (ConstantDetection, DetectionModel, HeartbeatDetection,
+                        UniformDetection)
+from .monitoring import DetectionEvent, HeartbeatMonitor
+from .replacement import BatchReplacementPolicy, plan_migration
+from .system import StorageSystem
+from .workload import ConstantWorkload, DiurnalWorkload
+
+__all__ = [
+    "StorageSystem",
+    "DetectionModel", "ConstantDetection", "UniformDetection",
+    "HeartbeatDetection",
+    "BatchReplacementPolicy", "plan_migration",
+    "DiurnalWorkload", "ConstantWorkload",
+    "HeartbeatMonitor", "DetectionEvent",
+]

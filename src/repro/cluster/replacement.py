@@ -1,0 +1,91 @@
+"""Batch disk replacement and the cohort effect (paper §3.6).
+
+Large systems add drives in *batches*: "It is typically infeasible to add
+disk drives one by one ... Instead, a cluster of disk drives, called a
+batch, is added."  The replacement threshold (fraction of the original
+population lost before a batch arrives) determines replacement frequency,
+migration volume, and — because new drives suffer infant mortality — the
+*cohort effect* on reliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchReplacementPolicy:
+    """Replace failed drives once a threshold fraction has been lost.
+
+    Parameters
+    ----------
+    threshold:
+        Trigger a batch when ``failed_unreplaced / initial_population``
+        reaches this fraction (the paper examines 2%, 4%, 6%, 8%).
+    restore_population:
+        If True (paper behaviour), the batch size equals the number of
+        unreplaced failures, keeping total capacity constant.
+    weight:
+        RUSH weight of the new batch's disks relative to the originals
+        ("currently, the weight of each disk is set to that of the existing
+        drives for simplicity").
+    """
+
+    threshold: float
+    restore_population: bool = True
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    def should_trigger(self, failed_unreplaced: int,
+                       initial_population: int) -> bool:
+        return failed_unreplaced >= self.threshold * initial_population
+
+    def batch_size(self, failed_unreplaced: int) -> int:
+        return failed_unreplaced if self.restore_population else 0
+
+
+def plan_migration(rng: np.random.Generator, block_disks: np.ndarray,
+                   live_mask: np.ndarray, new_disks: np.ndarray
+                   ) -> np.ndarray:
+    """Choose which block instances migrate onto a new batch.
+
+    To keep the system balanced, each new disk should end up with the
+    population-average number of blocks, i.e. a fraction
+    ``len(new) / (len(live) + len(new))`` of all live blocks moves, chosen
+    uniformly (this matches RUSH's behaviour, where the moved fraction
+    equals the batch's share of total weight).
+
+    Parameters
+    ----------
+    block_disks:
+        1-D array: current disk of every block instance.
+    live_mask:
+        Boolean mask over *disks*: which disk ids are alive pre-batch.
+    new_disks:
+        Ids of the disks in the new batch.
+
+    Returns
+    -------
+    An int64 array the same shape as ``block_disks``: the new disk of every
+    block (unchanged for blocks that stay put).  The caller is responsible
+    for rejecting moves that would violate the one-block-per-disk-per-group
+    constraint.
+    """
+    block_disks = np.asarray(block_disks)
+    n_new = len(new_disks)
+    if n_new == 0:
+        return block_disks.copy()
+    live_blocks = live_mask[block_disks]
+    n_live_disks = int(live_mask.sum())
+    share = n_new / (n_live_disks + n_new)
+    move = live_blocks & (rng.random(block_disks.shape) < share)
+    out = block_disks.copy()
+    out[move] = rng.choice(new_disks, size=int(move.sum()))
+    return out

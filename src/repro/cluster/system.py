@@ -1,0 +1,222 @@
+"""Object-level storage-system model.
+
+A :class:`StorageSystem` wires the substrates together: it sizes the disk
+population from a :class:`~repro.config.SystemConfig`, builds the redundancy
+groups, places their blocks with RUSH (or the random-equivalent placement),
+samples every drive's failure time from the bathtub model, and maintains the
+disk -> groups index the recovery engines need.
+
+This is the *library* model: explicit :class:`~repro.disks.disk.Disk` and
+:class:`~repro.redundancy.group.RedundancyGroup` objects, suitable for
+examples, tests, the object-level FARM engine, and the utilization study
+(Table 3).  The Monte-Carlo reliability sweeps use the flat-array engine in
+:mod:`repro.reliability.simulation`, which is validated against this model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..disks.disk import Disk, DiskState
+from ..disks.smart import SmartMonitor
+from ..placement.base import PlacementAlgorithm
+from ..placement.random_placement import RandomPlacement
+from ..placement.rush import RushPlacement
+from ..redundancy.group import RedundancyGroup
+from ..sim.rng import RandomStreams
+
+
+class StorageSystem:
+    """Disks + redundancy groups + placement for one simulated system."""
+
+    def __init__(self, config: SystemConfig, streams: RandomStreams,
+                 placement: PlacementAlgorithm | None = None,
+                 deterministic_failures: bool = False) -> None:
+        self.config = config
+        self.streams = streams
+        #: scenario mode: drives (including spares and batches added later)
+        #: never fail on their own; only injected failures occur.
+        self.deterministic_failures = deterministic_failures
+        self.disks: list[Disk] = []
+        self.groups: list[RedundancyGroup] = []
+        #: disk id -> group ids that ever placed a block there (entries may
+        #: be stale after rebuilds/migration; always re-check group.disks).
+        self._disk_groups: list[list[int]] = []
+        #: simulator-known failure time of each disk (absolute seconds).
+        self.failure_times: list[float] = []
+        self.initial_population = 0
+
+        if placement is None:
+            if config.placement == "rush":
+                placement = RushPlacement(config.n_disks,
+                                          seed=streams.seed)
+            else:
+                placement = RandomPlacement(config.n_disks,
+                                            seed=streams.seed)
+        elif placement.n_disks != config.n_disks:
+            raise ValueError(
+                f"placement covers {placement.n_disks} disks but config "
+                f"needs {config.n_disks}")
+        self.placement = placement
+        self.smart: SmartMonitor | None = None
+        if config.use_smart:
+            self.smart = SmartMonitor(streams.get("smart"))
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    def _new_disk(self, disk_id: int, now: float) -> Disk:
+        disk = Disk(disk_id=disk_id, vintage=self.config.vintage,
+                    deployed_at=now,
+                    spare_reserve_fraction=self.config.spare_reserve_fraction)
+        if self.deterministic_failures:
+            age = float("inf")
+        else:
+            rng = self.streams.get("disk-failures")
+            age = float(self.config.vintage.failure_model.sample_failure_age(
+                rng, 1)[0])
+        self.disks.append(disk)
+        self._disk_groups.append([])
+        self.failure_times.append(now + age)
+        if self.smart is not None:
+            self.smart.register(disk_id)
+        return disk
+
+    def _build(self) -> None:
+        cfg = self.config
+        for disk_id in range(cfg.n_disks):
+            self._new_disk(disk_id, now=0.0)
+        self.initial_population = cfg.n_disks
+
+        grp_ids = np.arange(cfg.n_groups, dtype=np.int64)
+        matrix = self.placement.place_many(grp_ids, cfg.scheme.n)
+        block_bytes = cfg.block_bytes
+        for g in range(cfg.n_groups):
+            disks = [int(d) for d in matrix[g]]
+            group = RedundancyGroup(grp_id=g, scheme=cfg.scheme,
+                                    user_bytes=cfg.group_user_bytes,
+                                    disks=disks)
+            self.groups.append(group)
+            for d in disks:
+                self._disk_groups[d].append(g)
+        # Bulk utilization accounting (per-block allocation would be O(G n)
+        # method calls; a bincount is equivalent and fast).
+        loads = np.bincount(matrix.ravel(), minlength=len(self.disks))
+        for disk, count in zip(self.disks, loads):
+            disk.used_bytes = float(count) * block_bytes
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_disks(self) -> int:
+        return len(self.disks)
+
+    def online_disks(self) -> list[Disk]:
+        return [d for d in self.disks if d.online]
+
+    def groups_on_disk(self, disk_id: int) -> list[RedundancyGroup]:
+        """Groups with a *live* block currently on ``disk_id``."""
+        out = []
+        seen = set()
+        for g in self._disk_groups[disk_id]:
+            if g in seen:
+                continue
+            seen.add(g)
+            group = self.groups[g]
+            if any(d == disk_id and r not in group.failed
+                   for r, d in enumerate(group.disks)):
+                out.append(group)
+        return out
+
+    def note_block_moved(self, grp_id: int, disk_id: int) -> None:
+        """Record that a group now keeps a block on ``disk_id``."""
+        self._disk_groups[disk_id].append(grp_id)
+
+    def utilization_bytes(self) -> np.ndarray:
+        """Per-disk used bytes (0 for failed disks, matching Figure 6)."""
+        return np.array([d.used_bytes if d.online else 0.0
+                         for d in self.disks])
+
+    def is_suspect(self, disk_id: int, now: float) -> bool:
+        """SMART advice for target selection (False without a monitor)."""
+        if self.smart is None:
+            return False
+        return self.smart.is_suspect(disk_id, now,
+                                     self.failure_times[disk_id])
+
+    # ------------------------------------------------------------------ #
+    def fail_disk(self, disk_id: int, now: float
+                  ) -> list[tuple[RedundancyGroup, list[int]]]:
+        """Mark a disk failed.
+
+        Returns ``(group, newly_failed_rep_ids)`` for every group that just
+        lost a block — exactly the rebuild work this failure creates.
+        """
+        disk = self.disks[disk_id]
+        disk.fail(now)
+        affected = []
+        for group in self.groups_on_disk(disk_id):
+            reps = group.fail_disk(disk_id, now)
+            affected.append((group, reps))
+        if self.smart is not None:
+            self.smart.forget(disk_id)
+        return affected
+
+    def add_spare(self, now: float) -> int:
+        """Deploy one dedicated spare disk (traditional RAID recovery).
+
+        The spare is *not* added to the placement algorithm: it exists only
+        to receive a failed disk's reconstructed data, which is exactly the
+        non-declustered behaviour FARM improves upon.
+        """
+        disk_id = self.n_disks
+        self._new_disk(disk_id, now)
+        return disk_id
+
+    def add_batch(self, count: int, now: float,
+                  weight: float = 1.0) -> list[int]:
+        """Deploy a replacement batch; returns the new disk ids.
+
+        The placement algorithm is grown so future candidate lists can use
+        the new disks (a RUSH sub-cluster, or a plain population increase
+        for the random placement).
+        """
+        if count <= 0:
+            raise ValueError("batch must contain at least one disk")
+        first = self.n_disks
+        if isinstance(self.placement, RushPlacement):
+            self.placement.add_cluster(count, weight=weight)
+        elif isinstance(self.placement, RandomPlacement):
+            self.placement.add_disks(count)
+        for disk_id in range(first, first + count):
+            self._new_disk(disk_id, now)
+        return list(range(first, first + count))
+
+    def migrate_to_batch(self, new_ids: list[int], now: float,
+                         rng: np.random.Generator) -> int:
+        """Rebalance: move a fair share of live blocks onto the new batch.
+
+        Returns the number of blocks moved.  Moves that would co-locate two
+        blocks of the same group are skipped (the constraint the recovery
+        policy also enforces).
+        """
+        live = [d.disk_id for d in self.disks if d.online]
+        share = len(new_ids) / len(live) if live else 0.0
+        moved = 0
+        block_bytes = self.config.block_bytes
+        for group in self.groups:
+            if group.lost:
+                continue
+            for rep, disk_id in enumerate(group.disks):
+                if rep in group.failed or disk_id in new_ids:
+                    continue
+                if rng.random() >= share:
+                    continue
+                target = int(rng.choice(new_ids))
+                if group.holds_buddy(target):
+                    continue
+                self.disks[disk_id].release(block_bytes)
+                self.disks[target].allocate(block_bytes)
+                group.disks[rep] = target
+                self.note_block_moved(group.grp_id, target)
+                moved += 1
+        return moved

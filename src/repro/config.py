@@ -1,0 +1,147 @@
+"""System configuration: Table 2 of the paper, as a frozen dataclass.
+
+Every experiment is a :class:`SystemConfig` plus a seed.  Defaults are the
+paper's base values; the ``Examined Value`` column of Table 2 is produced by
+``dataclasses.replace`` sweeps in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from .disks.vintage import PAPER_VINTAGE, DiskVintage
+from .redundancy.schemes import MIRROR_2, RedundancyScheme
+from .units import GB, PB, YEAR
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full description of one simulated storage system.
+
+    Parameters mirror Table 2 (base values as defaults):
+
+    * ``total_user_bytes`` — total data in the system (2 PB).
+    * ``group_user_bytes`` — size of a redundancy group, user data only
+      (10 GB; the paper also uses 50 GB and examines 1–100 GB).
+    * ``scheme`` — group configuration (two-way mirroring).
+    * ``detection_latency`` — latency to failure detection (30 s).
+    * ``recovery_bandwidth_bps`` — disk bandwidth for recovery (16 MB/s,
+      examined 8–40 MB/s); ``None`` uses the vintage's 20% cap.
+    * ``use_farm`` — FARM distributed recovery vs. traditional spare-disk
+      rebuild.
+    * ``replacement_threshold`` — fraction of disks lost that triggers a
+      replacement batch (Figure 7); ``None`` disables replacement.
+    """
+
+    total_user_bytes: float = 2 * PB
+    group_user_bytes: float = 10 * GB
+    scheme: RedundancyScheme = MIRROR_2
+    vintage: DiskVintage = PAPER_VINTAGE
+    detection_latency: float = 30.0
+    recovery_bandwidth_bps: float | None = None
+    target_utilization: float = 0.40
+    spare_reserve_fraction: float = 0.04
+    use_farm: bool = True
+    use_smart: bool = False
+    replacement_threshold: float | None = None
+    duration: float = 6 * YEAR
+    placement: Literal["random", "rush"] = "random"
+    workload_peak_load: float = 0.0   # 0 disables the diurnal workload model
+
+    def __post_init__(self) -> None:
+        if self.total_user_bytes <= 0:
+            raise ValueError("total_user_bytes must be positive")
+        if not 0 < self.group_user_bytes <= self.total_user_bytes:
+            raise ValueError("group size must be in (0, total data]")
+        if self.detection_latency < 0:
+            raise ValueError("detection latency cannot be negative")
+        if not 0 < self.target_utilization < 1:
+            raise ValueError("target utilization must be in (0, 1)")
+        if not 0 <= self.spare_reserve_fraction < 1:
+            raise ValueError("spare reserve must be in [0, 1)")
+        if self.replacement_threshold is not None and not (
+                0 < self.replacement_threshold < 1):
+            raise ValueError("replacement threshold must be in (0, 1)")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= self.workload_peak_load < 1:
+            raise ValueError("workload peak load must be in [0, 1)")
+        block = self.scheme.block_bytes(self.group_user_bytes)
+        usable = self.vintage.capacity_bytes * (
+            1.0 - self.spare_reserve_fraction)
+        if block > usable:
+            raise ValueError(
+                f"a single block ({block:.3g} B) does not fit on one disk "
+                f"({usable:.3g} B usable); shrink the group or raise m")
+
+    # -- derived geometry -------------------------------------------------- #
+    @property
+    def recovery_bandwidth(self) -> float:
+        """Effective per-disk recovery bandwidth (bytes/s)."""
+        if self.recovery_bandwidth_bps is not None:
+            return self.recovery_bandwidth_bps
+        return self.vintage.recovery_bandwidth_bps
+
+    @property
+    def n_groups(self) -> int:
+        """Number of redundancy groups in the system."""
+        return max(1, round(self.total_user_bytes / self.group_user_bytes))
+
+    @property
+    def raw_bytes(self) -> float:
+        """Raw storage consumed (user data times the scheme's stretch)."""
+        return self.total_user_bytes * self.scheme.stretch
+
+    @property
+    def n_disks(self) -> int:
+        """Disks needed to hold the raw data at the target utilization.
+
+        2 PB under two-way mirroring on 1 TB disks at 40% => 10,000 disks;
+        three-way mirroring => 15,000 (the paper's "up to 15,000 drives").
+        """
+        per_disk = self.vintage.capacity_bytes * self.target_utilization
+        return max(self.scheme.n, math.ceil(self.raw_bytes / per_disk))
+
+    @property
+    def block_bytes(self) -> float:
+        """Bytes of each stored block (user data / m)."""
+        return self.scheme.block_bytes(self.group_user_bytes)
+
+    @property
+    def blocks_per_disk(self) -> float:
+        """Mean number of group blocks per disk."""
+        return self.n_groups * self.scheme.n / self.n_disks
+
+    @property
+    def rebuild_seconds_per_block(self) -> float:
+        """Time to reconstruct one block at the recovery bandwidth.
+
+        Paper §3.3: 64 s for 1 GB (mirroring) at 16 MB/s.
+        """
+        return self.block_bytes / self.recovery_bandwidth
+
+    @property
+    def disk_rebuild_seconds(self) -> float:
+        """Time to rebuild a whole disk's data serially (traditional RAID)."""
+        used = self.vintage.capacity_bytes * self.target_utilization
+        return used / self.recovery_bandwidth
+
+    # -- sweeps -------------------------------------------------------------- #
+    def with_(self, **kwargs) -> "SystemConfig":
+        """``dataclasses.replace`` with a shorter name for sweep code."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        from .units import fmt_bytes
+        mode = "FARM" if self.use_farm else "traditional"
+        return (f"{fmt_bytes(self.total_user_bytes)} user data, "
+                f"scheme {self.scheme.name}, groups of "
+                f"{fmt_bytes(self.group_user_bytes)}, {self.n_disks} disks, "
+                f"{mode} recovery")
+
+
+#: The paper's base configuration (Table 2).
+PAPER_BASE = SystemConfig()

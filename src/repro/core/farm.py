@@ -1,0 +1,129 @@
+"""FARM — FAst Recovery Mechanism (the paper's contribution, §2).
+
+On a disk failure, FARM re-creates every lost block on a *different* disk
+drawn from the group's placement candidate list, so reconstruction of the
+failed disk's contents proceeds in parallel across the cluster: "the window
+of vulnerability [shrinks] from the time needed to rebuild an entire disk to
+the time needed to create one or two replicas of a redundancy group."
+
+Mechanics implemented here:
+
+* per-group parallel rebuild, FCFS-queued at each recovery target;
+* target selection via :class:`~repro.core.policy.TargetSelector`
+  (alive / no-buddy / space hard constraints; bandwidth / SMART soft);
+* *recovery redirection* when a target dies mid-rebuild (restart on a new
+  target) or a source dies with survivors remaining (free source swap);
+* optional workload-aware transfer times (paper §2.4);
+* optional batch replacement with data migration (paper §3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.replacement import BatchReplacementPolicy
+from ..cluster.system import StorageSystem
+from ..cluster.workload import ConstantWorkload, DiurnalWorkload
+from ..redundancy.group import RedundancyGroup
+from ..sim.engine import Simulator
+from .policy import NoTargetError, PolicyConfig, TargetSelector
+from .recovery import RebuildJob, RecoveryManager
+
+
+class FarmRecovery(RecoveryManager):
+    """Distributed declustered recovery."""
+
+    def __init__(self, system: StorageSystem, sim: Simulator,
+                 policy: PolicyConfig | None = None,
+                 replacement: BatchReplacementPolicy | None = None) -> None:
+        super().__init__(system, sim)
+        self.selector = TargetSelector(system, policy)
+        cfg = system.config
+        if replacement is None and cfg.replacement_threshold is not None:
+            replacement = BatchReplacementPolicy(cfg.replacement_threshold)
+        self.replacement = replacement
+        self._unreplaced_failures = 0
+        if cfg.workload_peak_load > 0:
+            self.workload = DiurnalWorkload(peak_load=cfg.workload_peak_load)
+        else:
+            self.workload = ConstantWorkload(0.0)
+
+    # ------------------------------------------------------------------ #
+    def _allows_buddy(self) -> bool:
+        return not self.selector.policy.forbid_buddy
+
+    def _pick_sources(self, group: RedundancyGroup, rep_id: int
+                      ) -> tuple[int, ...]:
+        """The m disks a rebuild reads from (all survivors for mirroring)."""
+        survivors = group.buddies_of(rep_id)
+        return tuple(survivors[:group.scheme.m])
+
+    def _start_job(self, group: RedundancyGroup, rep_id: int,
+                   failed_at: float, now: float) -> None:
+        cfg = self.config
+        # A group may have several rebuilds in flight (m/n schemes); their
+        # targets must stay pairwise distinct or two buddies would end up
+        # co-located when both complete.
+        inflight = frozenset(
+            j.target for j in self._jobs_by_group.get(group.grp_id, ()))
+        try:
+            target = self.selector.select(
+                group, cfg.block_bytes, now, self.busy_until,
+                exclude=inflight, reserved=self.reserved_bytes)
+        except NoTargetError:
+            # System too full to re-protect the group; it stays degraded.
+            return
+        job = RebuildJob(group=group, rep_id=rep_id, target=target,
+                         failed_at=failed_at,
+                         sources=self._pick_sources(group, rep_id))
+        duration = self.workload.time_to_transfer(
+            cfg.block_bytes, cfg.recovery_bandwidth, now)
+        completion = self.server(target).submit(now, duration)
+        job.event = self.sim.schedule_at(completion, self._complete, job,
+                                         name="farm-rebuild")
+        self._register(job)
+        self.stats.rebuilds_started += 1
+
+    # -- RecoveryManager hooks -------------------------------------------- #
+    def _schedule_rebuilds(self, failed_disk: int,
+                           losses: list[tuple[RedundancyGroup, int]],
+                           now: float) -> None:
+        start = now + self.config.detection_latency
+        for group, rep in losses:
+            self.sim.schedule_at(start, self._start_if_alive, group, rep,
+                                 now, name="farm-detect")
+
+    def _start_if_alive(self, group: RedundancyGroup, rep: int,
+                        failed_at: float) -> None:
+        """Detection fired: begin the rebuild unless the group died since."""
+        if group.lost or rep not in group.failed:
+            return
+        self._start_job(group, rep, failed_at, self.sim.now)
+
+    def _reschedule(self, job: RebuildJob, now: float) -> None:
+        start = now + self.config.detection_latency
+        self.sim.schedule_at(start, self._start_if_alive, job.group,
+                             job.rep_id, job.failed_at, name="farm-redirect")
+
+    # -- replacement --------------------------------------------------------- #
+    def _after_failure(self, disk_id: int, now: float) -> None:
+        self._unreplaced_failures += 1
+        pol = self.replacement
+        if pol is None or not pol.should_trigger(
+                self._unreplaced_failures, self.system.initial_population):
+            return
+        count = pol.batch_size(self._unreplaced_failures)
+        if count <= 0:
+            return
+        new_ids = self.system.add_batch(count, now, weight=pol.weight)
+        self._unreplaced_failures = 0
+        self.stats.replacement_batches += 1
+        # Schedule the new drives' (infant-mortality-prone) failures.
+        for d in new_ids:
+            t = self.system.failure_times[d]
+            if t <= self.config.duration:
+                self.sim.schedule_at(t, self.on_disk_failure, d,
+                                     name="disk-failure")
+        rng: np.random.Generator = self.system.streams.get("migration")
+        self.stats.blocks_migrated += self.system.migrate_to_batch(
+            new_ids, now, rng)

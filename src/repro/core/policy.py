@@ -1,0 +1,113 @@
+"""Recovery-target selection (paper §2.3).
+
+"Our data placement algorithm, RUSH, provides a list of locations where
+replicated data blocks can go.  After a failure, we select the disk on which
+the new replica is going to reside from these locations. ... The recovery
+target chosen from the candidate list (a) must be alive, (b) should not
+contain already a buddy from the same group, and (c) must have sufficient
+space.  Additionally, it should currently have sufficient bandwidth, though
+if there is no better alternative, we will stick to it.  If we use
+S.M.A.R.T. ... we are able to avoid unreliable disks."
+
+The hard constraints (a)–(c) are always enforced; bandwidth and SMART advice
+are *soft* — applied in a first pass and dropped in a second pass if no
+candidate survives, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..cluster.system import StorageSystem
+from ..placement.base import PlacementError
+from ..redundancy.group import RedundancyGroup
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Tunable constraints for target selection (ablation knobs)."""
+
+    forbid_buddy: bool = True       # constraint (b)
+    require_space: bool = True      # constraint (c)
+    prefer_idle: bool = True        # soft bandwidth preference
+    use_smart: bool = True          # soft SMART veto (needs a monitor)
+    candidate_window: int = 32      # how deep into the candidate list to look
+
+
+class NoTargetError(RuntimeError):
+    """No disk in the system can accept the new replica."""
+
+
+class TargetSelector:
+    """Chooses FARM recovery targets from the placement candidate list."""
+
+    def __init__(self, system: StorageSystem,
+                 policy: PolicyConfig | None = None) -> None:
+        self.system = system
+        self.policy = policy or PolicyConfig()
+
+    # ------------------------------------------------------------------ #
+    def _admissible(self, disk_id: int, group: RedundancyGroup,
+                    nbytes: float, exclude: frozenset[int],
+                    reserved) -> bool:
+        """Hard constraints (a)-(c), plus caller-supplied exclusions
+        (targets of the group's other in-flight rebuilds) and space already
+        promised to in-flight rebuilds."""
+        if disk_id in exclude:
+            return False
+        disk = self.system.disks[disk_id]
+        if not disk.online:
+            return False
+        if self.policy.forbid_buddy and group.holds_buddy(disk_id):
+            return False
+        if self.policy.require_space and \
+                disk.free_bytes - reserved(disk_id) < nbytes:
+            return False
+        return True
+
+    def _preferred(self, disk_id: int, now: float,
+                   busy_until: Callable[[int], float]) -> bool:
+        """Soft constraints: bandwidth headroom and SMART health."""
+        if self.policy.prefer_idle and busy_until(disk_id) > now:
+            return False
+        if self.policy.use_smart and self.system.is_suspect(disk_id, now):
+            return False
+        return True
+
+    def select(self, group: RedundancyGroup, nbytes: float, now: float,
+               busy_until: Callable[[int], float] = lambda d: 0.0,
+               exclude: frozenset[int] = frozenset(),
+               reserved: Callable[[int], float] = lambda d: 0.0) -> int:
+        """Pick the recovery target for a lost block of ``group``.
+
+        Walks the group's candidate list beyond its current n locations,
+        first honouring the soft constraints, then relaxing them ("if there
+        is no better alternative, we will stick to it").  Raises
+        :class:`NoTargetError` only if no disk in the entire system
+        satisfies the hard constraints.
+        """
+        window = group.scheme.n + self.policy.candidate_window
+        try:
+            candidates = self.system.placement.candidates(
+                group.grp_id, min(window, self.system.placement.n_disks))
+        except PlacementError:
+            candidates = self.system.placement.candidates(
+                group.grp_id, self.system.placement.n_disks)
+        admissible = [d for d in candidates
+                      if self._admissible(d, group, nbytes, exclude,
+                                          reserved)]
+        for disk_id in admissible:
+            if self._preferred(disk_id, now, busy_until):
+                return disk_id
+        if admissible:
+            return admissible[0]
+        # Candidate list exhausted (possible in small or very full systems):
+        # fall back to a linear scan so recovery degrades gracefully instead
+        # of dropping redundancy.
+        for disk in self.system.disks:
+            if self._admissible(disk.disk_id, group, nbytes, exclude,
+                                reserved):
+                return disk.disk_id
+        raise NoTargetError(
+            f"no admissible recovery target for group {group.grp_id}")

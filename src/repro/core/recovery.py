@@ -1,0 +1,213 @@
+"""Shared recovery machinery: jobs, statistics, and the manager base class.
+
+A :class:`RecoveryManager` reacts to disk-failure events on the DES: it
+updates group state, schedules rebuild jobs, redirects jobs whose target or
+source dies mid-flight, and accounts for data loss.  The two concrete
+managers are :class:`~repro.core.farm.FarmRecovery` (the paper's
+contribution) and :class:`~repro.core.traditional.TraditionalRecovery` (the
+RAID baseline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..cluster.system import StorageSystem
+from ..redundancy.group import RedundancyGroup
+from ..sim.engine import Simulator
+from ..sim.events import Event
+from ..sim.resources import SerialServer
+
+
+@dataclass
+class RecoveryStats:
+    """Aggregate outcome of one simulated system lifetime."""
+
+    rebuilds_started: int = 0
+    rebuilds_completed: int = 0
+    target_redirections: int = 0
+    source_redirections: int = 0
+    groups_lost: int = 0
+    bytes_lost: float = 0.0
+    first_loss_time: float | None = None
+    disk_failures: int = 0
+    window_total: float = 0.0     # sum of (rebuild completion - failure time)
+    window_max: float = 0.0
+    replacement_batches: int = 0
+    blocks_migrated: int = 0
+
+    @property
+    def any_loss(self) -> bool:
+        return self.groups_lost > 0
+
+    @property
+    def mean_window(self) -> float:
+        """Mean window of vulnerability over completed rebuilds."""
+        if self.rebuilds_completed == 0:
+            return 0.0
+        return self.window_total / self.rebuilds_completed
+
+    def record_loss(self, group: RedundancyGroup, now: float) -> None:
+        self.groups_lost += 1
+        self.bytes_lost += group.user_bytes
+        if self.first_loss_time is None:
+            self.first_loss_time = now
+
+
+@dataclass(eq=False)     # identity semantics: jobs live in hash sets
+class RebuildJob:
+    """One in-flight block reconstruction."""
+
+    group: RedundancyGroup
+    rep_id: int
+    target: int
+    failed_at: float           # when the block became unavailable
+    sources: tuple[int, ...] = ()
+    event: Event | None = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self.event is not None:
+            self.event.cancel()
+
+
+class RecoveryManager(ABC):
+    """Base class wiring a recovery scheme into the simulator."""
+
+    def __init__(self, system: StorageSystem, sim: Simulator) -> None:
+        self.system = system
+        self.sim = sim
+        self.config = system.config
+        self.stats = RecoveryStats()
+        # Per-disk FCFS queues for recovery writes.
+        self._servers: dict[int, SerialServer] = {}
+        # In-flight indexes.
+        self._jobs_by_target: dict[int, set[RebuildJob]] = {}
+        self._jobs_by_group: dict[int, set[RebuildJob]] = {}
+        self._jobs_by_source: dict[int, set[RebuildJob]] = {}
+        # Bytes promised to in-flight rebuilds, per target disk: selection
+        # must treat reserved space as used or concurrent jobs could
+        # collectively overflow a target.
+        self._reserved: dict[int, float] = {}
+
+    # -- queues ------------------------------------------------------------ #
+    def server(self, disk_id: int) -> SerialServer:
+        srv = self._servers.get(disk_id)
+        if srv is None:
+            srv = SerialServer()
+            self._servers[disk_id] = srv
+        return srv
+
+    def busy_until(self, disk_id: int) -> float:
+        srv = self._servers.get(disk_id)
+        return srv.free_at if srv is not None else 0.0
+
+    # -- job bookkeeping --------------------------------------------------- #
+    def reserved_bytes(self, disk_id: int) -> float:
+        """Space promised to in-flight rebuilds targeting ``disk_id``."""
+        return self._reserved.get(disk_id, 0.0)
+
+    def _register(self, job: RebuildJob) -> None:
+        self._jobs_by_target.setdefault(job.target, set()).add(job)
+        self._jobs_by_group.setdefault(job.group.grp_id, set()).add(job)
+        for s in job.sources:
+            self._jobs_by_source.setdefault(s, set()).add(job)
+        self._reserved[job.target] = (self._reserved.get(job.target, 0.0)
+                                      + self.config.block_bytes)
+
+    def _unregister(self, job: RebuildJob) -> None:
+        if job in self._jobs_by_target.get(job.target, set()):
+            self._reserved[job.target] = max(
+                0.0, self._reserved.get(job.target, 0.0)
+                - self.config.block_bytes)
+        self._jobs_by_target.get(job.target, set()).discard(job)
+        self._jobs_by_group.get(job.group.grp_id, set()).discard(job)
+        for s in job.sources:
+            self._jobs_by_source.get(s, set()).discard(job)
+
+    # -- the common failure path -------------------------------------------- #
+    def on_disk_failure(self, disk_id: int) -> None:
+        """DES callback: disk ``disk_id`` fails now."""
+        now = self.sim.now
+        if not self.system.disks[disk_id].online:
+            return      # already failed/retired (stale event)
+        self.stats.disk_failures += 1
+        affected = self.system.fail_disk(disk_id, now)
+
+        # Jobs whose *target* just died: pick another target (paper §2.3,
+        # "we merely choose an alternative target") — recovery redirection.
+        for job in list(self._jobs_by_target.get(disk_id, ())):
+            self._unregister(job)
+            job.cancel()
+            if job.group.lost:
+                continue
+            self.stats.target_redirections += 1
+            self._reschedule(job, now)
+
+        # Jobs that were *reading* from the dead disk but whose group still
+        # has enough survivors: swap in an alternative source at no cost.
+        for job in list(self._jobs_by_source.get(disk_id, ())):
+            if job.cancelled or job.group.lost:
+                continue
+            self.stats.source_redirections += 1
+            job.sources = tuple(s for s in job.sources if s != disk_id)
+
+        # New block losses.
+        newly_lost: list[tuple[RedundancyGroup, int]] = []
+        for group, reps in affected:
+            if group.lost and group.loss_time == now:
+                self.stats.record_loss(group, now)
+                for job in list(self._jobs_by_group.get(group.grp_id, ())):
+                    self._unregister(job)
+                    job.cancel()
+                continue
+            if group.lost:
+                continue
+            for rep in reps:
+                newly_lost.append((group, rep))
+        if newly_lost:
+            self._schedule_rebuilds(disk_id, newly_lost, now)
+        self._after_failure(disk_id, now)
+
+    # -- completion path ---------------------------------------------------- #
+    def _complete(self, job: RebuildJob) -> None:
+        if job.cancelled or job.group.lost:
+            return
+        now = self.sim.now
+        target = self.system.disks[job.target]
+        if not target.online:
+            # Defensive: a redirect should already have happened.
+            self._unregister(job)
+            self.stats.target_redirections += 1
+            self._reschedule(job, now)
+            return
+        self._unregister(job)
+        job.group.complete_rebuild(job.rep_id, job.target,
+                                   allow_buddy=self._allows_buddy())
+        target.allocate(self.config.block_bytes)
+        self.system.note_block_moved(job.group.grp_id, job.target)
+        self.stats.rebuilds_completed += 1
+        window = now - job.failed_at
+        self.stats.window_total += window
+        self.stats.window_max = max(self.stats.window_max, window)
+
+    # -- scheme-specific hooks ------------------------------------------------ #
+    @abstractmethod
+    def _schedule_rebuilds(self, failed_disk: int,
+                           losses: list[tuple[RedundancyGroup, int]],
+                           now: float) -> None:
+        """Schedule reconstruction of the given (group, rep) losses."""
+
+    @abstractmethod
+    def _reschedule(self, job: RebuildJob, now: float) -> None:
+        """Restart a job whose target died mid-rebuild."""
+
+    def _after_failure(self, disk_id: int, now: float) -> None:
+        """Hook for replacement policies; default does nothing."""
+
+    def _allows_buddy(self) -> bool:
+        """Whether this manager's policy permits buddy co-location (only
+        true in ablation studies with forbid_buddy disabled)."""
+        return False

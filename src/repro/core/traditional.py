@@ -1,0 +1,90 @@
+"""Traditional RAID recovery: the baseline FARM is compared against.
+
+"The traditional recovery approach in RAID architectures replicates data on
+a failed disk to one dedicated spare disk upon disk failure. ... Without
+FARM, reconstruction requests queue up at the single recovery target."
+
+On each disk failure this manager provisions a fresh dedicated spare and
+serializes the reconstruction of every lost block onto it.  The k-th block
+is vulnerable until its queued rebuild completes, so the window of
+vulnerability stretches up to the whole-disk rebuild time (hours), versus
+FARM's single-block time (seconds to minutes).  If the spare itself dies
+mid-rebuild, a new spare is provisioned and the unfinished work restarts
+(counted as target redirections).
+"""
+
+from __future__ import annotations
+
+from ..cluster.system import StorageSystem
+from ..redundancy.group import RedundancyGroup
+from ..sim.engine import Simulator
+from .recovery import RebuildJob, RecoveryManager
+
+
+class TraditionalRecovery(RecoveryManager):
+    """Whole-disk rebuild onto a single dedicated spare."""
+
+    def __init__(self, system: StorageSystem, sim: Simulator) -> None:
+        super().__init__(system, sim)
+        #: failed disk -> its spare (so late losses of the same disk's data
+        #: keep queueing on the same spare).
+        self._spare_for: dict[int, int] = {}
+        self.spares_provisioned = 0
+
+    # ------------------------------------------------------------------ #
+    def _provision_spare(self, now: float) -> int:
+        spare = self.system.add_spare(now)
+        self.spares_provisioned += 1
+        # The spare is a real drive: it can fail too.
+        t = self.system.failure_times[spare]
+        if t <= self.config.duration:
+            self.sim.schedule_at(t, self.on_disk_failure, spare,
+                                 name="spare-failure")
+        return spare
+
+    def _enqueue(self, group: RedundancyGroup, rep: int, spare: int,
+                 failed_at: float, start: float) -> None:
+        job = RebuildJob(group=group, rep_id=rep, target=spare,
+                         failed_at=failed_at,
+                         sources=tuple(group.buddies_of(rep)[:group.scheme.m]))
+        duration = self.config.rebuild_seconds_per_block
+        completion = self.server(spare).submit(start, duration)
+        job.event = self.sim.schedule_at(completion, self._complete, job,
+                                         name="raid-rebuild")
+        self._register(job)
+        self.stats.rebuilds_started += 1
+
+    # -- RecoveryManager hooks -------------------------------------------- #
+    def _schedule_rebuilds(self, failed_disk: int,
+                           losses: list[tuple[RedundancyGroup, int]],
+                           now: float) -> None:
+        spare = self._spare_for.get(failed_disk)
+        if spare is None or not self.system.disks[spare].online:
+            spare = self._provision_spare(now)
+            self._spare_for[failed_disk] = spare
+        start = now + self.config.detection_latency
+        for group, rep in losses:
+            if group.holds_buddy(spare):
+                # The spare must not hold two blocks of one group; recover
+                # this block onto a second spare (rare).
+                alt = self._spare_for.get(-spare - 1)
+                if alt is None or not self.system.disks[alt].online or \
+                        group.holds_buddy(alt):
+                    alt = self._provision_spare(now)
+                    self._spare_for[-spare - 1] = alt
+                self._enqueue(group, rep, alt, now, start)
+            else:
+                self._enqueue(group, rep, spare, now, start)
+
+    def _reschedule(self, job: RebuildJob, now: float) -> None:
+        """The spare died: restart this block on a replacement spare."""
+        if job.group.lost or job.rep_id not in job.group.failed:
+            return
+        # All jobs of the dead spare land here one by one; they share the
+        # replacement spare via _spare_for keyed on the dead target.
+        spare = self._spare_for.get(job.target)
+        if spare is None or not self.system.disks[spare].online:
+            spare = self._provision_spare(now)
+            self._spare_for[job.target] = spare
+        start = now + self.config.detection_latency
+        self._enqueue(job.group, job.rep_id, spare, job.failed_at, start)

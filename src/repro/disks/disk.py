@@ -1,0 +1,118 @@
+"""Per-disk dynamic state.
+
+A :class:`Disk` tracks the mutable quantities the recovery engines care
+about: liveness, bytes used (primary data plus recovered replicas), and
+deployment time (which, with the vintage's failure model, determines the
+drive's age-dependent failure behaviour).
+
+The reliability Monte-Carlo keeps the same quantities in flat NumPy arrays
+(see :mod:`repro.reliability.simulation`); this object model is the public
+API used by examples, the object-level FARM engine, and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .vintage import PAPER_VINTAGE, DiskVintage
+
+
+class DiskState(Enum):
+    ONLINE = "online"
+    FAILED = "failed"
+    RETIRED = "retired"   # removed at EODL / replaced
+
+
+@dataclass
+class Disk:
+    """One disk drive.
+
+    Parameters
+    ----------
+    disk_id:
+        Stable integer identifier (placement key).
+    vintage:
+        Static generation properties.
+    deployed_at:
+        Simulation time the drive entered service (age 0 at this time).
+    spare_reserve_fraction:
+        Fraction of capacity that must remain free at initial data placement
+        so it is available for recovered data (paper: ~4% at initialization).
+    """
+
+    disk_id: int
+    vintage: DiskVintage = PAPER_VINTAGE
+    deployed_at: float = 0.0
+    spare_reserve_fraction: float = 0.04
+    state: DiskState = DiskState.ONLINE
+    used_bytes: float = 0.0
+    failed_at: float | None = None
+
+    # -- geometry -------------------------------------------------------- #
+    @property
+    def capacity_bytes(self) -> float:
+        return self.vintage.capacity_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use."""
+        return self.used_bytes / self.capacity_bytes
+
+    def age(self, now: float) -> float:
+        """Drive age in seconds at simulation time ``now``."""
+        if now < self.deployed_at:
+            raise ValueError(f"now={now} precedes deployment "
+                             f"{self.deployed_at} of disk {self.disk_id}")
+        return now - self.deployed_at
+
+    # -- state ------------------------------------------------------------ #
+    @property
+    def online(self) -> bool:
+        return self.state is DiskState.ONLINE
+
+    def fail(self, now: float) -> None:
+        if self.state is not DiskState.ONLINE:
+            raise ValueError(f"disk {self.disk_id} is not online")
+        self.state = DiskState.FAILED
+        self.failed_at = now
+
+    def retire(self) -> None:
+        if self.state is not DiskState.ONLINE:
+            raise ValueError(f"disk {self.disk_id} is not online")
+        self.state = DiskState.RETIRED
+
+    # -- allocation -------------------------------------------------------- #
+    def can_accept(self, nbytes: float, initial_placement: bool = False
+                   ) -> bool:
+        """Whether ``nbytes`` more data fit on this disk.
+
+        During *initial placement* the spare reserve must be preserved
+        (constraint from paper §3.1); recovered data may dig into the
+        reserve — that is what it is for.
+        """
+        limit = self.capacity_bytes
+        if initial_placement:
+            limit *= (1.0 - self.spare_reserve_fraction)
+        return self.online and self.used_bytes + nbytes <= limit
+
+    def allocate(self, nbytes: float, initial_placement: bool = False) -> None:
+        """Account for ``nbytes`` of new data on this disk."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if not self.can_accept(nbytes, initial_placement):
+            raise ValueError(
+                f"disk {self.disk_id} cannot accept {nbytes:.3g} B "
+                f"(used {self.used_bytes:.3g}/{self.capacity_bytes:.3g})")
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Account for data removed (e.g. migrated off) this disk."""
+        if nbytes < 0 or nbytes > self.used_bytes + 1e-6:
+            raise ValueError(
+                f"disk {self.disk_id}: invalid release of {nbytes:.3g} B")
+        self.used_bytes = max(0.0, self.used_bytes - nbytes)

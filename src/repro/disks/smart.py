@@ -1,0 +1,80 @@
+"""S.M.A.R.T.-style health monitoring (paper §2.3).
+
+The paper: "If we use S.M.A.R.T. ... to monitor the health of disks, we are
+able to avoid unreliable disks" when choosing recovery targets.  We model a
+monitor that flags a drive as *suspect* with some probability ahead of its
+actual failure (true positives, with a configurable warning horizon) and
+also flags healthy drives spuriously (false positives).  The FARM target
+policy can then veto suspect drives.
+
+This is deliberately simple — the paper treats failure *prediction* as out of
+scope — but it exercises the code path: target selection must consult the
+monitor and fall back gracefully when the candidate list is exhausted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import DAY
+
+
+class SmartMonitor:
+    """Probabilistic failure-warning oracle.
+
+    Parameters
+    ----------
+    detection_probability:
+        Chance a failing drive is flagged ahead of time (SMART literature
+        reports ~0.3–0.6 for threshold methods; Hughes et al. improve this).
+    warning_horizon:
+        How far before actual failure the flag is raised.
+    false_positive_rate:
+        Chance a drive that will not fail soon is nonetheless flagged.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 detection_probability: float = 0.4,
+                 warning_horizon: float = 7 * DAY,
+                 false_positive_rate: float = 0.01) -> None:
+        if not 0.0 <= detection_probability <= 1.0:
+            raise ValueError("detection_probability must be in [0, 1]")
+        if not 0.0 <= false_positive_rate <= 1.0:
+            raise ValueError("false_positive_rate must be in [0, 1]")
+        if warning_horizon < 0:
+            raise ValueError("warning_horizon must be non-negative")
+        self.rng = rng
+        self.detection_probability = detection_probability
+        self.warning_horizon = warning_horizon
+        self.false_positive_rate = false_positive_rate
+        self._warned: dict[int, bool] = {}
+
+    def register(self, disk_id: int) -> None:
+        """Start monitoring a drive (decides its false-positive fate)."""
+        self._warned[disk_id] = bool(
+            self.rng.random() < self.false_positive_rate)
+
+    def forget(self, disk_id: int) -> None:
+        self._warned.pop(disk_id, None)
+
+    def is_suspect(self, disk_id: int, now: float,
+                   failure_time: float | None) -> bool:
+        """Whether the monitor currently advises against using the drive.
+
+        ``failure_time`` is the drive's (simulator-known) failure time; the
+        monitor reveals it only within the warning horizon and only for
+        drives where detection succeeded.
+        """
+        if self._warned.get(disk_id, False):
+            return True
+        if failure_time is None:
+            return False
+        if now >= failure_time - self.warning_horizon:
+            # Decide detection success lazily but deterministically per disk.
+            key = ("detect", disk_id)
+            cached = self._warned.get(key)  # type: ignore[arg-type]
+            if cached is None:
+                cached = bool(self.rng.random() < self.detection_probability)
+                self._warned[key] = cached  # type: ignore[index]
+            return cached
+        return False

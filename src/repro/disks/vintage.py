@@ -1,0 +1,66 @@
+"""Disk vintages (paper §3.6 and Figure 8(b)).
+
+A *vintage* bundles the static properties of a generation of drives:
+capacity, sustained bandwidth, the fraction of bandwidth recovery may use,
+the failure-rate model, and the End Of Design Life.  Batches of replacement
+drives may come from different vintages; the paper models them by weight and
+by failure-rate multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..units import MB, TB, YEAR
+from .failure import BathtubFailureModel
+
+
+@dataclass(frozen=True)
+class DiskVintage:
+    """Static description of one generation of disk drives.
+
+    Defaults are the paper's extrapolated drive: 1 TB capacity, 80 MB/s
+    sustained bandwidth (recovery capped at 20% = 16 MB/s), 6-year EODL,
+    Table 1 bathtub failure rates.
+    """
+
+    name: str = "paper-2004-extrapolated"
+    capacity_bytes: float = 1 * TB
+    bandwidth_bps: float = 80 * MB
+    recovery_bandwidth_fraction: float = 0.20
+    eodl_seconds: float = 6 * YEAR
+    weight: float = 1.0
+    failure_model: BathtubFailureModel = field(
+        default_factory=BathtubFailureModel)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.bandwidth_bps <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        if not 0.0 < self.recovery_bandwidth_fraction <= 1.0:
+            raise ValueError("recovery bandwidth fraction must be in (0, 1]")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    @property
+    def recovery_bandwidth_bps(self) -> float:
+        """Bandwidth available to recovery on this drive."""
+        return self.bandwidth_bps * self.recovery_bandwidth_fraction
+
+    def with_rate_multiplier(self, multiplier: float) -> "DiskVintage":
+        """Vintage identical but with all failure rates scaled (Fig. 8(b))."""
+        return replace(
+            self,
+            name=f"{self.name} (x{multiplier:g} rates)",
+            failure_model=self.failure_model.scaled(multiplier))
+
+    def with_recovery_bandwidth(self, bps: float) -> "DiskVintage":
+        """Vintage with an explicit recovery bandwidth (Figure 5 sweeps)."""
+        if not 0 < bps <= self.bandwidth_bps:
+            raise ValueError(
+                f"recovery bandwidth {bps} must be in (0, {self.bandwidth_bps}]")
+        return replace(self,
+                       recovery_bandwidth_fraction=bps / self.bandwidth_bps)
+
+
+#: The drive the paper extrapolates from the IBM Deskstar.
+PAPER_VINTAGE = DiskVintage()

@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper table/figure, plus ablations.
+
+Each module exposes ``run(scale=None, base_seed=0) -> ExperimentResult``;
+``REPRO_SCALE`` ∈ {smoke, small, paper} picks the fidelity (see
+:mod:`repro.experiments.base`).
+"""
+
+from . import (ablations, figure3, figure4, figure5, figure7, figure8,
+               mttdl_table, perf_table, redirection, table1, table3)
+from .base import SCALES, ExperimentResult, Scale, current_scale
+from .report import pct, render_proportion, render_table
+
+__all__ = [
+    "Scale", "SCALES", "current_scale", "ExperimentResult",
+    "render_table", "render_proportion", "pct",
+    "table1", "figure3", "figure4", "figure5", "table3",
+    "figure7", "figure8", "redirection", "ablations", "mttdl_table",
+    "perf_table",
+]

@@ -1,0 +1,56 @@
+"""Figure 5 — disk bandwidth devoted to recovery.
+
+P(loss) versus recovery bandwidth (8–40 MB/s) for group sizes 10 GB and
+50 GB, with and without FARM, detection latency 30 s, two-way mirroring.
+
+Paper findings: loss probability falls as recovery bandwidth rises; higher
+bandwidth helps the traditional scheme dramatically (its window is the
+whole-disk rebuild, which shrinks proportionally) but has a much weaker
+effect with FARM, whose windows are already short.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..reliability.montecarlo import estimate_p_loss
+from ..units import GB, MB
+from .base import ExperimentResult, Scale, current_scale
+from .report import render_proportion
+
+BANDWIDTHS_MBPS = (8.0, 16.0, 24.0, 32.0, 40.0)
+GROUP_SIZES_GB = (10.0, 50.0)
+
+
+def run(scale: Scale | None = None, base_seed: int = 0,
+        bandwidths_mbps: tuple[float, ...] | None = None,
+        group_sizes_gb: tuple[float, ...] | None = None) -> ExperimentResult:
+    scale = scale or current_scale()
+    bws = bandwidths_mbps or BANDWIDTHS_MBPS
+    sizes = group_sizes_gb or GROUP_SIZES_GB
+    result = ExperimentResult(
+        experiment="figure5",
+        description=("P(data loss) vs recovery bandwidth, FARM vs "
+                     "traditional, detection latency 30 s"),
+        scale=scale,
+        columns=["mode", "group_gb", "bw_mbps", "mean_window_s",
+                 "p_loss_pct", "ci95"],
+    )
+    for farm in (True, False):
+        for gb in sizes:
+            base = scale.size_config(SystemConfig(
+                group_user_bytes=gb * GB, use_farm=farm,
+                detection_latency=30.0))
+            for bw in bws:
+                cfg = base.with_(recovery_bandwidth_bps=bw * MB)
+                mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
+                                     base_seed=base_seed,
+                                     n_jobs=scale.n_jobs)
+                result.add(mode="FARM" if farm else "w/o",
+                           group_gb=gb, bw_mbps=bw,
+                           mean_window_s=mc.mean_window,
+                           p_loss_pct=100.0 * mc.p_loss.estimate,
+                           ci95=render_proportion(mc.p_loss))
+    result.notes.append(
+        "Paper: higher recovery bandwidth improves the traditional scheme "
+        "dramatically but has no pronounced effect under FARM.")
+    return result

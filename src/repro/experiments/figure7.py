@@ -1,0 +1,53 @@
+"""Figure 7 — disk drive replacement timing and the cohort effect.
+
+New disks are added in a batch once the system has lost 2%, 4%, 6%, or 8%
+of its drives; batches restore the population and trigger data migration
+onto the (young, infant-mortality-prone) newcomers.  The paper reports
+P(loss) with 95% confidence intervals for each threshold and finds the
+cohort effect *not visible* at this failure level: only ~10% of drives fail
+in six years, so batches are small (2–8% of the population) and replacement
+frequency does not significantly affect reliability.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..reliability.montecarlo import estimate_p_loss
+from ..units import GB
+from .base import ExperimentResult, Scale, current_scale
+from .report import render_proportion
+
+THRESHOLDS = (0.02, 0.04, 0.06, 0.08)
+
+
+def run(scale: Scale | None = None, base_seed: int = 0,
+        thresholds: tuple[float, ...] | None = None) -> ExperimentResult:
+    scale = scale or current_scale()
+    ths = thresholds or THRESHOLDS
+    base = scale.size_config(SystemConfig(group_user_bytes=10 * GB))
+    result = ExperimentResult(
+        experiment="figure7",
+        description=("P(data loss) vs replacement threshold (fraction of "
+                     "disks lost before a batch is added), 95% CIs"),
+        scale=scale,
+        columns=["threshold_pct", "p_loss_pct", "ci95", "batches_mean",
+                 "migrated_mean"],
+    )
+    for th in ths:
+        cfg = base.with_(replacement_threshold=th)
+        mc = estimate_p_loss(cfg, n_runs=scale.n_runs, base_seed=base_seed,
+                             n_jobs=scale.n_jobs)
+        n = max(1, len(mc.run_stats))
+        result.add(
+            threshold_pct=100.0 * th,
+            p_loss_pct=100.0 * mc.p_loss.estimate,
+            ci95=render_proportion(mc.p_loss),
+            batches_mean=sum(s.replacement_batches
+                             for s in mc.run_stats) / n,
+            migrated_mean=sum(s.blocks_migrated for s in mc.run_stats) / n,
+        )
+    result.notes.append(
+        "Paper: overlapping CIs across thresholds — the cohort effect is "
+        "not visible at ~10% lifetime failures; little benefit beyond "
+        "delaying replacement cost.")
+    return result

@@ -1,0 +1,118 @@
+"""Terminal (ASCII) charts for experiment series.
+
+The paper presents its results as bar charts and line plots; this module
+renders the same series in a terminal so the benchmark harness output can
+be *seen*, not just diffed.  No plotting dependency is required (the
+reproduction environment is offline).
+
+Two chart types cover every figure in the paper:
+
+* :func:`bar_chart` — grouped horizontal bars (Figures 3, 7);
+* :func:`line_chart` — multi-series scatter/line over a numeric x axis
+  (Figures 4, 5, 8), rendered on a character grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def _fmt_num(x: float) -> str:
+    if x == 0:
+        return "0"
+    if abs(x) >= 1000 or abs(x) < 0.01:
+        return f"{x:.2g}"
+    return f"{x:.3g}"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 50,
+              unit: str = "") -> str:
+    """Horizontal bar chart: one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty chart)"
+    peak = max(values) if max(values, default=0) > 0 else 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * round(value / peak * width)
+        lines.append(f"{str(label):>{label_w}} | "
+                     f"{bar}{' ' if bar else ''}{_fmt_num(value)}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(series: dict[str, list[tuple[float, float]]],
+               title: str = "", width: int = 60, height: int = 16,
+               x_label: str = "x", y_label: str = "y",
+               logx: bool = False) -> str:
+    """Multi-series point chart on a character grid.
+
+    ``series`` maps a series name to its (x, y) points.  Each series gets
+    a marker character; a legend is appended.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("logx requires positive x values")
+            return math.log10(x)
+        return x
+
+    x_lo, x_hi = min(map(tx, xs)), max(map(tx, xs))
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), mark in zip(series.items(), _MARKS * 4):
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = [title] if title else []
+    lines.append(f"{_fmt_num(y_hi):>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{_fmt_num(y_lo):>10} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{_fmt_num(min(xs))} .. {_fmt_num(max(xs))}"
+                 f"  ({x_label}{', log' if logx else ''})")
+    legend = "   ".join(f"{mark}={name}" for (name, _), mark
+                        in zip(series.items(), _MARKS * 4))
+    lines.append(" " * 12 + legend)
+    lines.append(" " * 12 + f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def result_bar_chart(result, label_columns: Sequence[str],
+                     value_column: str, **kw) -> str:
+    """Bar chart straight from an ExperimentResult."""
+    labels = [" ".join(str(r[c]) for c in label_columns)
+              for r in result.rows]
+    values = [float(r[value_column]) for r in result.rows]
+    return bar_chart(labels, values,
+                     title=kw.pop("title", result.description), **kw)
+
+
+def result_line_chart(result, series_column: str, x_column: str,
+                      y_column: str, **kw) -> str:
+    """Line chart straight from an ExperimentResult."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        key = str(row[series_column])
+        series.setdefault(key, []).append(
+            (float(row[x_column]), float(row[y_column])))
+    return line_chart(series, title=kw.pop("title", result.description),
+                      x_label=x_column, y_label=y_column, **kw)

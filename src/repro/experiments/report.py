@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents bar charts and line plots; a terminal harness renders
+the same series as aligned tables (one row per bar/point) so the numbers
+can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Aligned text table with a header rule."""
+    cells = [[_fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) if cells
+              else len(c) for i, c in enumerate(columns)]
+    def line(vals):
+        return "  ".join(v.ljust(w) for v, w in zip(vals, widths)).rstrip()
+    out = [line(columns), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def pct(x: float) -> str:
+    """Format a probability as a percentage."""
+    return f"{100.0 * x:.2f}%"
+
+
+def render_proportion(p) -> str:
+    """Short 'est [lo, hi]' rendering of a Proportion."""
+    return f"{100 * p.estimate:.2f} [{100 * p.lo:.2f},{100 * p.hi:.2f}]"

@@ -1,0 +1,10 @@
+"""Degraded-mode performance models (the declustering argument)."""
+
+from .degraded import (DegradedLoad, compare_layouts,
+                       degraded_read_amplification, rebuild_read_share,
+                       user_load_factor)
+
+__all__ = [
+    "DegradedLoad", "compare_layouts", "degraded_read_amplification",
+    "rebuild_read_share", "user_load_factor",
+]

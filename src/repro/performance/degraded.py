@@ -1,0 +1,127 @@
+"""Degraded-mode performance: the classical argument for declustering.
+
+The paper's §1–2: "RAID designers have long recognized the benefits of
+declustering for system performance ... after a disk failure, the data
+needed to reconstruct the lost data is distributed over a number of drives
+in the disk array.  Thus, declustering leads to good performance for
+storage systems in degraded mode."  The quantitative version is Muntz &
+Lui's analysis: in a non-declustered array of ``n`` disks, the survivors
+absorb the failed disk's read load *and* serve reconstruction reads,
+roughly doubling their utilization; declustered over ``N >> n`` disks the
+same work raises per-disk load only by ``O(n/N)``.
+
+This module provides that model for the schemes and geometries used in the
+reproduction:
+
+* read amplification of degraded reads (an m/n code turns one read into m);
+* per-surviving-disk load factor with ``f`` failed disks, declustered vs
+  a dedicated non-declustered array;
+* rebuild-traffic interference: the fraction of each survivor's bandwidth
+  consumed by FARM reconstruction reads versus the single-spare bottleneck.
+
+Everything is closed form and unit-tested against limiting cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+
+
+@dataclass(frozen=True)
+class DegradedLoad:
+    """Per-surviving-disk load, relative to the healthy-system load (=1)."""
+
+    layout: str            # "declustered" | "dedicated-array"
+    n_disks: int           # disks sharing the degraded work
+    failed: int
+    user_load_factor: float    # serving user reads/writes only
+    rebuild_read_share: float  # fraction of bandwidth doing rebuild reads
+
+    @property
+    def total_load_factor(self) -> float:
+        return self.user_load_factor + self.rebuild_read_share
+
+
+def degraded_read_amplification(scheme) -> float:
+    """Physical reads needed to serve one logical read of a lost block.
+
+    Mirroring redirects to the surviving replica (1 read); an m/n code
+    reconstructs from m surviving blocks (m reads).
+    """
+    return 1.0 if scheme.m == 1 else float(scheme.m)
+
+
+def user_load_factor(scheme, n_disks: int, failed: int = 1) -> float:
+    """Relative user-serving load per survivor with ``failed`` disks out.
+
+    The survivors pick up (a) their own share and (b) the failed disks'
+    share, amplified by the degraded-read cost.  With load spread over
+    ``n_disks - failed`` survivors:
+
+    ``factor = (survivors + failed * amp) / survivors``
+
+    — at ``failed = 0`` this is exactly 1; for a dedicated n-disk RAID-5
+    stripe with one failure it gives the classical ~2x (each degraded read
+    touches every survivor), and for a mirrored pair exactly 2x.
+    """
+    if failed < 0 or failed >= n_disks:
+        raise ValueError("need 0 <= failed < n_disks")
+    if failed == 0:
+        return 1.0
+    amp = degraded_read_amplification(scheme)
+    survivors = n_disks - failed
+    # total work: the survivors' own reads (``survivors`` shares) plus the
+    # failed disks' reads served degraded (``failed * amp`` shares)
+    total_work = survivors + failed * amp
+    return total_work / survivors
+
+
+def rebuild_read_share(cfg: SystemConfig, n_sharing: int) -> float:
+    """Fraction of a survivor's bandwidth consumed by reconstruction reads.
+
+    One failed disk carries ``C*u`` bytes; reconstructing it reads
+    ``C*u * m`` bytes (scheme read cost) spread over ``n_sharing``
+    survivors for the duration of the recovery.  Under FARM the recovery
+    lasts one block-window and the reads spread over (nearly) the whole
+    cluster; without FARM the spare writes for ``C*u/b`` seconds while the
+    same read volume is spread over the survivors for that whole period.
+    """
+    if n_sharing <= 0:
+        raise ValueError("n_sharing must be positive")
+    scheme = cfg.scheme
+    used = cfg.vintage.capacity_bytes * cfg.target_utilization
+    # Rebuilding each lost block reads rebuild_read_bytes; the disk held
+    # used/block_bytes blocks, so total reads = used * (read amp).
+    amp = scheme.rebuild_read_bytes(cfg.group_user_bytes) \
+        / scheme.block_bytes(cfg.group_user_bytes)
+    read_bytes = used * amp
+    duration = used / cfg.recovery_bandwidth       # recovery period
+    per_disk_rate = read_bytes / n_sharing / duration
+    return per_disk_rate / cfg.vintage.bandwidth_bps
+
+
+def compare_layouts(cfg: SystemConfig, failed: int = 1
+                    ) -> tuple[DegradedLoad, DegradedLoad]:
+    """(declustered, dedicated-array) degraded loads for the config.
+
+    The dedicated array is the bare ``scheme.n``-disk stripe (the spare
+    holds no user data) — the traditional layout FARM's Figure 2 contrasts
+    against; the declustered layout spreads the same work over the whole
+    cluster.
+    """
+    scheme = cfg.scheme
+    big = cfg.n_disks
+    small = scheme.n
+    declustered = DegradedLoad(
+        layout="declustered", n_disks=big, failed=failed,
+        user_load_factor=user_load_factor(scheme, big, failed),
+        rebuild_read_share=rebuild_read_share(cfg, big - failed))
+    dedicated = DegradedLoad(
+        layout="dedicated-array", n_disks=small,
+        failed=min(failed, small - 1),
+        user_load_factor=user_load_factor(scheme, small,
+                                          min(failed, small - 1)),
+        rebuild_read_share=rebuild_read_share(cfg, small - 1))
+    return declustered, dedicated

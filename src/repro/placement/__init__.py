@@ -1,0 +1,14 @@
+"""Data-placement substrate: RUSH-style and random placement, balance."""
+
+from .balance import BalanceReport, analyze, disk_loads
+from .base import PlacementAlgorithm, PlacementError
+from .hashing import hash_range, hash_u64, hash_unit, mix64
+from .random_placement import RandomPlacement
+from .rush import RushPlacement, SubCluster
+
+__all__ = [
+    "PlacementAlgorithm", "PlacementError",
+    "RushPlacement", "SubCluster", "RandomPlacement",
+    "BalanceReport", "analyze", "disk_loads",
+    "hash_u64", "hash_unit", "hash_range", "mix64",
+]

@@ -1,0 +1,60 @@
+"""Balance metrics for placements (used by Table 3 / Figure 6 and tests).
+
+"A good data placement algorithm ... gives each disk statistically its fair
+share of user data and parity data" (paper §2.2).  These helpers quantify
+that: per-disk load counts, coefficient of variation, max/mean ratio, and a
+chi-square uniformity statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Summary statistics of a per-disk load vector."""
+
+    n_disks: int
+    total: float
+    mean: float
+    std: float
+    cv: float                 # coefficient of variation (std / mean)
+    max_over_mean: float
+    chi2: float               # sum((obs - exp)^2 / exp) against uniform
+
+    def __str__(self) -> str:
+        return (f"BalanceReport(disks={self.n_disks}, mean={self.mean:.4g}, "
+                f"std={self.std:.4g}, cv={self.cv:.4f}, "
+                f"max/mean={self.max_over_mean:.4f})")
+
+
+def disk_loads(placements: np.ndarray, n_disks: int,
+               weights: np.ndarray | float = 1.0) -> np.ndarray:
+    """Per-disk load from a (G, n) placement matrix.
+
+    ``weights`` is the per-block byte count (scalar, or per-group array
+    broadcast over the n blocks of each group).
+    """
+    placements = np.asarray(placements)
+    flat = placements.ravel()
+    w = np.broadcast_to(
+        np.asarray(weights, dtype=float).reshape(-1, 1)
+        if np.ndim(weights) == 1 else np.asarray(weights, dtype=float),
+        placements.shape).ravel()
+    return np.bincount(flat, weights=w, minlength=n_disks)
+
+
+def analyze(loads: np.ndarray) -> BalanceReport:
+    """Balance statistics of a per-disk load vector."""
+    loads = np.asarray(loads, dtype=float)
+    total = float(loads.sum())
+    mean = total / loads.size if loads.size else 0.0
+    std = float(loads.std())
+    cv = std / mean if mean > 0 else 0.0
+    mx = float(loads.max()) / mean if mean > 0 else 0.0
+    chi2 = float(((loads - mean) ** 2 / mean).sum()) if mean > 0 else 0.0
+    return BalanceReport(n_disks=loads.size, total=total, mean=mean,
+                         std=std, cv=cv, max_over_mean=mx, chi2=chi2)

@@ -1,0 +1,64 @@
+"""Deterministic, vectorizable 64-bit mixing for placement decisions.
+
+Placement algorithms of the RUSH family make every decision by hashing
+``(seed, group, probe, cluster)`` tuples.  We use the splitmix64 finalizer —
+a well-studied bijective mixer with excellent avalanche behaviour — composed
+over the inputs.  Everything operates on ``uint64`` NumPy arrays so millions
+of placement decisions vectorize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MAX_PLUS1 = float(2 ** 64)
+
+# uint64 arithmetic intentionally wraps; silence NumPy's overflow warnings
+# once for this module's functions via errstate in each op.
+
+
+def mix64(x: np.ndarray | int) -> np.ndarray:
+    """splitmix64 finalizer: bijective avalanche mix of a uint64."""
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * _MIX1
+        x = (x ^ (x >> np.uint64(27))) * _MIX2
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def hash_u64(seed: int, a: np.ndarray | int, b: np.ndarray | int = 0,
+             c: np.ndarray | int = 0) -> np.ndarray:
+    """Deterministic 64-bit hash of (seed, a, b, c); broadcasts over arrays."""
+    with np.errstate(over="ignore"):
+        h = mix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF) + _GOLDEN)
+        h = mix64(h + np.asarray(a, dtype=np.uint64) * _GOLDEN)
+        h = mix64(h + np.asarray(b, dtype=np.uint64) * _MIX1)
+        h = mix64(h + np.asarray(c, dtype=np.uint64) * _MIX2)
+    return h
+
+
+def hash_unit(seed: int, a, b=0, c=0) -> np.ndarray:
+    """Hash mapped to floats uniform on [0, 1)."""
+    return hash_u64(seed, a, b, c) / _U64_MAX_PLUS1
+
+
+def hash_range(seed: int, n: int, a, b=0, c=0) -> np.ndarray:
+    """Hash mapped to integers uniform on [0, n).
+
+    Uses the multiply-shift (Lemire) reduction, which is unbiased enough for
+    placement purposes and avoids the modulo bias of ``h % n``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    h = hash_u64(seed, a, b, c)
+    with np.errstate(over="ignore"):
+        # high 64 bits of h * n without 128-bit ints: use float path for
+        # large n is lossy, so do the classic (h >> 11) * n >> 53 trick,
+        # exact for n < 2**53.
+        top53 = (h >> np.uint64(11)).astype(np.float64)
+        out = np.floor(top53 * (n / 9007199254740992.0)).astype(np.int64)
+    return np.minimum(out, n - 1)

@@ -1,0 +1,170 @@
+"""RUSH-style decentralized, weighted data placement (Honicky & Miller).
+
+The paper distributes redundancy groups to disks with RUSH, which gives:
+
+* **statistical balance** — each disk gets its fair (weight-proportional)
+  share of blocks;
+* **decentralized lookup** — any client computes the mapping by hashing,
+  with no central table;
+* **near-minimal migration** — when a batch (sub-cluster) of disks is added,
+  only the fraction of objects equal to the new batch's share of total
+  weight moves, and it moves *onto the new disks*;
+* **candidate lists** — for each group an unbounded, prefix-stable sequence
+  of distinct disks, used both for initial block placement and for choosing
+  FARM recovery targets.
+
+This implementation follows the RUSH_P structure: the system is a sequence
+of sub-clusters; placement walks clusters from newest to oldest, sending the
+probe into cluster ``j`` with probability equal to ``j``'s share of the
+cumulative weight, and hashing uniformly within the chosen cluster.  All
+decisions use the deterministic mixers in :mod:`repro.placement.hashing`, so
+the map is pure data: reproducible across processes and vectorizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PlacementAlgorithm, PlacementError
+from .hashing import hash_range, hash_unit
+
+#: Offset mixed into within-cluster disk-pick hashes so they are independent
+#: of the cluster-choice hashes that share (grp, probe, cluster) inputs.
+_DISK_PICK_SALT = 0x5EED_D15C
+
+
+@dataclass(frozen=True)
+class SubCluster:
+    """A batch of disks deployed together (ids are contiguous)."""
+
+    start: int          # first disk id
+    count: int          # number of disks
+    weight: float       # per-disk weight (capacity/vintage based)
+
+    @property
+    def mass(self) -> float:
+        return self.count * self.weight
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("sub-cluster must contain at least one disk")
+        if self.weight <= 0:
+            raise ValueError("sub-cluster weight must be positive")
+
+
+class RushPlacement(PlacementAlgorithm):
+    """Weighted multi-cluster placement with candidate lists.
+
+    Parameters
+    ----------
+    initial_disks:
+        Size of the first sub-cluster.
+    weight:
+        Per-disk weight of the first sub-cluster.
+    seed:
+        Root of all hashing decisions.
+    """
+
+    def __init__(self, initial_disks: int, weight: float = 1.0,
+                 seed: int = 0) -> None:
+        if initial_disks <= 0:
+            raise ValueError("need at least one disk")
+        self.seed = int(seed)
+        self.clusters: list[SubCluster] = [
+            SubCluster(start=0, count=initial_disks, weight=weight)]
+        self._cum_mass: list[float] = [self.clusters[0].mass]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_disks(self) -> int:
+        last = self.clusters[-1]
+        return last.start + last.count
+
+    def add_cluster(self, count: int, weight: float = 1.0) -> SubCluster:
+        """Deploy a new batch of ``count`` disks; returns the sub-cluster.
+
+        Only a ``mass_new / mass_total`` fraction of placements change, all
+        of them moving onto the new batch (near-minimal migration).
+        """
+        sc = SubCluster(start=self.n_disks, count=count, weight=weight)
+        self.clusters.append(sc)
+        self._cum_mass.append(self._cum_mass[-1] + sc.mass)
+        return sc
+
+    # ------------------------------------------------------------------ #
+    def probe(self, grp_id: int, t: int) -> int:
+        """The t-th probe for a group: one disk id (not deduplicated)."""
+        return int(self.probe_many(np.asarray([grp_id], dtype=np.int64),
+                                   t)[0])
+
+    def probe_many(self, grp_ids: np.ndarray, t: int) -> np.ndarray:
+        """Vectorized :meth:`probe` over an array of group ids."""
+        g = np.asarray(grp_ids, dtype=np.int64)
+        result = np.empty(g.shape, dtype=np.int64)
+        undecided = np.ones(g.shape, dtype=bool)
+        # Walk clusters newest -> oldest; cluster j captures a probe with
+        # probability mass_j / cum_mass_j.
+        for j in range(len(self.clusters) - 1, 0, -1):
+            if not undecided.any():
+                break
+            sc = self.clusters[j]
+            share = sc.mass / self._cum_mass[j]
+            u = hash_unit(self.seed, g, t, j)
+            take = undecided & (u < share)
+            if take.any():
+                picks = hash_range(self.seed, sc.count, g[take], t,
+                                   j + _DISK_PICK_SALT)
+                result[take] = sc.start + picks
+                undecided &= ~take
+        if undecided.any():
+            sc = self.clusters[0]
+            picks = hash_range(self.seed, sc.count, g[undecided], t,
+                               _DISK_PICK_SALT)
+            result[undecided] = sc.start + picks
+        return result
+
+    # ------------------------------------------------------------------ #
+    def candidates(self, grp_id: int, count: int) -> list[int]:
+        """First ``count`` distinct disks in the group's probe sequence."""
+        if count > self.n_disks:
+            raise PlacementError(
+                f"cannot produce {count} distinct disks from {self.n_disks}")
+        out: list[int] = []
+        seen: set[int] = set()
+        t = 0
+        # Coupon-collector bound with generous headroom; hitting it would
+        # indicate a broken hash, not bad luck.
+        max_probes = 64 + 32 * count
+        while len(out) < count:
+            if t >= max_probes:
+                raise PlacementError(
+                    f"probe sequence for group {grp_id} failed to yield "
+                    f"{count} distinct disks within {max_probes} probes")
+            d = self.probe(grp_id, t)
+            t += 1
+            if d not in seen:
+                seen.add(d)
+                out.append(d)
+        return out
+
+    def place_many(self, grp_ids: np.ndarray, n: int) -> np.ndarray:
+        """Vectorized first-n-distinct placement for many groups."""
+        g = np.asarray(grp_ids, dtype=np.int64)
+        if n > self.n_disks:
+            raise PlacementError(
+                f"cannot place {n} blocks on {self.n_disks} disks")
+        probes = np.stack([self.probe_many(g, t) for t in range(n)], axis=1)
+        # Rows whose first n probes are already distinct are done; fix the
+        # rest (rare for n << n_disks) with the scalar path.
+        srt = np.sort(probes, axis=1)
+        has_dup = (srt[:, 1:] == srt[:, :-1]).any(axis=1)
+        if has_dup.any():
+            for i in np.nonzero(has_dup)[0]:
+                probes[i] = self.candidates(int(g[i]), n)
+        return probes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RushPlacement(disks={self.n_disks}, "
+                f"clusters={len(self.clusters)}, seed={self.seed})")

@@ -1,0 +1,135 @@
+"""Arithmetic in GF(2^8), vectorized over NumPy byte arrays.
+
+The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) — the 0x11d polynomial
+used by most storage erasure codes.  Multiplication uses log/antilog tables;
+all operations broadcast over ``uint8`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The primitive polynomial (0x11d) defining the field.
+PRIMITIVE_POLY = 0x11D
+#: Field order.
+ORDER = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.int32)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    exp[255:510] = exp[0:255]  # duplicated so exp[a+b] needs no mod
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def gf_add(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+    """Addition (== subtraction) in GF(2^8) is XOR."""
+    return np.bitwise_xor(np.asarray(a, dtype=np.uint8),
+                          np.asarray(b, dtype=np.uint8))
+
+
+gf_sub = gf_add
+
+
+def gf_mul(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+    """Element-wise product in GF(2^8)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    out = EXP_TABLE[LOG_TABLE[a.astype(np.int32)]
+                    + LOG_TABLE[b.astype(np.int32)]]
+    zero = (a == 0) | (b == 0)
+    return np.where(zero, 0, out).astype(np.uint8)
+
+
+def gf_inv(a: np.ndarray | int) -> np.ndarray:
+    """Multiplicative inverse; raises on zero."""
+    a = np.asarray(a, dtype=np.uint8)
+    if np.any(a == 0):
+        raise ZeroDivisionError("inverse of 0 in GF(256)")
+    return EXP_TABLE[255 - LOG_TABLE[a.astype(np.int32)]].astype(np.uint8)
+
+
+def gf_div(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+    """Element-wise quotient a / b in GF(2^8); raises on b == 0."""
+    b = np.asarray(b, dtype=np.uint8)
+    if np.any(b == 0):
+        raise ZeroDivisionError("division by 0 in GF(256)")
+    a = np.asarray(a, dtype=np.uint8)
+    out = EXP_TABLE[(LOG_TABLE[a.astype(np.int32)]
+                     - LOG_TABLE[b.astype(np.int32)]) % 255]
+    return np.where(a == 0, 0, out).astype(np.uint8)
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Scalar exponentiation a**n in GF(2^8)."""
+    a = int(a)
+    if a == 0:
+        return 0 if n > 0 else 1
+    return int(EXP_TABLE[(LOG_TABLE[a] * (n % 255)) % 255])
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    ``a`` is (r, k), ``b`` is (k, c); the result is (r, c).  Implemented as a
+    loop over the contraction dimension with vectorized row scaling, which is
+    fast for the small code dimensions used here (k <= 32).
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for j in range(a.shape[1]):
+        # outer product of column j of a with row j of b, accumulated by XOR
+        out ^= gf_mul(a[:, j:j + 1], b[j:j + 1, :])
+    return out
+
+
+def gf_mat_inv(m: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination."""
+    m = np.asarray(m, dtype=np.uint8)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    n = m.shape[0]
+    aug = np.concatenate([m.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        # find pivot
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        # normalize pivot row
+        aug[col] = gf_div(aug[col], aug[col, col])
+        # eliminate other rows
+        for row in range(n):
+            if row != col and aug[row, col]:
+                aug[row] = gf_add(aug[row], gf_mul(aug[row, col], aug[col]))
+    return aug[:, n:].copy()
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = (i+1)^j over GF(2^8).
+
+    Using generators ``1..rows`` keeps every square submatrix of the first
+    ``cols`` rows nonsingular for the sizes used by storage codes.
+    """
+    if rows > 255:
+        raise ValueError("at most 255 rows in GF(256) Vandermonde")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_pow(i + 1, j)
+    return out

@@ -1,0 +1,160 @@
+"""Redundancy groups: the unit of redundancy and of recovery (paper §2.1).
+
+A *redundancy group* is a set of ``n`` blocks — ``m`` user-data blocks plus
+replicas or parity — placed on ``n`` distinct disks.  Blocks in a group are
+*buddies*; each is identified by ``<grp_id, rep_id>`` exactly as in the
+paper's Figure 1.  The group tracks which blocks are currently failed and
+whether the group has been lost (more than ``n - m`` simultaneous losses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .schemes import RedundancyScheme
+
+
+class GroupState(Enum):
+    HEALTHY = "healthy"        # all n blocks present
+    DEGRADED = "degraded"      # >= 1 block failed, still recoverable
+    LOST = "lost"              # fewer than m blocks survive
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Identifier of one block: group id plus replica index (Figure 1)."""
+
+    grp_id: int
+    rep_id: int
+
+    def __str__(self) -> str:
+        return f"<{self.grp_id}, {self.rep_id}>"
+
+
+@dataclass
+class RedundancyGroup:
+    """State machine for one redundancy group.
+
+    Parameters
+    ----------
+    grp_id:
+        Group identifier.
+    scheme:
+        The (m, n) redundancy scheme.
+    user_bytes:
+        User data stored in the group (the paper's "size of a redundancy
+        group" — replicas/parity excluded).
+    disks:
+        The n disk ids currently holding the group's blocks, indexed by
+        rep_id.  A value of ``-1`` marks a block that is failed and not yet
+        rebuilt.
+    """
+
+    grp_id: int
+    scheme: RedundancyScheme
+    user_bytes: float
+    disks: list[int]
+    failed: set[int] = field(default_factory=set)
+    lost: bool = False
+    loss_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.disks) != self.scheme.n:
+            raise ValueError(
+                f"group {self.grp_id}: expected {self.scheme.n} disks, "
+                f"got {len(self.disks)}")
+        if len(set(self.disks)) != len(self.disks):
+            raise ValueError(
+                f"group {self.grp_id}: blocks must be on distinct disks")
+
+    # -- queries --------------------------------------------------------- #
+    @property
+    def n(self) -> int:
+        return self.scheme.n
+
+    @property
+    def m(self) -> int:
+        return self.scheme.m
+
+    @property
+    def surviving(self) -> int:
+        """Number of blocks currently readable."""
+        return self.n - len(self.failed)
+
+    @property
+    def state(self) -> GroupState:
+        if self.lost:
+            return GroupState.LOST
+        return GroupState.DEGRADED if self.failed else GroupState.HEALTHY
+
+    def block_ids(self) -> list[BlockId]:
+        return [BlockId(self.grp_id, r) for r in range(self.n)]
+
+    def buddies_of(self, rep_id: int) -> list[int]:
+        """Disks holding the other blocks of this group (recovery sources)."""
+        return [d for r, d in enumerate(self.disks)
+                if r != rep_id and r not in self.failed]
+
+    def holds_buddy(self, disk_id: int) -> bool:
+        """True if the disk already holds a live block of this group.
+
+        Used by the recovery-target constraints: a new replica must not land
+        on a disk that already has a buddy (paper §2.3, constraint (b)).
+        """
+        return any(d == disk_id for r, d in enumerate(self.disks)
+                   if r not in self.failed)
+
+    def _data_unrecoverable(self) -> bool:
+        """Whether the current failed set defeats the scheme.
+
+        Plain m/n codes lose when fewer than m blocks survive; composite
+        schemes (repro.redundancy.composite) supply a set-based
+        ``is_lost`` predicate instead.
+        """
+        is_lost = getattr(self.scheme, "is_lost", None)
+        if is_lost is not None:
+            return bool(is_lost(self.failed))
+        return self.surviving < self.m
+
+    # -- transitions ----------------------------------------------------- #
+    def fail_block(self, rep_id: int, now: float) -> GroupState:
+        """Record the loss of block ``rep_id``; returns the new state."""
+        if not 0 <= rep_id < self.n:
+            raise ValueError(f"rep_id {rep_id} out of range")
+        self.failed.add(rep_id)
+        if not self.lost and self._data_unrecoverable():
+            self.lost = True
+            self.loss_time = now
+        return self.state
+
+    def complete_rebuild(self, rep_id: int, target_disk: int,
+                         allow_buddy: bool = False) -> None:
+        """A failed block has been reconstructed onto ``target_disk``.
+
+        ``allow_buddy`` permits co-locating two blocks of this group on one
+        disk — only for ablation studies of the placement constraint (a
+        later failure of that disk then correctly counts as a double block
+        loss via :meth:`fail_disk`).
+        """
+        if rep_id not in self.failed:
+            raise ValueError(
+                f"group {self.grp_id}: block {rep_id} is not failed")
+        if not allow_buddy and self.holds_buddy(target_disk):
+            raise ValueError(
+                f"group {self.grp_id}: target disk {target_disk} already "
+                f"holds a buddy")
+        self.failed.discard(rep_id)
+        self.disks[rep_id] = target_disk
+
+    def fail_disk(self, disk_id: int, now: float) -> list[int]:
+        """Fail every block the group keeps on ``disk_id``.
+
+        Returns the rep_ids that were failed (usually one; zero if the disk
+        holds no live block of this group).
+        """
+        hit = [r for r, d in enumerate(self.disks)
+               if d == disk_id and r not in self.failed]
+        for r in hit:
+            self.fail_block(r, now)
+        return hit

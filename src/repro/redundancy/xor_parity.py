@@ -1,0 +1,56 @@
+"""Single-parity (RAID-5 style) coding: the m/(m+1) special case.
+
+An XOR codec is provided separately from Reed–Solomon because (a) it is what
+the paper's "RAID 5 schemes" (2/3 and 4/5) use conceptually, and (b) the XOR
+path is a useful independent oracle for testing the RS codec at k=1.
+
+In an (m, m+1) XOR code every shard equals the XOR of the other m, so
+reconstruction of any single erasure is one pass over the survivors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class XorParity:
+    """Systematic (m, m+1) code: one parity block = XOR of m data blocks."""
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.m = m
+        self.n = m + 1
+        self.k = 1
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Shape (m, bs) -> (m+1, bs); last row is the parity."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != self.m:
+            raise ValueError(
+                f"expected (m={self.m}, blocksize) array, got {data.shape}")
+        parity = np.bitwise_xor.reduce(data, axis=0, keepdims=True)
+        return np.concatenate([data, parity], axis=0)
+
+    def reconstruct_shard(self, shards: dict[int, np.ndarray],
+                          target: int) -> np.ndarray:
+        """Rebuild one lost shard as the XOR of the other m shards."""
+        if not 0 <= target < self.n:
+            raise ValueError(f"target {target} out of range 0..{self.n - 1}")
+        others = [np.asarray(shards[i], dtype=np.uint8)
+                  for i in range(self.n) if i != target and i in shards]
+        if len(others) < self.m:
+            raise ValueError(
+                f"need all {self.m} other shards, got {len(others)}")
+        return np.bitwise_xor.reduce(np.stack(others), axis=0)
+
+    def decode(self, shards: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the m data blocks from any m of the m+1 shards."""
+        if len(shards) < self.m:
+            raise ValueError(f"need {self.m} shards, got {len(shards)}")
+        blocks = {i: np.asarray(v, dtype=np.uint8) for i, v in shards.items()}
+        missing = [i for i in range(self.m) if i not in blocks]
+        if missing:
+            # exactly one data shard can be missing with m survivors
+            blocks[missing[0]] = self.reconstruct_shard(blocks, missing[0])
+        return np.stack([blocks[i] for i in range(self.m)])

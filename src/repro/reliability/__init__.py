@@ -1,0 +1,24 @@
+"""Reliability analysis: fast Monte-Carlo engine, analytic cross-checks."""
+
+from .analytic import (WindowModel, expected_disk_failures, mean_window,
+                       p_loss, p_loss_window_model)
+from .markov import group_generator, mttdl, p_group_loss, p_system_loss
+from .montecarlo import (MonteCarloResult, estimate_p_loss,
+                         loss_probability_series, run_seed, sweep)
+from .scenarios import Injection, Scenario, ScenarioOutcome
+from .sensitivity import (SensitivityRow, elasticity, render_tornado,
+                          tornado)
+from .simulation import ReliabilitySimulation
+from .stats import Proportion, bootstrap_mean, wilson_interval
+
+__all__ = [
+    "ReliabilitySimulation",
+    "MonteCarloResult", "estimate_p_loss", "sweep",
+    "loss_probability_series", "run_seed",
+    "Proportion", "wilson_interval", "bootstrap_mean",
+    "p_loss", "p_loss_window_model", "WindowModel",
+    "mean_window", "expected_disk_failures",
+    "p_group_loss", "p_system_loss", "mttdl", "group_generator",
+    "Scenario", "ScenarioOutcome", "Injection",
+    "elasticity", "tornado", "render_tornado", "SensitivityRow",
+]

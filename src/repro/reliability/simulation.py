@@ -1,0 +1,424 @@
+"""Flat-array reliability simulation (the Monte-Carlo workhorse).
+
+Semantically this engine matches the object-level reference in
+:mod:`repro.core` — same failure process, same recovery scheduling, same
+loss condition — but group state lives in NumPy arrays and recovery targets
+are drawn by rejection sampling instead of walking an explicit candidate
+list (the candidate list entries are uniform hashes, so the distributions
+are identical; the equivalence is asserted by
+``tests/test_engine_equivalence.py``).  This brings a full 2 PB / 6-year
+trajectory with hundreds of thousands of groups down to seconds.
+
+Mechanics per run:
+
+1. Size the system from the config; place all groups (vectorized).
+2. Sample every drive's failure time from the bathtub hazard.
+3. Drive a discrete-event loop of failures, detections, rebuild
+   completions, redirections, and replacement batches.
+4. A group with more than ``n - m`` concurrently-missing blocks is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.workload import ConstantWorkload, DiurnalWorkload
+from ..config import SystemConfig
+from ..core.recovery import RecoveryStats
+from ..placement.hashing import hash_unit
+from ..placement.random_placement import RandomPlacement
+from ..placement.rush import RushPlacement
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..units import DAY
+
+#: Salt for the deterministic per-disk SMART detection coin.
+_SMART_SALT = 0x51AC
+
+
+@dataclass(eq=False)
+class _Job:
+    """In-flight rebuild (fast-engine record)."""
+
+    __slots__ = ("g", "rep", "target", "failed_at", "event", "cancelled")
+
+    g: int
+    rep: int
+    target: int
+    failed_at: float
+    event: object
+    cancelled: bool
+
+
+class ReliabilitySimulation:
+    """One system lifetime on the flat-array engine."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        self.cfg = config
+        self.seed = seed
+        self.streams = RandomStreams(seed)
+        self.sim = Simulator()
+        self.stats = RecoveryStats()
+
+        scheme = config.scheme
+        from ..redundancy.composite import is_threshold_scheme
+        if not is_threshold_scheme(scheme):
+            raise NotImplementedError(
+                f"scheme {scheme} has a set-based survival predicate; the "
+                f"flat-array engine is threshold-only — use the object "
+                f"engine (repro.core.simulate_run)")
+        self.n = scheme.n
+        self.tol = scheme.tolerance
+        self.G = config.n_groups
+        self.N0 = config.n_disks
+        self.block_bytes = config.block_bytes
+        self.capacity_blocks = int(
+            config.vintage.capacity_bytes // self.block_bytes)
+        self.duration = config.duration
+        if config.workload_peak_load > 0:
+            self.workload = DiurnalWorkload(
+                peak_load=config.workload_peak_load)
+        else:
+            self.workload = ConstantWorkload(0.0)
+
+        self._build_state()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_state(self) -> None:
+        cfg = self.cfg
+        if cfg.placement == "rush":
+            placement = RushPlacement(self.N0, seed=self.streams.seed)
+        else:
+            placement = RandomPlacement(self.N0, seed=self.streams.seed)
+        self.placement = placement
+        matrix = placement.place_many(np.arange(self.G, dtype=np.int64),
+                                      self.n)
+        self.group_disks = matrix.astype(np.int64)
+        self.failed_count = np.zeros(self.G, dtype=np.int16)
+        self.lost = np.zeros(self.G, dtype=bool)
+
+        # Static disk index: block instance ids (g * n + rep) sorted by disk.
+        flat = self.group_disks.ravel()
+        order = np.argsort(flat, kind="stable")
+        counts = np.bincount(flat, minlength=self.N0)
+        self._idx_sorted = order
+        self._idx_start = np.concatenate([[0], np.cumsum(counts)])
+        #: disk -> blocks that moved there after t=0 (rebuilds, migration).
+        self._dynamic: dict[int, list[tuple[int, int]]] = {}
+
+        # Disk arrays (with headroom for spares / replacement batches).
+        cap = self.N0 + max(64, self.N0 // 4)
+        self._cap = cap
+        self.alive = np.zeros(cap, dtype=bool)
+        self.alive[:self.N0] = True
+        self.fail_time = np.full(cap, np.inf)
+        self.free_at = np.zeros(cap)
+        self.used_blocks = np.zeros(cap, dtype=np.int64)
+        self.used_blocks[:self.N0] = counts
+        self.deploy_time = np.zeros(cap)
+        self.total_disks = self.N0
+
+        rng = self.streams.get("disk-failures")
+        self.fail_time[:self.N0] = \
+            cfg.vintage.failure_model.sample_failure_age(rng, self.N0)
+
+        # Bookkeeping for recovery and replacement.
+        self._jobs_by_target: dict[int, set[_Job]] = {}
+        self._jobs_by_group: dict[int, set[_Job]] = {}
+        self._spare_for: dict[int, int] = {}
+        self._unreplaced = 0
+        self._target_rng = self.streams.get("targets")
+        self.groups_lost_ids: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Disk-array growth (spares, batches)
+    # ------------------------------------------------------------------ #
+    def _grow(self, extra: int) -> None:
+        need = self.total_disks + extra
+        if need <= self._cap:
+            return
+        new_cap = max(need, self._cap * 2)
+        pad = new_cap - self._cap
+
+        def _extend(arr, fill):
+            return np.concatenate([arr, np.full(pad, fill, dtype=arr.dtype)])
+
+        self.alive = _extend(self.alive, False)
+        self.fail_time = _extend(self.fail_time, np.inf)
+        self.free_at = _extend(self.free_at, 0.0)
+        self.used_blocks = _extend(self.used_blocks, 0)
+        self.deploy_time = _extend(self.deploy_time, 0.0)
+        self._cap = new_cap
+
+    def _new_disks(self, count: int, now: float) -> np.ndarray:
+        """Deploy ``count`` age-0 drives; returns their ids."""
+        self._grow(count)
+        ids = np.arange(self.total_disks, self.total_disks + count)
+        self.total_disks += count
+        self.alive[ids] = True
+        self.deploy_time[ids] = now
+        rng = self.streams.get("disk-failures")
+        ages = self.cfg.vintage.failure_model.sample_failure_age(rng, count)
+        self.fail_time[ids] = now + ages
+        for d, t in zip(ids, self.fail_time[ids]):
+            if t <= self.duration:
+                self.sim.schedule_at(float(t), self._on_disk_failure, int(d),
+                                     name="disk-failure")
+        return ids
+
+    # ------------------------------------------------------------------ #
+    # Block index
+    # ------------------------------------------------------------------ #
+    def _blocks_on(self, disk: int):
+        """Yield (g, rep) of blocks currently on ``disk``."""
+        if disk < self.N0:
+            lo, hi = self._idx_start[disk], self._idx_start[disk + 1]
+            for b in self._idx_sorted[lo:hi]:
+                g, rep = divmod(int(b), self.n)
+                if self.group_disks[g, rep] == disk:
+                    yield g, rep
+        for g, rep in self._dynamic.get(disk, ()):
+            if self.group_disks[g, rep] == disk:
+                yield g, rep
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+    def _on_disk_failure(self, disk: int) -> None:
+        if not self.alive[disk]:
+            return
+        now = self.sim.now
+        self.alive[disk] = False
+        self.stats.disk_failures += 1
+
+        # Redirect in-flight rebuilds targeting the dead disk.
+        for job in list(self._jobs_by_target.get(disk, ())):
+            self._cancel(job)
+            if self.lost[job.g]:
+                continue
+            self.stats.target_redirections += 1
+            self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
+                              job.g, job.rep, job.failed_at, job.target,
+                              name="redirect")
+
+        # Fail every block on the disk.
+        losses: list[tuple[int, int]] = []
+        for g, rep in self._blocks_on(disk):
+            self.group_disks[g, rep] = -1
+            if self.lost[g]:
+                continue
+            self.failed_count[g] += 1
+            if self.failed_count[g] > self.tol:
+                self.lost[g] = True
+                self.groups_lost_ids.append(g)
+                self.stats.groups_lost += 1
+                self.stats.bytes_lost += self.cfg.group_user_bytes
+                if self.stats.first_loss_time is None:
+                    self.stats.first_loss_time = now
+                for job in list(self._jobs_by_group.get(g, ())):
+                    self._cancel(job)
+            else:
+                losses.append((g, rep))
+
+        for g, rep in losses:
+            self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
+                              g, rep, now, disk, name="detect")
+        self._maybe_replace(now)
+
+    # ------------------------------------------------------------------ #
+    # Rebuild scheduling
+    # ------------------------------------------------------------------ #
+    def _start_rebuild(self, g: int, rep: int, failed_at: float,
+                       origin: int) -> None:
+        if self.lost[g] or self.group_disks[g, rep] != -1:
+            return
+        now = self.sim.now
+        if self.cfg.use_farm:
+            # Exclude targets of the group's other in-flight rebuilds so
+            # two buddies never land on one disk.
+            inflight = {j.target for j in self._jobs_by_group.get(g, ())}
+            target = self._pick_farm_target(g, now, inflight)
+        else:
+            target = self._pick_spare_target(g, origin, now)
+        if target is None:
+            return      # system full: group stays degraded
+        duration = self.workload.time_to_transfer(
+            self.block_bytes, self.cfg.recovery_bandwidth, now)
+        start = max(now, self.free_at[target])
+        completion = start + duration
+        self.free_at[target] = completion
+        job = _Job(g=g, rep=rep, target=target, failed_at=failed_at,
+                   event=None, cancelled=False)
+        job.event = self.sim.schedule_at(completion, self._complete, job,
+                                         name="rebuild")
+        self._jobs_by_target.setdefault(target, set()).add(job)
+        self._jobs_by_group.setdefault(g, set()).add(job)
+        # Reserve the block on the target immediately so concurrent
+        # selections cannot collectively overflow it; _complete keeps the
+        # count, cancellation releases it.
+        self.used_blocks[target] += 1
+        self.stats.rebuilds_started += 1
+
+    def _admissible(self, d: int, g: int,
+                    exclude: set[int] = frozenset()) -> bool:
+        return bool(d not in exclude
+                    and self.alive[d]
+                    and self.used_blocks[d] < self.capacity_blocks
+                    and not (self.group_disks[g] == d).any())
+
+    def _pick_farm_target(self, g: int, now: float,
+                          exclude: set[int] = frozenset()) -> int | None:
+        """Rejection-sample the candidate list: alive, space, no buddy;
+        prefer recovery-idle disks, then relax (paper §2.3)."""
+        rng = self._target_rng
+        probes = rng.integers(0, self.total_disks, size=24)
+        fallback = -1
+        for d in probes:
+            d = int(d)
+            if not self._admissible(d, g, exclude):
+                continue
+            if self.free_at[d] <= now and not self._smart_suspect(d, now):
+                return d
+            if fallback < 0:
+                fallback = d
+        if fallback >= 0:
+            return fallback
+        for d in range(self.total_disks):       # degenerate small systems
+            if self._admissible(d, g, exclude):
+                return d
+        return None
+
+    def _smart_suspect(self, d: int, now: float) -> bool:
+        """SMART veto: within the warning horizon of a real failure, the
+        monitor flags the drive with the detection probability (decided by
+        a per-disk deterministic coin)."""
+        if not self.cfg.use_smart:
+            return False
+        if self.fail_time[d] - now > 7 * DAY:
+            return False
+        return bool(hash_unit(self.seed, d, _SMART_SALT) < 0.4)
+
+    def _pick_spare_target(self, g: int, origin: int,
+                           now: float) -> int | None:
+        """Traditional RAID: one dedicated spare per failed disk.
+
+        ``origin`` is the disk whose loss caused this rebuild (or the dead
+        spare, for redirections), so all of one disk's reconstruction work
+        queues on the same spare.  A second "overflow" spare handles the
+        rare case where the spare already holds a buddy of this group.
+        """
+        spare = self._spare_for.get(origin, -1)
+        if spare < 0 or not self.alive[spare] or \
+                self.used_blocks[spare] >= self.capacity_blocks:
+            spare = int(self._new_disks(1, now)[0])
+            self._spare_for[origin] = spare
+        if (self.group_disks[g] == spare).any():
+            over = self._spare_for.get(~origin, -1)
+            if over < 0 or not self.alive[over] or \
+                    not self._admissible(over, g):
+                over = int(self._new_disks(1, now)[0])
+                self._spare_for[~origin] = over
+            return over
+        return spare
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+    def _cancel(self, job: _Job) -> None:
+        job.cancelled = True
+        if job.event is not None:
+            job.event.cancel()
+        if job in self._jobs_by_target.get(job.target, set()):
+            self.used_blocks[job.target] -= 1    # release the reservation
+        self._jobs_by_target.get(job.target, set()).discard(job)
+        self._jobs_by_group.get(job.g, set()).discard(job)
+
+    def _complete(self, job: _Job) -> None:
+        if job.cancelled or self.lost[job.g]:
+            return
+        self._jobs_by_target.get(job.target, set()).discard(job)
+        self._jobs_by_group.get(job.g, set()).discard(job)
+        if not self.alive[job.target] or \
+                (self.group_disks[job.g] == job.target).any():
+            # Defensive: redirection/exclusion should have caught this.
+            self.used_blocks[job.target] -= 1    # release the reservation
+            self.stats.target_redirections += 1
+            self.sim.schedule(self.cfg.detection_latency,
+                              self._start_rebuild, job.g, job.rep,
+                              job.failed_at, job.target, name="redirect")
+            return
+        now = self.sim.now
+        self.group_disks[job.g, job.rep] = job.target
+        self.failed_count[job.g] -= 1
+        # used_blocks[target] was already incremented at reservation time.
+        self._dynamic.setdefault(job.target, []).append((job.g, job.rep))
+        self.stats.rebuilds_completed += 1
+        window = now - job.failed_at
+        self.stats.window_total += window
+        self.stats.window_max = max(self.stats.window_max, window)
+
+    # ------------------------------------------------------------------ #
+    # Replacement batches (Figure 7)
+    # ------------------------------------------------------------------ #
+    def _maybe_replace(self, now: float) -> None:
+        self._unreplaced += 1
+        theta = self.cfg.replacement_threshold
+        if theta is None or self._unreplaced < theta * self.N0:
+            return
+        count = self._unreplaced
+        self._unreplaced = 0
+        new_ids = self._new_disks(count, now)
+        self.stats.replacement_batches += 1
+        self._migrate(new_ids, now)
+
+    def _migrate(self, new_ids: np.ndarray, now: float) -> None:
+        """Rebalance a fair share of live blocks onto the new batch."""
+        rng = self.streams.get("migration")
+        live_disks = int(self.alive[:self.total_disks].sum())
+        share = len(new_ids) / max(1, live_disks)
+        movable = self.group_disks >= 0
+        move = movable & (rng.random(self.group_disks.shape) < share)
+        if not move.any():
+            return
+        rows, cols = np.nonzero(move)
+        targets = rng.choice(new_ids, size=rows.size)
+        # Reject moves that would co-locate two blocks of one group:
+        # against the group's current disks ...
+        gd = self.group_disks
+        ok = np.ones(rows.size, dtype=bool)
+        for j in range(self.n):
+            ok &= gd[rows, j] != targets
+        # ... and against other moves of the same group in this batch.
+        key = rows.astype(np.int64) * np.int64(self._cap + 1) + targets
+        _, first = np.unique(key, return_index=True)
+        dedup = np.zeros(rows.size, dtype=bool)
+        dedup[first] = True
+        ok &= dedup
+        rows, cols, targets = rows[ok], cols[ok], targets[ok]
+        if rows.size == 0:
+            return
+        old = gd[rows, cols]
+        gd[rows, cols] = targets
+        # Utilization bookkeeping.
+        dec = np.bincount(old, minlength=self._cap)
+        inc = np.bincount(targets, minlength=self._cap)
+        self.used_blocks -= dec[:self._cap]
+        self.used_blocks += inc[:self._cap]
+        for r, c, t in zip(rows.tolist(), cols.tolist(), targets.tolist()):
+            self._dynamic.setdefault(t, []).append((r, c))
+        self.stats.blocks_migrated += rows.size
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> RecoveryStats:
+        """Execute the full lifetime; returns the statistics."""
+        for d in range(self.N0):
+            t = self.fail_time[d]
+            if t <= self.duration:
+                self.sim.schedule_at(float(t), self._on_disk_failure, d,
+                                     name="disk-failure")
+        self.sim.run(until=self.duration)
+        return self.stats

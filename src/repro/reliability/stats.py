@@ -1,0 +1,74 @@
+"""Statistics for Monte-Carlo reliability estimates.
+
+Probability of data loss is a Bernoulli proportion over runs; we report it
+with Wilson score intervals (well-behaved near 0 and 1, where reliability
+estimates live) and provide a bootstrap helper for non-Bernoulli outputs
+(e.g. mean windows of vulnerability).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A Bernoulli estimate with its confidence interval."""
+
+    successes: int
+    trials: int
+    estimate: float
+    lo: float
+    hi: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (f"{100 * self.estimate:.2f}% "
+                f"[{100 * self.lo:.2f}, {100 * self.hi:.2f}] "
+                f"({self.successes}/{self.trials})")
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> Proportion:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    # two-sided normal quantile
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return Proportion(successes=successes, trials=trials, estimate=p,
+                      lo=max(0.0, center - half), hi=min(1.0, center + half),
+                      confidence=confidence)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (scipy wrapped to keep the import local)."""
+    from scipy.special import erfinv
+    return float(erfinv(x))
+
+
+def bootstrap_mean(values: np.ndarray, confidence: float = 0.95,
+                   n_resamples: int = 2000,
+                   rng: np.random.Generator | None = None
+                   ) -> tuple[float, float, float]:
+    """Bootstrap CI of the mean; returns (mean, lo, hi)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one value")
+    rng = rng or np.random.default_rng(0)
+    means = rng.choice(values, size=(n_resamples, values.size),
+                       replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(values.mean()), float(lo), float(hi)

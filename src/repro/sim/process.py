@@ -1,0 +1,199 @@
+"""Generator-based processes on top of the event engine.
+
+This gives the simulator a coroutine-style modelling layer similar to what
+PARSEC entities (or simpy processes) provide: a process is a Python generator
+that yields *waitables* — :class:`Timeout`, :class:`Signal`, or another
+:class:`Process` — and is resumed when the waitable completes.
+
+Example
+-------
+>>> from repro.sim.engine import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     log.append(('start', sim.now))
+...     yield Timeout(3.0)
+...     log.append(('done', sim.now))
+>>> p = Process(sim, worker(sim))
+>>> sim.run()
+>>> log
+[('start', 0.0), ('done', 3.0)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from .engine import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Waitable that completes after a fixed delay."""
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+
+class Signal:
+    """A one-shot broadcast waitable.
+
+    Processes yielding a pending Signal block until :meth:`trigger` is
+    called; all waiters resume at the trigger time with the signal's value.
+    Yielding an already-triggered signal resumes immediately.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def _remove_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator may yield:
+
+    * ``Timeout(dt)`` — sleep for ``dt`` simulated seconds;
+    * ``Signal`` — wait until the signal triggers;
+    * another ``Process`` — wait for it to finish (receiving its return
+      value);
+    * ``None`` — yield control and resume immediately (same timestamp).
+
+    The process object itself is waitable, completing when the generator
+    returns.  ``interrupt()`` throws :class:`Interrupt` into the generator at
+    the current simulation time.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any],
+                 name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.value: Any = None
+        self._done_signal = Signal(f"done:{self.name}")
+        self._pending_event = None
+        self._waiting_on: Signal | None = None
+        # Start at the current time (but via the event queue so ordering
+        # with already-scheduled events at `now` stays deterministic).
+        self._pending_event = sim.schedule(0.0, self._resume, None,
+                                           name=f"start:{self.name}")
+
+    # -- waitable protocol -------------------------------------------- #
+    @property
+    def done(self) -> Signal:
+        """Signal triggered with the generator's return value on completion."""
+        return self._done_signal
+
+    # -- control ------------------------------------------------------- #
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.alive:
+            return
+        self._detach()
+        self.sim.schedule(0.0, self._throw, Interrupt(cause),
+                          name=f"interrupt:{self.name}")
+
+    def _detach(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+
+    # -- engine plumbing ------------------------------------------------ #
+    def _resume(self, value: Any) -> None:
+        self._pending_event = None
+        self._waiting_on = None
+        if not self.alive:
+            return
+        try:
+            target = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Uncaught interrupt kills the process quietly.
+            self._finish(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            self._pending_event = self.sim.schedule(
+                0.0, self._resume, None, name=f"yield:{self.name}")
+        elif isinstance(target, Timeout):
+            self._pending_event = self.sim.schedule(
+                target.delay, self._resume, target.value,
+                name=f"timeout:{self.name}")
+        elif isinstance(target, Signal):
+            if target.triggered:
+                self._pending_event = self.sim.schedule(
+                    0.0, self._resume, target.value,
+                    name=f"signal:{self.name}")
+            else:
+                self._waiting_on = target
+                target._add_waiter(self)
+        elif isinstance(target, Process):
+            self._wait_on(target.done)
+        else:
+            raise TypeError(f"process {self.name} yielded non-waitable "
+                            f"{target!r}")
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self.value = value
+        self._done_signal.trigger(value)
+
+
+def all_of(sim: Simulator, waitables: Iterable[Signal | Process]) -> Process:
+    """A process that completes when every given waitable has completed."""
+
+    def _waiter() -> Generator[Any, Any, list]:
+        results = []
+        for w in waitables:
+            results.append((yield w))
+        return results
+
+    return Process(sim, _waiter(), name="all_of")

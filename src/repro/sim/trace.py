@@ -1,0 +1,105 @@
+"""Structured event tracing for simulation runs.
+
+A :class:`TraceRecorder` plugs into :class:`~repro.sim.engine.Simulator`'s
+``trace`` hook and collects a structured timeline — useful for debugging
+recovery schedules, writing regression fixtures, and the incident
+post-mortem example.  Records can be filtered by event-name prefix, capped
+in length, and exported as JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from .events import Event
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One fired event: time, name, sequence number."""
+
+    time: float
+    name: str
+    seq: int
+
+    def to_json(self) -> str:
+        return json.dumps({"t": self.time, "name": self.name,
+                           "seq": self.seq})
+
+
+@dataclass
+class TraceRecorder:
+    """Collects fired events from a Simulator.
+
+    Parameters
+    ----------
+    prefixes:
+        If given, only events whose name starts with one of these prefixes
+        are kept (e.g. ``("disk-failure", "rebuild")``).
+    max_records:
+        Ring-buffer cap; oldest records are dropped beyond it.
+
+    Usage::
+
+        recorder = TraceRecorder(prefixes=("disk-failure",))
+        sim = Simulator(trace=recorder)
+        ...
+        for rec in recorder:
+            print(rec.time, rec.name)
+    """
+
+    prefixes: tuple[str, ...] = ()
+    max_records: int | None = None
+    records: list[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def __call__(self, event: Event) -> None:
+        """The Simulator trace hook."""
+        name = event.name or getattr(event.callback, "__name__", "?")
+        if self.prefixes and not name.startswith(self.prefixes):
+            return
+        self.records.append(TraceRecord(time=event.time, name=name,
+                                        seq=event.seq))
+        if self.max_records is not None and \
+                len(self.records) > self.max_records:
+            del self.records[0]
+            self.dropped += 1
+
+    # -- access --------------------------------------------------------- #
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def named(self, name: str) -> list[TraceRecord]:
+        """Records whose name matches exactly."""
+        return [r for r in self.records if r.name == name]
+
+    def between(self, start: float, end: float) -> list[TraceRecord]:
+        """Records with start <= time < end."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of event names."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0) + 1
+        return out
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in firing order."""
+        return "\n".join(r.to_json() for r in self.records)
+
+
+def filtered(hook: Callable[[Event], None],
+             predicate: Callable[[Event], bool]) -> Callable[[Event], None]:
+    """Compose a trace hook with an arbitrary event predicate."""
+
+    def _hook(event: Event) -> None:
+        if predicate(event):
+            hook(event)
+
+    return _hook

@@ -1,0 +1,38 @@
+"""Unit constants (SI bytes, seconds).
+
+SI decimal byte units are used throughout because that is what makes the
+paper's arithmetic exact: "it takes 64 seconds to reconstruct a 1 GB group
+... at a bandwidth of 16 MB/sec" (1e9 / 16e6 = 62.5 s).
+"""
+
+# bytes
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+PB = 1e15
+
+# time (seconds)
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+YEAR = 365.25 * DAY
+MONTH = YEAR / 12.0
+
+
+def fmt_bytes(b: float) -> str:
+    """Human-readable byte count (SI)."""
+    for unit, name in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"),
+                       (KB, "KB")):
+        if abs(b) >= unit:
+            return f"{b / unit:.4g} {name}"
+    return f"{b:.0f} B"
+
+
+def fmt_duration(s: float) -> str:
+    """Human-readable duration."""
+    for unit, name in ((YEAR, "yr"), (DAY, "d"), (HOUR, "h"), (MINUTE, "min")):
+        if abs(s) >= unit:
+            return f"{s / unit:.4g} {name}"
+    return f"{s:.4g} s"

@@ -1,0 +1,47 @@
+"""Tests for balance metrics (repro.placement.balance)."""
+
+import numpy as np
+import pytest
+
+from repro.placement import analyze, disk_loads
+
+
+class TestDiskLoads:
+    def test_counts_blocks_per_disk(self):
+        placements = np.array([[0, 1], [1, 2], [2, 0]])
+        loads = disk_loads(placements, n_disks=4)
+        assert loads.tolist() == [2, 2, 2, 0]
+
+    def test_scalar_weight(self):
+        placements = np.array([[0, 1]])
+        loads = disk_loads(placements, n_disks=2, weights=5.0)
+        assert loads.tolist() == [5.0, 5.0]
+
+    def test_per_group_weights_broadcast(self):
+        placements = np.array([[0, 1], [0, 1]])
+        loads = disk_loads(placements, n_disks=2,
+                           weights=np.array([1.0, 3.0]))
+        assert loads.tolist() == [4.0, 4.0]
+
+    def test_minlength_pads_unused_disks(self):
+        loads = disk_loads(np.array([[0]]), n_disks=5)
+        assert loads.shape == (5,)
+
+
+class TestAnalyze:
+    def test_uniform_vector(self):
+        r = analyze(np.full(10, 7.0))
+        assert r.std == 0 and r.cv == 0 and r.max_over_mean == 1.0
+        assert r.chi2 == 0
+
+    def test_known_statistics(self):
+        r = analyze(np.array([0.0, 10.0]))
+        assert r.mean == 5.0
+        assert r.std == pytest.approx(5.0)
+        assert r.cv == pytest.approx(1.0)
+        assert r.max_over_mean == pytest.approx(2.0)
+        assert r.chi2 == pytest.approx(10.0)
+
+    def test_zero_loads(self):
+        r = analyze(np.zeros(4))
+        assert r.cv == 0 and r.chi2 == 0

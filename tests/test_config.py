@@ -1,0 +1,109 @@
+"""Tests for SystemConfig (repro.config) — Table 2 geometry."""
+
+import pytest
+
+from repro.config import PAPER_BASE, SystemConfig
+from repro.redundancy import ECC_8_10, MIRROR_2, MIRROR_3
+from repro.units import GB, MB, PB, TB, YEAR
+
+
+class TestPaperGeometry:
+    def test_base_values_match_table2(self):
+        cfg = PAPER_BASE
+        assert cfg.total_user_bytes == 2 * PB
+        assert cfg.group_user_bytes == 10 * GB
+        assert cfg.scheme == MIRROR_2
+        assert cfg.detection_latency == 30.0
+        assert cfg.recovery_bandwidth == pytest.approx(16 * MB)
+        assert cfg.duration == 6 * YEAR
+
+    def test_two_way_mirroring_needs_10000_disks(self):
+        """2 PB * 2 / (1 TB * 40%) = 10,000."""
+        assert PAPER_BASE.n_disks == 10_000
+
+    def test_three_way_mirroring_needs_15000_disks(self):
+        """The paper's 'up to 15,000 disk drives'."""
+        assert PAPER_BASE.with_(scheme=MIRROR_3).n_disks == 15_000
+
+    def test_group_count(self):
+        assert PAPER_BASE.n_groups == 200_000
+        assert PAPER_BASE.with_(group_user_bytes=50 * GB).n_groups == 40_000
+
+    def test_rebuild_time_matches_paper_section_3_3(self):
+        """'64 seconds to reconstruct a 1 GB group ... at 16 MB/sec' and
+        '6400 seconds for a 100 GB group' (62.5 s and 6250 s exactly)."""
+        one_gb = PAPER_BASE.with_(group_user_bytes=1 * GB)
+        hundred = PAPER_BASE.with_(group_user_bytes=100 * GB)
+        assert one_gb.rebuild_seconds_per_block == pytest.approx(62.5)
+        assert hundred.rebuild_seconds_per_block == pytest.approx(6250.0)
+
+    def test_detection_ratio_example(self):
+        """Paper: 10 min detection = 90.4% of the window for 1 GB groups,
+        8.6% for 100 GB groups."""
+        for gb, expected in ((1, 0.9056), (100, 0.0876)):
+            cfg = PAPER_BASE.with_(group_user_bytes=gb * GB,
+                                   detection_latency=600.0)
+            ratio = 600.0 / (600.0 + cfg.rebuild_seconds_per_block)
+            assert ratio == pytest.approx(expected, abs=0.01)
+
+    def test_blocks_per_disk(self):
+        """400 GB per disk / 10 GB blocks = 40 for two-way mirroring."""
+        assert PAPER_BASE.blocks_per_disk == pytest.approx(40.0)
+
+    def test_disk_rebuild_seconds(self):
+        """400 GB at 16 MB/s = 25,000 s (~7 h): why RAID can't keep up."""
+        assert PAPER_BASE.disk_rebuild_seconds == pytest.approx(25_000.0)
+
+    def test_ecc_block_bytes(self):
+        cfg = PAPER_BASE.with_(scheme=ECC_8_10)
+        assert cfg.block_bytes == pytest.approx(1.25 * GB)
+        assert cfg.raw_bytes == pytest.approx(2.5 * PB)
+
+
+class TestOverrides:
+    def test_recovery_bandwidth_override(self):
+        cfg = PAPER_BASE.with_(recovery_bandwidth_bps=40 * MB)
+        assert cfg.recovery_bandwidth == 40 * MB
+
+    def test_with_returns_new_frozen_config(self):
+        cfg = PAPER_BASE.with_(detection_latency=0.0)
+        assert cfg is not PAPER_BASE
+        assert PAPER_BASE.detection_latency == 30.0
+        with pytest.raises(Exception):
+            cfg.detection_latency = 1.0   # type: ignore[misc]
+
+    def test_n_disks_at_least_scheme_n(self):
+        tiny = SystemConfig(total_user_bytes=10 * GB,
+                            group_user_bytes=10 * GB, scheme=ECC_8_10)
+        assert tiny.n_disks >= 10
+
+    def test_describe_mentions_mode(self):
+        assert "FARM" in PAPER_BASE.describe()
+        assert "traditional" in PAPER_BASE.with_(use_farm=False).describe()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        {"total_user_bytes": 0},
+        {"group_user_bytes": 0},
+        {"group_user_bytes": 3 * PB},
+        {"detection_latency": -1.0},
+        {"target_utilization": 0.0},
+        {"target_utilization": 1.0},
+        {"spare_reserve_fraction": 1.0},
+        {"replacement_threshold": 0.0},
+        {"replacement_threshold": 1.5},
+        {"duration": 0.0},
+        {"workload_peak_load": 1.0},
+        # a 2 TB mirror block cannot fit on a 1 TB disk
+        {"group_user_bytes": 2 * TB},
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            SystemConfig(**kw)
+
+    def test_large_group_ok_when_split_by_m(self):
+        """A 2 TB group is fine under 8/10: blocks are 250 GB."""
+        from repro.redundancy import ECC_8_10
+        cfg = SystemConfig(group_user_bytes=2 * TB, scheme=ECC_8_10)
+        assert cfg.block_bytes == pytest.approx(0.25 * TB)

@@ -1,0 +1,57 @@
+"""Tests for failure-detection models (repro.cluster.detection)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ConstantDetection, HeartbeatDetection,
+                           UniformDetection)
+
+
+class TestConstant:
+    def test_constant_draws(self):
+        m = ConstantDetection(30.0)
+        rng = np.random.default_rng(0)
+        assert (m.latency(rng, 100) == 30.0).all()
+        assert m.mean_latency() == 30.0
+
+    def test_zero_latency_allowed(self):
+        """Figure 3 assumes zero detection latency."""
+        assert ConstantDetection(0.0).mean_latency() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDetection(-1.0)
+
+
+class TestUniform:
+    def test_bounds_and_mean(self):
+        m = UniformDetection(10.0, 50.0)
+        rng = np.random.default_rng(1)
+        draws = m.latency(rng, 10_000)
+        assert draws.min() >= 10.0 and draws.max() <= 50.0
+        assert draws.mean() == pytest.approx(30.0, rel=0.05)
+        assert m.mean_latency() == 30.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            UniformDetection(50.0, 10.0)
+
+
+class TestHeartbeat:
+    def test_latency_within_one_period_plus_processing(self):
+        m = HeartbeatDetection(period=120.0, processing=5.0)
+        rng = np.random.default_rng(2)
+        draws = m.latency(rng, 10_000)
+        assert draws.min() >= 5.0 and draws.max() <= 125.0
+
+    def test_mean_is_half_period_plus_processing(self):
+        m = HeartbeatDetection(period=120.0, processing=5.0)
+        assert m.mean_latency() == 65.0
+        rng = np.random.default_rng(3)
+        assert m.latency(rng, 20_000).mean() == pytest.approx(65.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatDetection(period=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatDetection(period=10.0, processing=-1.0)

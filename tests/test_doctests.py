@@ -1,0 +1,27 @@
+"""Docstring examples must actually run (they are the first thing users
+copy-paste)."""
+
+import doctest
+
+import pytest
+
+import repro.placement.balance
+import repro.reliability.scenarios
+import repro.sim.engine
+import repro.sim.process
+import repro.sim.resources
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.process,
+    repro.sim.resources,
+    repro.reliability.scenarios,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__}: no doctests found"
+    assert results.failed == 0

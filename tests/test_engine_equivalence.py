@@ -1,0 +1,69 @@
+"""Cross-validation: the flat-array engine must match the object engine.
+
+The Monte-Carlo sweeps use :mod:`repro.reliability.simulation` for speed;
+its claim to correctness is semantic equivalence with the explicit
+object-level engine in :mod:`repro.core`.  Both consume the same named RNG
+streams, so the *failure process* is bit-identical per seed; recovery target
+draws differ (candidate-list walk vs rejection sampling over the same
+uniform distribution), so downstream counts may drift by a few blocks.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import simulate_run
+from repro.reliability import ReliabilitySimulation
+from repro.units import GB, TB
+
+
+def cfg(**kw):
+    defaults = dict(total_user_bytes=50 * TB, group_user_bytes=10 * GB)
+    defaults.update(kw)
+    return SystemConfig(**defaults)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_identical_failure_streams(seed):
+    obj = simulate_run(cfg(), seed=seed).stats
+    fast = ReliabilitySimulation(cfg(), seed=seed).run()
+    assert obj.disk_failures == fast.disk_failures
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_rebuild_volume_agrees(seed):
+    obj = simulate_run(cfg(), seed=seed).stats
+    fast = ReliabilitySimulation(cfg(), seed=seed).run()
+    assert fast.rebuilds_completed == pytest.approx(
+        obj.rebuilds_completed, rel=0.03)
+
+
+@pytest.mark.parametrize("use_farm", [True, False])
+def test_windows_agree(use_farm):
+    c = cfg(use_farm=use_farm)
+    obj = simulate_run(c, seed=4).stats
+    fast = ReliabilitySimulation(c, seed=4).run()
+    assert fast.mean_window == pytest.approx(obj.mean_window, rel=0.05)
+
+
+def test_loss_rates_agree_under_stress():
+    """At 10x failure rates losses are frequent; the two engines must see
+    statistically indistinguishable loss volumes."""
+    c = cfg(vintage=cfg().vintage.with_rate_multiplier(10.0),
+            use_farm=False)
+    seeds = range(8)
+    obj_lost = sum(simulate_run(c, seed=s).stats.groups_lost for s in seeds)
+    fast_lost = sum(ReliabilitySimulation(c, seed=s).run().groups_lost
+                    for s in seeds)
+    assert obj_lost > 0 and fast_lost > 0
+    assert fast_lost == pytest.approx(obj_lost, rel=0.5)
+
+
+def test_traditional_spare_counts_agree():
+    c = cfg(use_farm=False)
+    obj = simulate_run(c, seed=5)
+    fast = ReliabilitySimulation(c, seed=5)
+    fast_stats = fast.run()
+    # object engine: one spare per failed disk (plus rare overflows);
+    # fast engine: same provisioning rule
+    assert fast.total_disks - fast.N0 == pytest.approx(
+        obj.stats.disk_failures, abs=3)

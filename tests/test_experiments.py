@@ -1,0 +1,146 @@
+"""Smoke-scale tests of the experiment harness (repro.experiments).
+
+These verify the harness machinery — scales, rows, rendering, and the
+qualitative relationships cheap enough to check at smoke scale.  The
+quantitative reproduction runs in benchmarks/ (REPRO_SCALE=small/paper).
+"""
+
+import pytest
+
+from repro.experiments import (SCALES, ablations, current_scale, figure3,
+                               figure4, figure5, figure7, figure8,
+                               redirection, table1, table3)
+from repro.experiments.base import Scale
+
+SMOKE = SCALES["smoke"]
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+        assert SCALES["paper"].n_runs == 100
+        assert SCALES["paper"].data_factor == 1.0
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_size_config_scales_data(self):
+        from repro.config import PAPER_BASE
+        shrunk = SMOKE.size_config(PAPER_BASE)
+        assert shrunk.total_user_bytes == pytest.approx(
+            PAPER_BASE.total_user_bytes * 0.05)
+
+
+class TestTable1:
+    def test_empirical_rates_match_specification(self):
+        result = table1.run(SMOKE, cohort=100_000)
+        for row in result.rows[:-1]:
+            assert row["rel_err_pct"] < 10.0
+
+    def test_cumulative_row(self):
+        result = table1.run(SMOKE, cohort=50_000)
+        cum = result.rows[-1]
+        assert 8.0 < cum["empirical_pct"] < 14.0
+
+
+class TestFigure3:
+    def test_rows_cover_all_schemes_and_modes(self):
+        result = figure3.run(SMOKE)
+        assert len(result.rows) == 12
+        assert {r["farm"] for r in result.rows} == {"FARM", "w/o"}
+
+    def test_render_contains_header_and_rows(self):
+        result = figure3.run(SMOKE)
+        text = result.render()
+        assert "figure3a" in text and "8/10" in text
+
+    def test_both_panels(self):
+        a, b = figure3.run_both_panels(SMOKE)
+        assert a.experiment == "figure3a" and b.experiment == "figure3b"
+
+
+class TestFigure4:
+    def test_ratio_column_consistency(self):
+        result = figure4.run(SMOKE, group_sizes_gb=(1.0, 10.0),
+                             latencies_min=(0.0, 2.0))
+        for row in result.rows:
+            if row["latency_min"] == 0.0:
+                assert row["latency_over_rebuild"] == 0.0
+            else:
+                assert row["latency_over_rebuild"] > 0
+
+    def test_collapse_sorted_by_ratio(self):
+        result = figure4.run(SMOKE, group_sizes_gb=(1.0,),
+                             latencies_min=(0.0, 2.0))
+        rows = figure4.collapse_by_ratio(result)
+        ratios = [r["ratio"] for r in rows]
+        assert ratios == sorted(ratios)
+
+
+class TestFigure5:
+    def test_sweep_dimensions(self):
+        result = figure5.run(SMOKE, bandwidths_mbps=(8.0, 40.0),
+                             group_sizes_gb=(10.0,))
+        assert len(result.rows) == 4       # 2 modes x 1 size x 2 bw
+
+
+class TestTable3:
+    def test_initial_mean_utilization_400gb(self):
+        result = table3.run(SMOKE, group_sizes_gb=(10.0,), n_disks=200)
+        initial = result.rows[0]
+        assert initial["mean_gb"] == pytest.approx(400.0, rel=0.1)
+
+    def test_mean_grows_after_six_years(self):
+        result = table3.run(SMOKE, group_sizes_gb=(10.0,), n_disks=200)
+        initial, final = result.rows
+        assert final["mean_gb"] > initial["mean_gb"]
+        assert final["failed_disks"] > 0
+
+
+class TestFigure7:
+    def test_thresholds_and_batches(self):
+        result = figure7.run(SMOKE, thresholds=(0.02,))
+        row = result.rows[0]
+        assert row["threshold_pct"] == 2.0
+        assert row["batches_mean"] >= 0
+
+
+class TestFigure8:
+    def test_capacity_series_per_scheme(self):
+        from repro.redundancy import MIRROR_2
+        result = figure8.run(SMOKE, capacities_pb=(0.5, 2.0),
+                             schemes=(MIRROR_2,))
+        assert [r["capacity_pb"] for r in result.rows] == [0.5, 2.0]
+
+    def test_rate_multiplier_panel_name(self):
+        from repro.redundancy import MIRROR_2
+        result = figure8.run(SMOKE, rate_multiplier=2.0,
+                             capacities_pb=(0.5,), schemes=(MIRROR_2,))
+        assert result.experiment == "figure8b"
+
+
+class TestRedirectionAndAblations:
+    def test_redirection_experiment_runs(self):
+        result = redirection.run(SMOKE, group_sizes_gb=(10.0,))
+        assert 0 <= result.rows[0]["systems_with_redirection_pct"] <= 100
+
+    def test_placement_ablation_has_both_rows(self):
+        result = ablations.run_placement(SMOKE)
+        assert {r["placement"] for r in result.rows} == {"random", "rush"}
+
+    def test_bathtub_ablation_rows(self):
+        result = ablations.run_bathtub(SMOKE)
+        assert {r["hazard"] for r in result.rows} == {"bathtub", "flat"}
+
+    def test_policy_ablation_counts_violations(self):
+        result = ablations.run_policy(SMOKE)
+        by_policy = {r["policy"]: r for r in result.rows}
+        assert by_policy["full"]["buddy_violations"] == 0

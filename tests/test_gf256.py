@@ -1,0 +1,142 @@
+"""Tests for GF(2^8) arithmetic (repro.redundancy.gf256)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.redundancy.gf256 import (EXP_TABLE, LOG_TABLE, gf_add, gf_div,
+                                    gf_inv, gf_mat_inv, gf_matmul, gf_mul,
+                                    gf_pow, vandermonde)
+
+bytes_arrays = st.lists(st.integers(0, 255), min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.uint8))
+nonzero_bytes = st.integers(1, 255)
+
+
+class TestTables:
+    def test_exp_log_inverse_relation(self):
+        for x in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[x]] == x
+
+    def test_exp_table_cycle_255(self):
+        assert np.array_equal(EXP_TABLE[0:255], EXP_TABLE[255:510])
+
+    def test_generator_order(self):
+        """2 generates the multiplicative group: all 255 powers distinct."""
+        assert len(set(EXP_TABLE[:255].tolist())) == 255
+
+
+class TestFieldAxioms:
+    @given(bytes_arrays)
+    def test_additive_self_inverse(self, a):
+        assert (gf_add(a, a) == 0).all()
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributive(self, a, b, c):
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert left == right
+
+    @given(st.integers(0, 255))
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(st.integers(0, 255))
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero_bytes)
+    def test_inverse_roundtrip(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(st.integers(0, 255), nonzero_bytes)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    @given(st.integers(1, 255), st.integers(0, 300))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n % 255):
+            expected = int(gf_mul(expected, a))
+        # gf_pow reduces the exponent mod 255 (group order)
+        assert gf_pow(a, n % 255) == expected
+
+
+class TestMatrixOps:
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 256, (5, 5), dtype=np.uint8)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(eye, m), m)
+        assert np.array_equal(gf_matmul(m, eye), m)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8),
+                      np.zeros((2, 3), dtype=np.uint8))
+
+    @given(st.integers(1, 6), st.integers(0, 2 ** 32 - 1))
+    def test_mat_inv_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        eye = np.eye(n, dtype=np.uint8)
+        # rejection-sample an invertible matrix
+        for _ in range(50):
+            m = rng.integers(0, 256, (n, n), dtype=np.uint8)
+            try:
+                inv = gf_mat_inv(m)
+            except np.linalg.LinAlgError:
+                continue
+            assert np.array_equal(gf_matmul(m, inv), eye)
+            assert np.array_equal(gf_matmul(inv, m), eye)
+            return
+
+    def test_singular_matrix_raises(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inv(m)
+
+    def test_mat_inv_requires_square(self):
+        with pytest.raises(ValueError):
+            gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestVandermonde:
+    def test_shape_and_first_column(self):
+        v = vandermonde(6, 4)
+        assert v.shape == (6, 4)
+        assert (v[:, 0] == 1).all()
+
+    def test_row_entries_are_powers(self):
+        v = vandermonde(5, 4)
+        for i in range(5):
+            for j in range(4):
+                assert v[i, j] == gf_pow(i + 1, j)
+
+    @pytest.mark.parametrize("rows,cols", [(6, 4), (10, 8), (12, 3)])
+    def test_any_square_submatrix_invertible(self, rows, cols):
+        """The property RS erasure decoding relies on."""
+        import itertools
+        v = vandermonde(rows, cols)
+        for combo in itertools.islice(
+                itertools.combinations(range(rows), cols), 60):
+            gf_mat_inv(v[list(combo), :])   # must not raise
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            vandermonde(256, 4)

@@ -1,0 +1,126 @@
+"""Tests for redundancy-group state (repro.redundancy.group)."""
+
+import pytest
+
+from repro.redundancy import (ECC_4_6, MIRROR_2, BlockId, GroupState,
+                              RedundancyGroup)
+from repro.units import GB
+
+
+def mirror_group(disks=(0, 1)):
+    return RedundancyGroup(grp_id=7, scheme=MIRROR_2, user_bytes=10 * GB,
+                           disks=list(disks))
+
+
+def ecc_group(disks=(0, 1, 2, 3, 4, 5)):
+    return RedundancyGroup(grp_id=9, scheme=ECC_4_6, user_bytes=10 * GB,
+                           disks=list(disks))
+
+
+class TestConstruction:
+    def test_block_ids_follow_figure1_naming(self):
+        g = mirror_group()
+        assert [str(b) for b in g.block_ids()] == ["<7, 0>", "<7, 1>"]
+        assert g.block_ids()[0] == BlockId(7, 0)
+
+    def test_wrong_disk_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 2 disks"):
+            mirror_group(disks=(0, 1, 2))
+
+    def test_duplicate_disks_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            mirror_group(disks=(3, 3))
+
+    def test_initial_state_healthy(self):
+        g = ecc_group()
+        assert g.state is GroupState.HEALTHY
+        assert g.surviving == 6 and not g.lost
+
+
+class TestFailureTransitions:
+    def test_single_failure_degrades(self):
+        g = mirror_group()
+        assert g.fail_block(0, now=5.0) is GroupState.DEGRADED
+        assert g.surviving == 1 and not g.lost
+
+    def test_mirror_loses_at_two_failures(self):
+        g = mirror_group()
+        g.fail_block(0, now=1.0)
+        assert g.fail_block(1, now=2.0) is GroupState.LOST
+        assert g.lost and g.loss_time == 2.0
+
+    def test_ecc_4_6_survives_two_failures(self):
+        g = ecc_group()
+        g.fail_block(0, now=1.0)
+        g.fail_block(3, now=2.0)
+        assert g.state is GroupState.DEGRADED and not g.lost
+
+    def test_ecc_4_6_lost_at_three(self):
+        g = ecc_group()
+        for rep, t in ((0, 1.0), (3, 2.0), (5, 3.0)):
+            g.fail_block(rep, now=t)
+        assert g.lost and g.loss_time == 3.0
+
+    def test_loss_time_not_overwritten(self):
+        g = mirror_group()
+        g.fail_block(0, 1.0)
+        g.fail_block(1, 2.0)
+        g.failed.discard(0)      # simulate inconsistent caller
+        g.fail_block(0, 9.0)
+        assert g.loss_time == 2.0
+
+    def test_fail_block_range_check(self):
+        with pytest.raises(ValueError):
+            mirror_group().fail_block(5, now=0.0)
+
+    def test_fail_disk_hits_matching_blocks_only(self):
+        g = ecc_group(disks=(10, 11, 12, 13, 14, 15))
+        assert g.fail_disk(12, now=1.0) == [2]
+        assert g.fail_disk(99, now=2.0) == []
+
+    def test_fail_disk_skips_already_failed(self):
+        g = mirror_group(disks=(4, 5))
+        g.fail_block(0, 1.0)
+        assert g.fail_disk(4, now=2.0) == []
+
+
+class TestRebuild:
+    def test_complete_rebuild_restores_health(self):
+        g = mirror_group(disks=(0, 1))
+        g.fail_block(1, 1.0)
+        g.complete_rebuild(1, target_disk=5)
+        assert g.state is GroupState.HEALTHY
+        assert g.disks == [0, 5]
+
+    def test_rebuild_of_unfailed_block_rejected(self):
+        with pytest.raises(ValueError, match="not failed"):
+            mirror_group().complete_rebuild(0, target_disk=5)
+
+    def test_rebuild_onto_buddy_disk_rejected(self):
+        """Constraint (b) of paper §2.3 enforced at the group level."""
+        g = mirror_group(disks=(0, 1))
+        g.fail_block(1, 1.0)
+        with pytest.raises(ValueError, match="buddy"):
+            g.complete_rebuild(1, target_disk=0)
+
+    def test_rebuild_onto_own_old_disk_allowed(self):
+        """The failed block's old disk no longer holds a live buddy, so a
+        replaced drive with the same id is admissible."""
+        g = mirror_group(disks=(0, 1))
+        g.fail_block(1, 1.0)
+        g.complete_rebuild(1, target_disk=1)
+        assert g.disks == [0, 1]
+
+
+class TestBuddies:
+    def test_buddies_of_excludes_self_and_failed(self):
+        g = ecc_group(disks=(0, 1, 2, 3, 4, 5))
+        g.fail_block(2, 1.0)
+        assert g.buddies_of(0) == [1, 3, 4, 5]
+
+    def test_holds_buddy_tracks_live_blocks(self):
+        g = mirror_group(disks=(0, 1))
+        assert g.holds_buddy(0) and g.holds_buddy(1)
+        g.fail_block(0, 1.0)
+        assert not g.holds_buddy(0)
+        assert g.holds_buddy(1)

@@ -1,0 +1,72 @@
+"""Tests for placement hashing (repro.placement.hashing)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.placement import hash_range, hash_u64, hash_unit, mix64
+
+
+class TestMix64:
+    def test_bijective_on_sample(self):
+        xs = np.arange(100_000, dtype=np.uint64)
+        assert len(np.unique(mix64(xs))) == xs.size
+
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_avalanche_single_bit(self):
+        """Flipping one input bit flips ~half the output bits."""
+        a = int(mix64(0x1234))
+        b = int(mix64(0x1235))
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestHashU64:
+    def test_broadcasts_over_arrays(self):
+        out = hash_u64(1, np.arange(10), 2, 3)
+        assert out.shape == (10,) and out.dtype == np.uint64
+
+    def test_input_sensitivity(self):
+        assert hash_u64(1, 2, 3, 4) != hash_u64(1, 2, 4, 3)
+        assert hash_u64(1, 2) != hash_u64(2, 2)
+
+    @given(st.integers(0, 2 ** 63), st.integers(0, 2 ** 63))
+    @settings(max_examples=50)
+    def test_scalar_matches_vector_path(self, seed, a):
+        scalar = hash_u64(seed, a)
+        vector = hash_u64(seed, np.array([a], dtype=np.uint64))[0]
+        assert scalar == vector
+
+
+class TestHashUnit:
+    def test_range(self):
+        u = hash_unit(0, np.arange(100_000))
+        assert (u >= 0).all() and (u < 1).all()
+
+    def test_uniformity(self):
+        u = hash_unit(7, np.arange(200_000))
+        hist, _ = np.histogram(u, bins=20, range=(0, 1))
+        expected = 200_000 / 20
+        chi2 = ((hist - expected) ** 2 / expected).sum()
+        assert chi2 < 60      # 19 dof; p ~ 1e-5 cutoff
+
+
+class TestHashRange:
+    def test_bounds(self):
+        for n in (1, 2, 7, 1000, 10_000):
+            out = hash_range(3, n, np.arange(50_000))
+            assert out.min() >= 0 and out.max() < n
+
+    def test_uniform_over_buckets(self):
+        n = 97
+        out = hash_range(11, n, np.arange(500_000))
+        counts = np.bincount(out, minlength=n)
+        expected = 500_000 / n
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        assert chi2 < 200     # 96 dof
+
+    def test_invalid_n(self):
+        import pytest
+        with pytest.raises(ValueError):
+            hash_range(0, 0, 1)

@@ -1,0 +1,107 @@
+"""Tests for the single-group Markov chain (repro.reliability.markov)."""
+
+import numpy as np
+import pytest
+
+from repro.redundancy import ECC_4_6, MIRROR_2, MIRROR_3
+from repro.reliability import (group_generator, mttdl, p_group_loss,
+                               p_system_loss)
+from repro.units import HOUR, YEAR
+
+LAM = 1e-6 / HOUR        # per-disk failure rate
+MU = 1.0 / (655.0)       # per-block repair rate (FARM-like window)
+
+
+class TestGenerator:
+    def test_rows_sum_to_zero(self):
+        q = group_generator(MIRROR_2, LAM, MU)
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_absorbing_state(self):
+        q = group_generator(MIRROR_2, LAM, MU)
+        assert np.allclose(q[-1], 0.0)
+
+    def test_mirror2_shape(self):
+        assert group_generator(MIRROR_2, LAM, MU).shape == (3, 3)
+        assert group_generator(ECC_4_6, LAM, MU).shape == (4, 4)
+
+    def test_failure_rates_scale_with_survivors(self):
+        q = group_generator(ECC_4_6, LAM, MU)
+        assert q[0, 1] == pytest.approx(6 * LAM)
+        assert q[1, 2] == pytest.approx(5 * LAM)
+
+    def test_serial_repair_rate_constant(self):
+        q_par = group_generator(MIRROR_3, LAM, MU, parallel_repair=True)
+        q_ser = group_generator(MIRROR_3, LAM, MU, parallel_repair=False)
+        assert q_par[2, 1] == pytest.approx(2 * MU)
+        assert q_ser[2, 1] == pytest.approx(MU)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            group_generator(MIRROR_2, -1.0, MU)
+
+
+class TestAbsorption:
+    def test_probability_increases_with_horizon(self):
+        p1 = p_group_loss(MIRROR_2, LAM, MU, 1 * YEAR)
+        p6 = p_group_loss(MIRROR_2, LAM, MU, 6 * YEAR)
+        assert 0 < p1 < p6 < 1
+
+    def test_zero_horizon_zero_loss(self):
+        assert p_group_loss(MIRROR_2, LAM, MU, 0.0) == pytest.approx(0.0)
+
+    def test_faster_repair_lowers_loss(self):
+        slow = p_group_loss(MIRROR_2, LAM, MU / 10, 6 * YEAR)
+        fast = p_group_loss(MIRROR_2, LAM, MU * 10, 6 * YEAR)
+        assert fast < slow
+
+    def test_higher_tolerance_lowers_loss(self):
+        p_mirror2 = p_group_loss(MIRROR_2, LAM, MU, 6 * YEAR)
+        p_mirror3 = p_group_loss(MIRROR_3, LAM, MU, 6 * YEAR)
+        assert p_mirror3 < p_mirror2 / 100
+
+    def test_matches_small_rate_asymptotic(self):
+        """For mirroring with lam << mu, group loss over T is about
+        n * lam * T * ((n-1) * lam / mu) — two overlapping failures."""
+        t = 6 * YEAR
+        p = p_group_loss(MIRROR_2, LAM, MU, t)
+        approx = 2 * LAM * t * (LAM / MU)
+        assert p == pytest.approx(approx, rel=0.15)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            p_group_loss(MIRROR_2, LAM, MU, -1.0)
+
+
+class TestSystemLoss:
+    def test_independent_groups_compose(self):
+        p1 = p_group_loss(MIRROR_2, LAM, MU, YEAR)
+        psys = p_system_loss(MIRROR_2, 1000, LAM, MU, YEAR)
+        assert psys == pytest.approx(1 - (1 - p1) ** 1000)
+
+    def test_more_groups_riskier(self):
+        a = p_system_loss(MIRROR_2, 100, LAM, MU, YEAR)
+        b = p_system_loss(MIRROR_2, 10_000, LAM, MU, YEAR)
+        assert b > a
+
+    def test_group_count_validation(self):
+        with pytest.raises(ValueError):
+            p_system_loss(MIRROR_2, 0, LAM, MU, YEAR)
+
+
+class TestMTTDL:
+    def test_classic_mirror_formula(self):
+        """MTTDL of a mirrored pair ~ mu / (2 lam^2) for lam << mu."""
+        got = mttdl(MIRROR_2, LAM, MU)
+        classic = MU / (2 * LAM ** 2)
+        assert got == pytest.approx(classic, rel=0.01)
+
+    def test_repair_extends_mttdl(self):
+        assert mttdl(MIRROR_2, LAM, MU) > 100 * mttdl(MIRROR_2, LAM, 0.0)
+
+    def test_mttdl_consistent_with_absorption(self):
+        """P(loss by t) ~ t / MTTDL for t << MTTDL."""
+        m = mttdl(MIRROR_2, LAM, MU)
+        t = m / 1000.0
+        p = p_group_loss(MIRROR_2, LAM, MU, t)
+        assert p == pytest.approx(t / m, rel=0.05)

@@ -1,0 +1,125 @@
+"""Tests for the heartbeat failure detector (repro.cluster.monitoring)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.detection import HeartbeatDetection
+from repro.cluster.monitoring import HeartbeatMonitor
+from repro.sim import Simulator
+
+
+class World:
+    """Ground truth for probes: disks with scheduled failure times."""
+
+    def __init__(self, sim, fail_times):
+        self.sim = sim
+        self.fail_times = dict(fail_times)
+
+    def is_alive(self, disk_id):
+        t = self.fail_times.get(disk_id)
+        return t is None or self.sim.now < t
+
+
+def make(fail_times, period=60.0, **kw):
+    sim = Simulator()
+    world = World(sim, fail_times)
+    mon = HeartbeatMonitor(sim, world.is_alive,
+                           disk_ids=sorted(fail_times),
+                           period=period, **kw)
+    for d, t in fail_times.items():
+        mon.note_failure(d, t)
+    return sim, mon
+
+
+class TestDetection:
+    def test_detects_at_next_sweep(self):
+        sim, mon = make({0: 100.0}, period=60.0)
+        sim.run(until=1000.0)
+        assert len(mon.detections) == 1
+        event = mon.detections[0]
+        # failure at 100; sweeps at 60, 120, ... -> detected at 120
+        assert event.detected_at == 120.0
+        assert event.latency == pytest.approx(20.0)
+
+    def test_healthy_disks_never_flagged(self):
+        sim, mon = make({0: float("inf"), 1: float("inf")})
+        sim.run(until=10_000.0)
+        assert mon.detections == []
+
+    def test_each_failure_detected_once(self):
+        sim, mon = make({0: 100.0, 1: 250.0, 2: 100.0}, period=60.0)
+        sim.run(until=5000.0)
+        assert sorted(e.disk_id for e in mon.detections) == [0, 1, 2]
+
+    def test_misses_allowed_delays_detection(self):
+        sim, mon = make({0: 100.0}, period=60.0, misses_allowed=3)
+        sim.run(until=5000.0)
+        # first miss at 120, declared on the third at 240
+        assert mon.detections[0].detected_at == 240.0
+
+    def test_probe_timeout_added(self):
+        sim, mon = make({0: 100.0}, period=60.0, probe_timeout=5.0)
+        sim.run(until=5000.0)
+        assert mon.detections[0].detected_at == 125.0
+
+    def test_on_detect_callback(self):
+        hits = []
+        sim = Simulator()
+        world = World(sim, {0: 50.0})
+        HeartbeatMonitor(sim, world.is_alive, [0], period=30.0,
+                         on_detect=lambda d, t: hits.append((d, t)))
+        sim.run(until=500.0)
+        assert hits == [(0, 60.0)]
+
+    def test_watch_added_disk(self):
+        sim = Simulator()
+        world = World(sim, {5: 200.0})
+        mon = HeartbeatMonitor(sim, world.is_alive, [], period=60.0)
+        mon.watch(5)
+        mon.note_failure(5, 200.0)
+        sim.run(until=1000.0)
+        assert [e.disk_id for e in mon.detections] == [5]
+
+    def test_stop_halts_sweeps(self):
+        sim, mon = make({0: 500.0}, period=60.0)
+        sim.schedule(100.0, mon.stop)
+        sim.run(until=5000.0)
+        assert mon.detections == []
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(sim, lambda d: True, [], period=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(sim, lambda d: True, [], period=1.0,
+                             misses_allowed=0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(sim, lambda d: True, [], period=1.0,
+                             probe_timeout=-1.0)
+
+
+class TestLatencyDistribution:
+    def test_mean_matches_closed_form_model(self):
+        """The produced latency distribution matches the
+        HeartbeatDetection model used by the analytic sweeps."""
+        rng = np.random.default_rng(0)
+        period, timeout = 120.0, 5.0
+        fail_times = {d: float(t) for d, t in
+                      enumerate(rng.uniform(1000, 500_000, 400))}
+        sim, mon = make(fail_times, period=period, probe_timeout=timeout)
+        sim.run(until=600_000.0)
+        assert len(mon.detections) == 400
+        model = HeartbeatDetection(period=period, processing=timeout)
+        assert mon.mean_latency() == pytest.approx(model.mean_latency(),
+                                                   rel=0.1)
+        assert mon.expected_mean_latency() == model.mean_latency()
+
+    def test_latencies_bounded_by_one_period(self):
+        rng = np.random.default_rng(1)
+        fail_times = {d: float(t) for d, t in
+                      enumerate(rng.uniform(1000, 100_000, 50))}
+        sim, mon = make(fail_times, period=60.0)
+        sim.run(until=200_000.0)
+        lats = mon.latencies()
+        assert max(lats) <= 60.0 + 1e-6
+        assert min(lats) >= 0.0

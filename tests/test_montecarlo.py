@@ -1,0 +1,61 @@
+"""Tests for the Monte-Carlo harness (repro.reliability.montecarlo)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.reliability import estimate_p_loss, loss_probability_series, sweep
+from repro.units import GB, TB
+
+
+def tiny():
+    return SystemConfig(total_user_bytes=10 * TB, group_user_bytes=10 * GB)
+
+
+class TestEstimate:
+    def test_reproducible_across_calls(self):
+        a = estimate_p_loss(tiny(), n_runs=5, base_seed=1)
+        b = estimate_p_loss(tiny(), n_runs=5, base_seed=1)
+        assert a.losses == b.losses
+        assert a.disk_failures_total == b.disk_failures_total
+
+    def test_seed_changes_results(self):
+        a = estimate_p_loss(tiny(), n_runs=5, base_seed=1)
+        b = estimate_p_loss(tiny(), n_runs=5, base_seed=2)
+        assert a.disk_failures_total != b.disk_failures_total
+
+    def test_runs_are_independent(self):
+        """Each run has its own seed: per-run failure counts vary."""
+        r = estimate_p_loss(tiny(), n_runs=6, base_seed=0)
+        counts = {s.disk_failures for s in r.run_stats}
+        assert len(counts) > 1
+
+    def test_aggregates_consistent(self):
+        r = estimate_p_loss(tiny(), n_runs=5, base_seed=0)
+        assert r.n_runs == 5 and len(r.run_stats) == 5
+        assert r.losses == sum(1 for s in r.run_stats if s.any_loss)
+        assert r.p_loss.trials == 5
+        assert r.groups_lost_total == sum(s.groups_lost
+                                          for s in r.run_stats)
+
+    def test_parallel_matches_serial(self):
+        serial = estimate_p_loss(tiny(), n_runs=4, base_seed=3, n_jobs=1)
+        parallel = estimate_p_loss(tiny(), n_runs=4, base_seed=3, n_jobs=2)
+        assert serial.losses == parallel.losses
+        assert serial.disk_failures_total == parallel.disk_failures_total
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            estimate_p_loss(tiny(), n_runs=0)
+
+
+class TestSweeps:
+    def test_sweep_labels_preserved(self):
+        res = sweep({"farm": tiny(), "raid": tiny().with_(use_farm=False)},
+                    n_runs=3)
+        assert set(res) == {"farm", "raid"}
+
+    def test_series_in_order(self):
+        out = loss_probability_series(
+            tiny(), "detection_latency", [0.0, 600.0], n_runs=3)
+        assert [v for v, _ in out] == [0.0, 600.0]
+        assert all(r.n_runs == 3 for _, r in out)

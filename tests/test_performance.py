@@ -1,0 +1,83 @@
+"""Tests for degraded-mode performance models (repro.performance)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.performance import (compare_layouts, degraded_read_amplification,
+                               rebuild_read_share, user_load_factor)
+from repro.redundancy import ECC_8_10, MIRROR_2, MIRROR_3, RAID5_4_5
+from repro.units import GB, PB
+
+
+class TestAmplification:
+    def test_mirroring_reads_one_replica(self):
+        assert degraded_read_amplification(MIRROR_2) == 1.0
+        assert degraded_read_amplification(MIRROR_3) == 1.0
+
+    def test_codes_read_m_blocks(self):
+        assert degraded_read_amplification(RAID5_4_5) == 4.0
+        assert degraded_read_amplification(ECC_8_10) == 8.0
+
+
+class TestUserLoadFactor:
+    def test_healthy_system_is_unit(self):
+        assert user_load_factor(MIRROR_2, 1000, failed=0) == 1.0
+
+    def test_classical_mirrored_pair_doubles(self):
+        """The surviving replica serves both read streams."""
+        assert user_load_factor(MIRROR_2, 2, failed=1) == 2.0
+
+    def test_classical_raid5_stripe_doubles(self):
+        """Every degraded read touches all m survivors: ~2x utilization
+        (Muntz & Lui's motivating number)."""
+        assert user_load_factor(RAID5_4_5, 5, failed=1) == 2.0
+
+    def test_declustering_dilutes_to_order_one(self):
+        factor = user_load_factor(RAID5_4_5, 10_000, failed=1)
+        assert factor == pytest.approx(1.0, abs=0.001)
+
+    def test_more_failures_more_load(self):
+        one = user_load_factor(MIRROR_2, 100, failed=1)
+        five = user_load_factor(MIRROR_2, 100, failed=5)
+        assert five > one > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            user_load_factor(MIRROR_2, 10, failed=10)
+        with pytest.raises(ValueError):
+            user_load_factor(MIRROR_2, 10, failed=-1)
+
+
+class TestRebuildShare:
+    def test_single_spare_array_pays_heavily(self):
+        """4 survivors of a RAID-5 stripe each read ~1/4 of the failed
+        disk's worth at recovery speed: a visible bandwidth tax."""
+        cfg = SystemConfig(scheme=RAID5_4_5)
+        share = rebuild_read_share(cfg, n_sharing=4)
+        assert share == pytest.approx(0.25 * 16e6 / 80e6 * 4, rel=0.01)
+
+    def test_declustered_share_negligible(self):
+        cfg = SystemConfig()
+        assert rebuild_read_share(cfg, n_sharing=9999) < 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rebuild_read_share(SystemConfig(), 0)
+
+
+class TestCompareLayouts:
+    def test_the_declustering_argument(self):
+        """The paper's performance claim in two numbers: the dedicated
+        array roughly doubles survivor load during recovery, declustering
+        keeps it within a fraction of a percent."""
+        declustered, dedicated = compare_layouts(SystemConfig())
+        assert dedicated.total_load_factor > 1.5
+        assert declustered.total_load_factor < 1.01
+
+    def test_labels_and_population(self):
+        declustered, dedicated = compare_layouts(
+            SystemConfig(scheme=RAID5_4_5))
+        assert declustered.layout == "declustered"
+        assert dedicated.n_disks == 5
+        assert declustered.n_disks == SystemConfig(
+            scheme=RAID5_4_5).n_disks

@@ -1,0 +1,80 @@
+"""Tests for ASCII charts (repro.experiments.plotting)."""
+
+import pytest
+
+from repro.experiments.base import SCALES, ExperimentResult
+from repro.experiments.plotting import (bar_chart, line_chart,
+                                        result_bar_chart, result_line_chart)
+
+
+class TestBarChart:
+    def test_longest_bar_for_peak_value(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        line_a, line_b = text.splitlines()
+        assert line_a.count("#") == 20
+        assert line_b.count("#") == 10
+
+    def test_values_rendered(self):
+        text = bar_chart(["x"], [3.25], unit="%")
+        assert "3.25%" in text
+
+    def test_zero_values(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0" in text
+
+    def test_title(self):
+        assert bar_chart(["a"], [1.0], title="T").startswith("T")
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        text = line_chart({"s1": [(0, 0), (1, 1)], "s2": [(0, 1), (1, 0)]})
+        assert "o=s1" in text and "x=s2" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_annotations(self):
+        text = line_chart({"s": [(1, 2), (10, 20)]},
+                          x_label="cap", y_label="loss")
+        assert "cap" in text and "loss" in text
+        assert "20" in text        # y max on the frame
+
+    def test_log_x(self):
+        text = line_chart({"s": [(0.1, 1), (10, 2)]}, logx=True)
+        assert "log" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0.0, 1)]}, logx=True)
+
+    def test_degenerate_single_point(self):
+        text = line_chart({"s": [(5, 5)]})
+        assert "o" in text
+
+    def test_empty(self):
+        assert line_chart({}) == "(empty chart)"
+
+
+class TestResultAdapters:
+    def _result(self):
+        r = ExperimentResult(experiment="x", description="demo",
+                             scale=SCALES["smoke"],
+                             columns=["scheme", "cap", "p"])
+        r.add(scheme="1/2", cap=1.0, p=2.0)
+        r.add(scheme="1/2", cap=2.0, p=4.0)
+        r.add(scheme="1/3", cap=1.0, p=0.5)
+        return r
+
+    def test_result_bar_chart(self):
+        text = result_bar_chart(self._result(), ["scheme", "cap"], "p")
+        assert "1/2 1" in text and "#" in text
+
+    def test_result_line_chart_groups_series(self):
+        text = result_line_chart(self._result(), "scheme", "cap", "p")
+        assert "o=1/2" in text and "x=1/3" in text

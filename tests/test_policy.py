@@ -1,0 +1,115 @@
+"""Tests for FARM target selection (repro.core.policy)."""
+
+import pytest
+
+from repro.cluster import StorageSystem
+from repro.config import SystemConfig
+from repro.core import NoTargetError, PolicyConfig, TargetSelector
+from repro.sim import RandomStreams
+from repro.units import GB, TB
+
+
+def build_system(**kw):
+    defaults = dict(total_user_bytes=4 * TB, group_user_bytes=10 * GB)
+    defaults.update(kw)
+    return StorageSystem(SystemConfig(**defaults), RandomStreams(0))
+
+
+@pytest.fixture
+def system():
+    return build_system()
+
+
+class TestHardConstraints:
+    def test_target_is_alive_no_buddy_and_fits(self, system):
+        selector = TargetSelector(system)
+        group = system.groups[0]
+        nbytes = system.config.block_bytes
+        target = selector.select(group, nbytes, now=0.0)
+        assert system.disks[target].online
+        assert not group.holds_buddy(target)
+        assert system.disks[target].free_bytes >= nbytes
+
+    def test_dead_candidates_skipped(self, system):
+        selector = TargetSelector(system)
+        group = system.groups[0]
+        nbytes = system.config.block_bytes
+        first = selector.select(group, nbytes, now=0.0)
+        system.fail_disk(first, now=1.0)
+        second = selector.select(group, nbytes, now=1.0)
+        assert second != first and system.disks[second].online
+
+    def test_buddy_disks_never_selected(self, system):
+        selector = TargetSelector(system)
+        nbytes = system.config.block_bytes
+        for group in system.groups[:50]:
+            target = selector.select(group, nbytes, now=0.0)
+            assert target not in group.disks
+
+    def test_full_disks_skipped(self, system):
+        selector = TargetSelector(system)
+        group = system.groups[0]
+        # Fill every disk except one non-buddy disk.
+        keep = next(d.disk_id for d in system.disks
+                    if d.disk_id not in group.disks)
+        for disk in system.disks:
+            if disk.disk_id != keep:
+                disk.used_bytes = disk.capacity_bytes
+        target = selector.select(group, system.config.block_bytes, now=0.0)
+        assert target == keep
+
+    def test_no_target_raises(self, system):
+        selector = TargetSelector(system)
+        group = system.groups[0]
+        for disk in system.disks:
+            disk.used_bytes = disk.capacity_bytes
+        with pytest.raises(NoTargetError):
+            selector.select(group, system.config.block_bytes, now=0.0)
+
+
+class TestSoftConstraints:
+    def test_prefers_idle_target(self, system):
+        selector = TargetSelector(system)
+        group = system.groups[0]
+        nbytes = system.config.block_bytes
+        preferred = selector.select(group, nbytes, now=0.0)
+        # Make the preferred candidate busy: selection must move on...
+        busy = {preferred: 100.0}
+        second = selector.select(group, nbytes, now=0.0,
+                                 busy_until=lambda d: busy.get(d, 0.0))
+        assert second != preferred
+
+    def test_sticks_with_busy_target_when_all_busy(self, system):
+        """Paper: 'if there is no better alternative, we will stick to
+        it' — soft constraints relax rather than fail."""
+        selector = TargetSelector(system)
+        group = system.groups[0]
+        nbytes = system.config.block_bytes
+        target = selector.select(group, nbytes, now=0.0,
+                                 busy_until=lambda d: 1e9)
+        assert system.disks[target].online
+
+    def test_policy_flags_can_disable_constraints(self, system):
+        policy = PolicyConfig(forbid_buddy=False, require_space=False,
+                              prefer_idle=False, use_smart=False)
+        selector = TargetSelector(system, policy)
+        group = system.groups[0]
+        for disk in system.disks:
+            disk.used_bytes = disk.capacity_bytes
+        # With space checks off, a full disk is acceptable.
+        target = selector.select(group, system.config.block_bytes, now=0.0)
+        assert system.disks[target].online
+
+
+class TestCandidateOrigin:
+    def test_targets_come_from_candidate_list_prefix(self, system):
+        """Selection walks the group's RUSH/hash candidate list, so with no
+        constraints binding, the chosen disk appears early in that list."""
+        selector = TargetSelector(system)
+        group = system.groups[5]
+        candidates = system.placement.candidates(
+            group.grp_id,
+            min(len(system.disks),
+                group.scheme.n + selector.policy.candidate_window))
+        target = selector.select(group, system.config.block_bytes, now=0.0)
+        assert target in candidates

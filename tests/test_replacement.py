@@ -1,0 +1,69 @@
+"""Tests for batch replacement (repro.cluster.replacement)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BatchReplacementPolicy, plan_migration
+
+
+class TestPolicy:
+    def test_triggers_at_threshold(self):
+        pol = BatchReplacementPolicy(threshold=0.04)
+        assert not pol.should_trigger(39, 1000)
+        assert pol.should_trigger(40, 1000)
+
+    def test_batch_restores_population(self):
+        pol = BatchReplacementPolicy(threshold=0.02)
+        assert pol.batch_size(23) == 23
+
+    def test_non_restoring_policy(self):
+        pol = BatchReplacementPolicy(threshold=0.02,
+                                     restore_population=False)
+        assert pol.batch_size(23) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchReplacementPolicy(threshold=0.0)
+        with pytest.raises(ValueError):
+            BatchReplacementPolicy(threshold=0.5, weight=0.0)
+
+
+class TestMigrationPlan:
+    def _setup(self, n_blocks=50_000, n_disks=1000, n_new=100, seed=0):
+        rng = np.random.default_rng(seed)
+        block_disks = rng.integers(0, n_disks, n_blocks)
+        live = np.ones(n_disks + n_new, dtype=bool)
+        new = np.arange(n_disks, n_disks + n_new)
+        live[new] = True
+        return rng, block_disks, live, new
+
+    def test_fair_share_moves(self):
+        rng, blocks, live, new = self._setup()
+        out = plan_migration(rng, blocks, live, new)
+        moved = (out != blocks).mean()
+        assert moved == pytest.approx(100 / 1100, abs=0.01)
+
+    def test_moves_land_on_new_disks(self):
+        rng, blocks, live, new = self._setup()
+        out = plan_migration(rng, blocks, live, new)
+        assert np.isin(out[out != blocks], new).all()
+
+    def test_dead_disk_blocks_not_moved(self):
+        rng, blocks, live, new = self._setup()
+        live[:500] = False        # half the old disks are dead
+        out = plan_migration(rng, blocks, live, new)
+        dead_blocks = ~live[blocks]
+        assert (out[dead_blocks] == blocks[dead_blocks]).all()
+
+    def test_empty_batch_is_identity(self):
+        rng, blocks, live, _ = self._setup()
+        out = plan_migration(rng, blocks, live, np.array([], dtype=int))
+        assert np.array_equal(out, blocks)
+
+    def test_new_disks_end_up_balanced(self):
+        rng, blocks, live, new = self._setup(n_blocks=200_000)
+        out = plan_migration(rng, blocks, live, new)
+        new_loads = np.bincount(out, minlength=1100)[1000:]
+        # each new disk should get roughly blocks/(live+new) ~ 182
+        assert new_loads.mean() == pytest.approx(200_000 / 1100, rel=0.1)
+        assert new_loads.std() < 0.35 * new_loads.mean()

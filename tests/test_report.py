@@ -1,0 +1,61 @@
+"""Tests for text rendering (repro.experiments.report / base)."""
+
+from repro.experiments import SCALES, ExperimentResult
+from repro.experiments.report import _fmt, pct, render_table
+
+
+class TestFormat:
+    def test_none_is_dash(self):
+        assert _fmt(None) == "-"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_small_and_large_floats_compact(self):
+        assert _fmt(0.000123) == "0.000123"
+        assert _fmt(1234567.0) == "1.23e+06"
+
+    def test_mid_range_four_sig_figs(self):
+        assert _fmt(3.14159) == "3.142"
+
+    def test_strings_passthrough(self):
+        assert _fmt("abc") == "abc"
+
+    def test_pct(self):
+        assert pct(0.123) == "12.30%"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bee"], [{"a": 1, "bee": 22},
+                                           {"a": 333, "bee": 4}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_missing_cells_dash(self):
+        text = render_table(["x", "y"], [{"x": 1}])
+        assert "-" in text.splitlines()[2]
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestExperimentResult:
+    def _result(self):
+        r = ExperimentResult(experiment="demo", description="d",
+                             scale=SCALES["smoke"], columns=["k", "v"])
+        r.add(k="a", v=1)
+        r.add(k="b", v=2)
+        return r
+
+    def test_column_accessor(self):
+        assert self._result().column("v") == [1, 2]
+
+    def test_render_includes_scale_and_notes(self):
+        r = self._result()
+        r.notes.append("a note")
+        text = r.render()
+        assert "scale=smoke" in text and "note: a note" in text

@@ -1,0 +1,88 @@
+"""Tests for sensitivity analysis (repro.reliability.sensitivity)."""
+
+import pytest
+
+from repro.config import PAPER_BASE
+from repro.reliability.sensitivity import (PARAMETERS, elasticity,
+                                           render_tornado, tornado)
+
+
+class TestElasticity:
+    def test_failure_rate_elasticity_is_about_two_for_mirroring(self):
+        """Loss needs two overlapping failures: P ~ rate^2, elasticity ~2
+        (the paper's Figure 8(b): doubling rates more than doubles loss)."""
+        row = elasticity(PAPER_BASE, "failure_rate")
+        assert row.elasticity == pytest.approx(2.0, abs=0.25)
+
+    def test_recovery_bandwidth_elasticity_negative(self):
+        """More bandwidth, shorter windows, less loss."""
+        row = elasticity(PAPER_BASE, "recovery_bandwidth_bps")
+        assert row.elasticity < 0
+
+    def test_bandwidth_matters_more_without_farm(self):
+        """The paper's Figure 5 as one number: the *absolute* loss change
+        per unit of extra bandwidth is an order of magnitude larger for
+        the traditional scheme (FARM's loss is already tiny, so the same
+        relative elasticity moves far less probability mass)."""
+        farm = elasticity(PAPER_BASE, "recovery_bandwidth_bps")
+        trad = elasticity(PAPER_BASE.with_(use_farm=False),
+                          "recovery_bandwidth_bps")
+        assert abs(trad.elasticity) == pytest.approx(1.0, abs=0.1)
+        assert abs(trad.dp_dlnx) > 10 * abs(farm.dp_dlnx)
+
+    def test_group_size_neutral_under_farm(self):
+        """Figure 3: group size has little impact with FARM (zero detection
+        latency makes it exactly nil)."""
+        row = elasticity(PAPER_BASE.with_(detection_latency=0.0),
+                         "group_user_bytes")
+        assert abs(row.elasticity) < 0.05
+
+    def test_group_size_negative_without_farm(self):
+        """Without FARM, smaller groups are worse, so the elasticity with
+        respect to group size is negative (bigger groups -> less loss)."""
+        row = elasticity(PAPER_BASE.with_(use_farm=False,
+                                          detection_latency=0.0),
+                         "group_user_bytes")
+        assert row.elasticity < -0.5
+
+    def test_system_scale_elasticity_about_one(self):
+        """Figure 8(a): P(loss) linear in capacity."""
+        row = elasticity(PAPER_BASE, "total_user_bytes")
+        assert row.elasticity == pytest.approx(1.0, abs=0.15)
+
+    def test_zero_detection_latency_handled(self):
+        row = elasticity(PAPER_BASE.with_(detection_latency=0.0),
+                         "detection_latency")
+        assert row.base_value == 1.0       # re-anchored to one second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            elasticity(PAPER_BASE, "no_such_parameter")
+        with pytest.raises(ValueError):
+            elasticity(PAPER_BASE, "failure_rate", step=1.5)
+
+    def test_bracket_values_consistent(self):
+        row = elasticity(PAPER_BASE, "failure_rate")
+        assert row.p_minus < row.p_base < row.p_plus
+
+
+class TestTornado:
+    def test_covers_all_parameters_sorted(self):
+        rows = tornado(PAPER_BASE)
+        assert {r.parameter for r in rows} == set(PARAMETERS)
+        mags = [abs(r.elasticity) for r in rows]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_failure_rate_dominates_for_farm(self):
+        """The paper's conclusion: 'keeping disk failure rates low is a
+        critical factor' — it tops the tornado."""
+        rows = tornado(PAPER_BASE)
+        assert rows[0].parameter == "failure_rate"
+
+    def test_render(self):
+        text = render_tornado(tornado(PAPER_BASE))
+        assert "failure_rate" in text
+        assert "+" in text and "-" in text
+
+    def test_render_empty(self):
+        assert "no parameters" in render_tornado([])

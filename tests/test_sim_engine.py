@@ -1,0 +1,212 @@
+"""Tests for the discrete-event engine (repro.sim.engine / events)."""
+
+import math
+
+import pytest
+
+from repro.sim import (PRIORITY_HIGH, PRIORITY_LOW, Event, SimulationError,
+                       Simulator)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        out = []
+        sim.schedule(5.0, out.append, "late")
+        sim.schedule(1.0, out.append, "early")
+        sim.schedule(3.0, out.append, "mid")
+        sim.run()
+        assert out == ["early", "mid", "late"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.schedule(7.25, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5, 7.25]
+
+    def test_schedule_at_absolute_time(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        fired = []
+        sim.schedule_at(4.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"] and sim.now == 4.0
+
+    def test_schedule_in_past_raises(self, sim):
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_nan_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_same_time_fifo_by_insertion(self, sim):
+        out = []
+        for tag in "abc":
+            sim.schedule(1.0, out.append, tag)
+        sim.run()
+        assert out == ["a", "b", "c"]
+
+    def test_priority_overrides_insertion_order(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "normal")
+        sim.schedule(1.0, out.append, "high", priority=PRIORITY_HIGH)
+        sim.schedule(1.0, out.append, "low", priority=PRIORITY_LOW)
+        sim.run()
+        assert out == ["high", "normal", "low"]
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        out = []
+
+        def first():
+            sim.schedule(1.0, out.append, "second")
+            out.append("first")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert out == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_zero_delay_event_fires_at_same_time(self, sim):
+        times = []
+        sim.schedule(3.0, lambda: sim.schedule(
+            0.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        out = []
+        ev = sim.schedule(1.0, out.append, "x")
+        ev.cancel()
+        sim.run()
+        assert out == []
+
+    def test_cancel_during_run(self, sim):
+        out = []
+        later = sim.schedule(2.0, out.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert out == []
+
+    def test_cancelled_events_excluded_from_len(self, sim):
+        ev1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert len(sim) == 2
+        ev1.cancel()
+        assert len(sim) == 1
+
+    def test_peek_skips_cancelled(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        ev.cancel()
+        assert sim.peek() == 5.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "in")
+        sim.schedule(10.0, out.append, "out")
+        sim.run(until=5.0)
+        assert out == ["in"]
+        assert sim.now == 5.0          # clock advances to the horizon
+
+    def test_run_until_then_resume(self, sim):
+        out = []
+        sim.schedule(10.0, out.append, "late")
+        sim.run(until=5.0)
+        sim.run()
+        assert out == ["late"]
+
+    def test_event_exactly_at_horizon_fires(self, sim):
+        out = []
+        sim.schedule(5.0, out.append, "edge")
+        sim.run(until=5.0)
+        assert out == ["edge"]
+
+    def test_empty_run_advances_to_until(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == math.inf
+
+    def test_step_returns_event_then_none(self, sim):
+        sim.schedule(1.0, lambda: None)
+        ev = sim.step()
+        assert isinstance(ev, Event)
+        assert sim.step() is None
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+    def test_events_fired_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_clear_drops_pending(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "x")
+        sim.clear()
+        sim.run()
+        assert out == [] and len(sim) == 0
+
+    def test_trace_hook_sees_events(self):
+        seen = []
+        sim = Simulator(trace=seen.append)
+        sim.schedule(1.0, lambda: None, name="traced")
+        sim.run()
+        assert [e.name for e in seen] == ["traced"]
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        out = []
+        sim.schedule(5.0, lambda: out.append(sim.now))
+        sim.run()
+        assert out == [105.0]
+
+
+class TestEventObject:
+    def test_ordering_by_time_priority_seq(self):
+        a = Event(time=1.0)
+        b = Event(time=2.0)
+        c = Event(time=1.0, priority=PRIORITY_HIGH)
+        assert a < b and c < a
+
+    def test_fire_respects_cancel(self):
+        out = []
+        ev = Event(time=0.0, callback=out.append, args=("x",))
+        ev.cancel()
+        assert ev.fire() is None and out == []
+
+    def test_fire_passes_args(self):
+        out = []
+        ev = Event(time=0.0, callback=out.append, args=("y",))
+        ev.fire()
+        assert out == ["y"]

@@ -1,0 +1,213 @@
+"""Tests for the generator-process layer (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import Interrupt, Process, Signal, Simulator, Timeout, all_of
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimeouts:
+    def test_sequence_of_timeouts(self, sim):
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield Timeout(3.0)
+            log.append(sim.now)
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert log == [0.0, 3.0, 5.0]
+
+    def test_timeout_value_passed_back(self, sim):
+        got = []
+
+        def worker():
+            got.append((yield Timeout(1.0, value="payload")))
+
+        Process(sim, worker())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_yield_none_resumes_same_time(self, sim):
+        log = []
+
+        def worker():
+            yield None
+            log.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert log == [0.0]
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def worker(tag, delay):
+            yield Timeout(delay)
+            log.append((tag, sim.now))
+            yield Timeout(delay)
+            log.append((tag, sim.now))
+
+        Process(sim, worker("a", 2.0))
+        Process(sim, worker("b", 3.0))
+        sim.run()
+        assert log == [("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0)]
+
+
+class TestSignals:
+    def test_waiters_resume_on_trigger(self, sim):
+        sig = Signal()
+        log = []
+
+        def waiter(tag):
+            value = yield sig
+            log.append((tag, value, sim.now))
+
+        def firer():
+            yield Timeout(5.0)
+            sig.trigger("go")
+
+        Process(sim, waiter("w1"))
+        Process(sim, waiter("w2"))
+        Process(sim, firer())
+        sim.run()
+        assert log == [("w1", "go", 5.0), ("w2", "go", 5.0)]
+
+    def test_already_triggered_signal_resumes_immediately(self, sim):
+        sig = Signal()
+        sig.trigger(42)
+        got = []
+
+        def waiter():
+            got.append((yield sig))
+
+        Process(sim, waiter())
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_keeps_first_value(self):
+        sig = Signal()
+        sig.trigger(1)
+        sig.trigger(2)
+        assert sig.value == 1
+
+
+class TestProcessComposition:
+    def test_wait_for_child_process(self, sim):
+        def child():
+            yield Timeout(4.0)
+            return "result"
+
+        def parent():
+            value = yield Process(sim, child())
+            return (value, sim.now)
+
+        p = Process(sim, parent())
+        sim.run()
+        assert p.value == ("result", 4.0)
+
+    def test_process_done_signal(self, sim):
+        def quick():
+            yield Timeout(1.0)
+            return 7
+
+        p = Process(sim, quick())
+        sim.run()
+        assert p.done.triggered and p.done.value == 7 and not p.alive
+
+    def test_all_of_waits_for_everything(self, sim):
+        def worker(delay, val):
+            yield Timeout(delay)
+            return val
+
+        combined = all_of(sim, [Process(sim, worker(3.0, "a")),
+                                Process(sim, worker(1.0, "b"))])
+        sim.run()
+        assert combined.value == ["a", "b"]
+        assert sim.now == 3.0
+
+    def test_yield_non_waitable_raises(self, sim):
+        def bad():
+            yield 42
+
+        Process(sim, bad())
+        with pytest.raises(TypeError, match="non-waitable"):
+            sim.run()
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                log.append("overslept")
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, sim.now))
+
+        p = Process(sim, sleeper())
+        sim.schedule(5.0, p.interrupt, "alarm")
+        sim.run()
+        assert log == [("interrupted", "alarm", 5.0)]
+
+    def test_uncaught_interrupt_kills_process_quietly(self, sim):
+        def sleeper():
+            yield Timeout(100.0)
+
+        p = Process(sim, sleeper())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert not p.alive and sim.now == 1.0
+
+    def test_interrupt_then_continue(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupt:
+                pass
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        p = Process(sim, sleeper())
+        sim.schedule(5.0, p.interrupt)
+        sim.run()
+        assert log == [7.0]
+
+    def test_interrupt_dead_process_noop(self, sim):
+        def quick():
+            yield Timeout(1.0)
+
+        p = Process(sim, quick())
+        sim.run()
+        p.interrupt()     # must not raise
+        sim.run()
+
+    def test_interrupted_waiter_removed_from_signal(self, sim):
+        sig = Signal()
+
+        def waiter():
+            try:
+                yield sig
+            except Interrupt:
+                pass
+
+        p = Process(sim, waiter())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        sig.trigger("late")   # must not resume the dead process
+        sim.run()
+        assert not p.alive

@@ -1,0 +1,65 @@
+"""Tests for the SMART health monitor (repro.disks.smart)."""
+
+import numpy as np
+import pytest
+
+from repro.disks import SmartMonitor
+from repro.units import DAY
+
+
+def monitor(**kw):
+    return SmartMonitor(np.random.default_rng(0), **kw)
+
+
+class TestWarnings:
+    def test_flags_failing_drive_inside_horizon(self):
+        m = monitor(detection_probability=1.0, false_positive_rate=0.0)
+        m.register(1)
+        fail_at = 100 * DAY
+        assert not m.is_suspect(1, now=fail_at - 30 * DAY,
+                                failure_time=fail_at)
+        assert m.is_suspect(1, now=fail_at - 1 * DAY, failure_time=fail_at)
+
+    def test_missed_detection_never_flags(self):
+        m = monitor(detection_probability=0.0, false_positive_rate=0.0)
+        m.register(1)
+        assert not m.is_suspect(1, now=1.0, failure_time=2.0)
+
+    def test_detection_decision_is_sticky(self):
+        m = monitor(detection_probability=0.5, false_positive_rate=0.0)
+        m.register(1)
+        first = m.is_suspect(1, now=1.0, failure_time=DAY)
+        for _ in range(10):
+            assert m.is_suspect(1, now=1.0, failure_time=DAY) == first
+
+    def test_false_positive_rate(self):
+        m = monitor(detection_probability=0.0, false_positive_rate=1.0)
+        m.register(2)
+        assert m.is_suspect(2, now=0.0, failure_time=None)
+
+    def test_false_positive_frequency_statistical(self):
+        m = SmartMonitor(np.random.default_rng(5),
+                         detection_probability=0.0, false_positive_rate=0.1)
+        for d in range(2000):
+            m.register(d)
+        flagged = sum(m.is_suspect(d, 0.0, None) for d in range(2000))
+        assert 130 < flagged < 270
+
+    def test_forget_clears_state(self):
+        m = monitor(false_positive_rate=1.0)
+        m.register(3)
+        m.forget(3)
+        assert not m.is_suspect(3, now=0.0, failure_time=None)
+
+    def test_unregistered_disk_not_suspect(self):
+        m = monitor()
+        assert not m.is_suspect(99, now=0.0, failure_time=None)
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            SmartMonitor(rng, detection_probability=1.5)
+        with pytest.raises(ValueError):
+            SmartMonitor(rng, false_positive_rate=-0.1)
+        with pytest.raises(ValueError):
+            SmartMonitor(rng, warning_horizon=-1.0)

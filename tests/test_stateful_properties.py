@@ -1,0 +1,154 @@
+"""Stateful property-based tests (hypothesis.stateful).
+
+Two core state machines get model-based checking:
+
+* :class:`RedundancyGroup` — arbitrary interleavings of block failures and
+  rebuilds must preserve the invariants (distinct live disks, loss iff
+  survivors < m, loss is permanent);
+* :class:`SerialServer` — checked against a brute-force reference queue.
+
+Plus whole-run properties of the fast engine over random configurations.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.config import SystemConfig
+from repro.redundancy import RedundancyGroup, RedundancyScheme
+from repro.reliability import ReliabilitySimulation
+from repro.sim import SerialServer
+from repro.units import GB, TB
+
+
+class RedundancyGroupMachine(RuleBasedStateMachine):
+    """Random failure/rebuild interleavings against the group invariants."""
+
+    @initialize(m=st.integers(1, 4), k=st.integers(1, 3),
+                data=st.data())
+    def setup(self, m, k, data):
+        self.scheme = RedundancyScheme(m, m + k)
+        self.n_disks = 50
+        disks = data.draw(st.lists(
+            st.integers(0, self.n_disks - 1), min_size=self.scheme.n,
+            max_size=self.scheme.n, unique=True))
+        self.group = RedundancyGroup(grp_id=0, scheme=self.scheme,
+                                     user_bytes=1.0, disks=list(disks))
+        self.clock = 0.0
+        self.was_lost = False
+
+    def _live_disks(self):
+        return [d for r, d in enumerate(self.group.disks)
+                if r not in self.group.failed]
+
+    @rule(data=st.data())
+    def fail_some_disk(self, data):
+        self.clock += 1.0
+        live = self._live_disks()
+        if not live:
+            return
+        disk = data.draw(st.sampled_from(live))
+        self.group.fail_disk(disk, now=self.clock)
+
+    @rule(data=st.data())
+    def rebuild_some_block(self, data):
+        if self.group.lost or not self.group.failed:
+            return
+        rep = data.draw(st.sampled_from(sorted(self.group.failed)))
+        candidates = [d for d in range(self.n_disks)
+                      if not self.group.holds_buddy(d)]
+        target = data.draw(st.sampled_from(candidates))
+        self.group.complete_rebuild(rep, target)
+
+    @invariant()
+    def live_blocks_on_distinct_disks(self):
+        live = self._live_disks()
+        assert len(live) == len(set(live))
+
+    @invariant()
+    def loss_exactly_when_survivors_below_m(self):
+        if self.group.surviving < self.scheme.m:
+            assert self.group.lost
+        if not self.was_lost and self.group.lost:
+            self.was_lost = True
+        # loss is permanent
+        if self.was_lost:
+            assert self.group.lost
+
+    @invariant()
+    def failed_set_within_range(self):
+        assert all(0 <= r < self.scheme.n for r in self.group.failed)
+
+
+TestRedundancyGroupStateful = RedundancyGroupMachine.TestCase
+
+
+class SerialServerMachine(RuleBasedStateMachine):
+    """SerialServer against an explicit event-list reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.server = SerialServer()
+        self.ref_free_at = 0.0
+        self.last_arrival = 0.0
+
+    @rule(gap=st.floats(0.0, 100.0), duration=st.floats(0.0, 50.0))
+    def submit(self, gap, duration):
+        arrival = self.last_arrival + gap
+        self.last_arrival = arrival
+        got = self.server.submit(arrival, duration)
+        # reference: single FCFS server
+        start = max(arrival, self.ref_free_at)
+        self.ref_free_at = start + duration
+        assert got == self.ref_free_at
+
+    @invariant()
+    def backlog_non_negative(self):
+        assert self.server.backlog(self.last_arrival) >= 0.0
+
+
+TestSerialServerStateful = SerialServerMachine.TestCase
+
+
+class TestFastEngineProperties:
+    """Whole-run invariants over random configurations."""
+
+    @given(
+        m=st.sampled_from([1, 2, 4]),
+        k=st.integers(1, 2),
+        group_gb=st.sampled_from([5.0, 10.0, 25.0]),
+        use_farm=st.booleans(),
+        detection=st.sampled_from([0.0, 30.0, 600.0]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_run_invariants(self, m, k, group_gb, use_farm, detection,
+                            seed):
+        cfg = SystemConfig(total_user_bytes=20 * TB,
+                           group_user_bytes=group_gb * GB,
+                           scheme=RedundancyScheme(m, m + k),
+                           use_farm=use_farm,
+                           detection_latency=detection)
+        sim = ReliabilitySimulation(cfg, seed=seed)
+        stats = sim.run()
+
+        # accounting sanity
+        assert stats.rebuilds_completed <= stats.rebuilds_started
+        assert stats.groups_lost == int(sim.lost.sum())
+        assert stats.window_max >= 0.0
+        if stats.rebuilds_completed:
+            assert stats.mean_window >= detection
+
+        # every non-lost group fully repaired by the horizon (rebuilds are
+        # minutes; the horizon is years) or still within a window that
+        # started near the horizon
+        live = ~sim.lost
+        unresolved = int((sim.failed_count[live] > 0).sum())
+        pending = sum(len(v) for v in sim._jobs_by_group.values())
+        assert unresolved <= pending + stats.groups_lost
+
+        # no live co-location anywhere
+        gd = sim.group_disks[live]
+        for row in gd[(gd >= 0).all(axis=1)][:200]:
+            assert len(set(row.tolist())) == row.size

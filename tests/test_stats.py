@@ -1,0 +1,82 @@
+"""Tests for reliability statistics (repro.reliability.stats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reliability import bootstrap_mean, wilson_interval
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        p = wilson_interval(30, 100)
+        assert p.lo <= p.estimate <= p.hi
+        assert p.estimate == 0.3
+
+    def test_zero_successes_has_zero_lower_bound(self):
+        p = wilson_interval(0, 100)
+        assert p.lo == 0.0 and p.hi > 0.0
+
+    def test_all_successes_has_one_upper_bound(self):
+        p = wilson_interval(100, 100)
+        assert p.hi == 1.0 and p.lo < 1.0
+
+    def test_more_trials_narrower_interval(self):
+        narrow = wilson_interval(50, 1000)
+        wide = wilson_interval(5, 100)
+        assert (narrow.hi - narrow.lo) < (wide.hi - wide.lo)
+
+    def test_higher_confidence_wider_interval(self):
+        p90 = wilson_interval(20, 100, confidence=0.90)
+        p99 = wilson_interval(20, 100, confidence=0.99)
+        assert (p99.hi - p99.lo) > (p90.hi - p90.lo)
+
+    def test_known_value(self):
+        """Wilson 95% for 5/10 is approximately [0.237, 0.763]."""
+        p = wilson_interval(5, 10)
+        assert p.lo == pytest.approx(0.2366, abs=0.002)
+        assert p.hi == pytest.approx(0.7634, abs=0.002)
+
+    def test_coverage_statistical(self):
+        """~95% of intervals from Binomial(50, 0.2) draws cover 0.2."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        for _ in range(400):
+            k = rng.binomial(50, 0.2)
+            p = wilson_interval(int(k), 50)
+            covered += p.lo <= 0.2 <= p.hi
+        assert covered / 400 > 0.90
+
+    @given(st.integers(0, 50), st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_bounds_always_valid(self, k, extra):
+        n = k + extra
+        p = wilson_interval(k, n)
+        assert 0.0 <= p.lo <= p.estimate <= p.hi <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    def test_str_rendering(self):
+        assert "%" in str(wilson_interval(3, 10))
+
+
+class TestBootstrap:
+    def test_mean_and_interval_order(self):
+        rng = np.random.default_rng(1)
+        mean, lo, hi = bootstrap_mean(rng.normal(10, 2, 200))
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(10.0, abs=0.5)
+
+    def test_degenerate_distribution(self):
+        mean, lo, hi = bootstrap_mean(np.full(50, 3.0))
+        assert mean == lo == hi == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean(np.array([]))

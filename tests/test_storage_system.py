@@ -1,0 +1,158 @@
+"""Tests for the object-level system model (repro.cluster.system)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import StorageSystem
+from repro.config import SystemConfig
+from repro.redundancy import ECC_4_6
+from repro.sim import RandomStreams
+from repro.units import GB, TB
+
+
+def small_config(**kw):
+    defaults = dict(total_user_bytes=20 * TB, group_user_bytes=10 * GB)
+    defaults.update(kw)
+    return SystemConfig(**defaults)
+
+
+@pytest.fixture
+def system():
+    return StorageSystem(small_config(), RandomStreams(0))
+
+
+class TestConstruction:
+    def test_geometry(self, system):
+        cfg = system.config
+        assert len(system.disks) == cfg.n_disks
+        assert len(system.groups) == cfg.n_groups
+        assert system.initial_population == cfg.n_disks
+
+    def test_groups_on_distinct_disks(self, system):
+        for group in system.groups[:200]:
+            assert len(set(group.disks)) == group.scheme.n
+
+    def test_utilization_near_target(self, system):
+        util = system.utilization_bytes()
+        mean_frac = util.mean() / system.config.vintage.capacity_bytes
+        assert mean_frac == pytest.approx(
+            system.config.target_utilization, rel=0.15)
+
+    def test_used_bytes_consistent_with_block_count(self, system):
+        disk = system.disks[0]
+        live = sum(1 for g in system.groups_on_disk(0))
+        assert disk.used_bytes == pytest.approx(
+            live * system.config.block_bytes)
+
+    def test_failure_times_sampled_for_all(self, system):
+        assert len(system.failure_times) == len(system.disks)
+        assert all(t > 0 for t in system.failure_times)
+
+    def test_deterministic_for_seed(self):
+        a = StorageSystem(small_config(), RandomStreams(5))
+        b = StorageSystem(small_config(), RandomStreams(5))
+        assert a.failure_times == b.failure_times
+        assert a.groups[17].disks == b.groups[17].disks
+
+    def test_rush_placement_option(self):
+        sys_rush = StorageSystem(small_config(placement="rush"),
+                                 RandomStreams(0))
+        assert type(sys_rush.placement).__name__ == "RushPlacement"
+
+    def test_mismatched_placement_rejected(self):
+        from repro.placement import RandomPlacement
+        with pytest.raises(ValueError, match="placement covers"):
+            StorageSystem(small_config(), RandomStreams(0),
+                          placement=RandomPlacement(5, seed=0))
+
+
+class TestFailure:
+    def test_fail_disk_returns_affected_reps(self, system):
+        affected = system.fail_disk(3, now=100.0)
+        assert not system.disks[3].online
+        for group, reps in affected:
+            for rep in reps:
+                assert rep in group.failed
+
+    def test_groups_on_disk_excludes_failed_blocks(self, system):
+        before = len(system.groups_on_disk(3))
+        system.fail_disk(3, now=1.0)
+        assert len(system.groups_on_disk(3)) == 0
+        assert before > 0
+
+    def test_double_failure_rejected(self, system):
+        system.fail_disk(3, now=1.0)
+        with pytest.raises(ValueError):
+            system.fail_disk(3, now=2.0)
+
+    def test_utilization_zero_for_failed_disk(self, system):
+        system.fail_disk(3, now=1.0)
+        assert system.utilization_bytes()[3] == 0.0
+
+    def test_mirror_group_lost_on_both_disks_failing(self):
+        system = StorageSystem(small_config(), RandomStreams(2))
+        group = system.groups[0]
+        d0, d1 = group.disks
+        system.fail_disk(d0, now=1.0)
+        system.fail_disk(d1, now=2.0)
+        assert group.lost and group.loss_time == 2.0
+
+
+class TestSparesAndBatches:
+    def test_add_spare_outside_placement(self, system):
+        n = system.placement.n_disks
+        spare = system.add_spare(now=10.0)
+        assert spare == n                       # next id
+        assert system.placement.n_disks == n    # placement unchanged
+        assert system.disks[spare].deployed_at == 10.0
+
+    def test_add_batch_grows_placement(self, system):
+        n = system.placement.n_disks
+        ids = system.add_batch(10, now=5.0)
+        assert ids == list(range(n, n + 10))
+        assert system.placement.n_disks == n + 10
+
+    def test_batch_disks_get_failure_times(self, system):
+        ids = system.add_batch(5, now=5.0)
+        for d in ids:
+            assert system.failure_times[d] > 5.0
+
+    def test_migrate_to_batch_balances(self):
+        system = StorageSystem(small_config(placement="rush"),
+                               RandomStreams(1))
+        ids = system.add_batch(10, now=0.0)
+        moved = system.migrate_to_batch(ids, now=0.0,
+                                        rng=np.random.default_rng(0))
+        assert moved > 0
+        new_util = system.utilization_bytes()[ids]
+        avg = system.utilization_bytes().mean()
+        assert new_util.mean() == pytest.approx(avg, rel=0.5)
+
+    def test_migration_preserves_distinctness(self):
+        system = StorageSystem(small_config(scheme=ECC_4_6),
+                               RandomStreams(3))
+        ids = system.add_batch(8, now=0.0)
+        system.migrate_to_batch(ids, now=0.0, rng=np.random.default_rng(1))
+        for group in system.groups:
+            live = [d for r, d in enumerate(group.disks)
+                    if r not in group.failed]
+            assert len(live) == len(set(live))
+
+    def test_add_batch_validation(self, system):
+        with pytest.raises(ValueError):
+            system.add_batch(0, now=0.0)
+
+
+class TestSmartIntegration:
+    def test_no_monitor_means_never_suspect(self, system):
+        assert not system.is_suspect(0, now=0.0)
+
+    def test_monitor_enabled_flags_imminent_failures(self):
+        system = StorageSystem(small_config(use_smart=True),
+                               RandomStreams(4))
+        # Find a disk and ask right before its known failure time: with
+        # detection probability 0.4 over many disks, some must be flagged.
+        flagged = sum(
+            system.is_suspect(d, now=system.failure_times[d] - 3600.0)
+            for d in range(len(system.disks)))
+        assert flagged > 0

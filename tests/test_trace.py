@@ -1,0 +1,93 @@
+"""Tests for structured event tracing (repro.sim.trace)."""
+
+import json
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceRecorder, filtered
+
+
+class TestRecorder:
+    def test_records_fired_events_in_order(self):
+        rec = TraceRecorder()
+        sim = Simulator(trace=rec)
+        sim.schedule(2.0, lambda: None, name="b")
+        sim.schedule(1.0, lambda: None, name="a")
+        sim.run()
+        assert [(r.time, r.name) for r in rec] == [(1.0, "a"), (2.0, "b")]
+
+    def test_cancelled_events_not_recorded(self):
+        rec = TraceRecorder()
+        sim = Simulator(trace=rec)
+        ev = sim.schedule(1.0, lambda: None, name="x")
+        ev.cancel()
+        sim.run()
+        assert len(rec) == 0
+
+    def test_prefix_filter(self):
+        rec = TraceRecorder(prefixes=("disk-",))
+        sim = Simulator(trace=rec)
+        sim.schedule(1.0, lambda: None, name="disk-failure")
+        sim.schedule(2.0, lambda: None, name="rebuild")
+        sim.run()
+        assert [r.name for r in rec] == ["disk-failure"]
+
+    def test_unnamed_events_use_callback_name(self):
+        rec = TraceRecorder()
+        sim = Simulator(trace=rec)
+
+        def my_callback():
+            pass
+
+        sim.schedule(1.0, my_callback)
+        sim.run()
+        assert rec.records[0].name == "my_callback"
+
+    def test_ring_buffer_cap(self):
+        rec = TraceRecorder(max_records=3)
+        sim = Simulator(trace=rec)
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None, name=f"e{i}")
+        sim.run()
+        assert len(rec) == 3 and rec.dropped == 7
+        assert [r.name for r in rec] == ["e7", "e8", "e9"]
+
+
+class TestQueries:
+    def _make(self):
+        rec = TraceRecorder()
+        sim = Simulator(trace=rec)
+        for i, name in enumerate(["a", "b", "a", "c"]):
+            sim.schedule(float(i + 1), lambda: None, name=name)
+        sim.run()
+        return rec
+
+    def test_named(self):
+        rec = self._make()
+        assert len(rec.named("a")) == 2
+        assert rec.named("zzz") == []
+
+    def test_between_half_open(self):
+        rec = self._make()
+        assert [r.name for r in rec.between(2.0, 4.0)] == ["b", "a"]
+
+    def test_counts(self):
+        assert self._make().counts() == {"a": 2, "b": 1, "c": 1}
+
+    def test_jsonl_roundtrip(self):
+        rec = self._make()
+        lines = rec.to_jsonl().splitlines()
+        assert len(lines) == 4
+        first = json.loads(lines[0])
+        assert first == {"t": 1.0, "name": "a", "seq": first["seq"]}
+
+
+class TestFilteredHook:
+    def test_predicate_composition(self):
+        seen = []
+        hook = filtered(lambda ev: seen.append(ev.name),
+                        lambda ev: ev.time > 1.5)
+        sim = Simulator(trace=hook)
+        sim.schedule(1.0, lambda: None, name="early")
+        sim.schedule(2.0, lambda: None, name="late")
+        sim.run()
+        assert seen == ["late"]

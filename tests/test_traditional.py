@@ -1,0 +1,115 @@
+"""Behavioural tests for traditional RAID recovery (repro.core.traditional)."""
+
+import pytest
+
+from repro.cluster import StorageSystem
+from repro.config import SystemConfig
+from repro.core import TraditionalRecovery
+from repro.sim import RandomStreams, Simulator
+from repro.units import GB, TB, YEAR
+
+
+def make(cfg_kw=None, seed=0):
+    defaults = dict(total_user_bytes=40 * TB, group_user_bytes=10 * GB,
+                    detection_latency=30.0, use_farm=False)
+    defaults.update(cfg_kw or {})
+    cfg = SystemConfig(**defaults)
+    system = StorageSystem(cfg, RandomStreams(seed))
+    sim = Simulator()
+    return cfg, system, sim, TraditionalRecovery(system, sim)
+
+
+class TestSerializedRebuild:
+    def test_one_spare_per_failed_disk(self):
+        cfg, system, sim, trad = make()
+        n_before = system.n_disks
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+        sim.run(until=1 * YEAR)
+        assert trad.spares_provisioned == 1
+        assert system.n_disks == n_before + 1
+
+    def test_rebuilds_complete_serially(self):
+        """Completions are spaced one block-rebuild apart: the queue."""
+        cfg, system, sim, trad = make()
+        n_blocks = len(system.groups_on_disk(0))
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+        sim.run(until=1 * YEAR)
+        assert trad.stats.rebuilds_completed == n_blocks
+        t_block = cfg.rebuild_seconds_per_block
+        # k-th completion at detect + k * t_block => max window covers the
+        # whole queue
+        expected_max = cfg.detection_latency + n_blocks * t_block
+        assert trad.stats.window_max == pytest.approx(expected_max, rel=0.01)
+        expected_mean = cfg.detection_latency + (n_blocks + 1) / 2 * t_block
+        assert trad.stats.mean_window == pytest.approx(expected_mean,
+                                                       rel=0.01)
+
+    def test_all_blocks_land_on_spare(self):
+        cfg, system, sim, trad = make()
+        affected = system.groups_on_disk(0)
+        failed_reps = [(g, next(r for r, d in enumerate(g.disks)
+                                if d == 0)) for g in affected]
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+        sim.run(until=1 * YEAR)
+        spare = system.n_disks - 1
+        targets = {g.disks[rep] for g, rep in failed_reps}
+        assert targets == {spare}
+
+    def test_window_much_longer_than_farm(self):
+        """The paper's core contrast, at identical geometry."""
+        from repro.core import FarmRecovery
+        cfg, system, sim, trad = make()
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+        sim.run(until=1 * YEAR)
+
+        cfg2 = cfg.with_(use_farm=True)
+        system2 = StorageSystem(cfg2, RandomStreams(0))
+        sim2 = Simulator()
+        farm = FarmRecovery(system2, sim2)
+        sim2.schedule_at(100.0, farm.on_disk_failure, 0)
+        sim2.run(until=1 * YEAR)
+
+        assert trad.stats.mean_window > 10 * farm.stats.mean_window
+
+
+class TestSpareFailure:
+    def test_spare_death_redirects_pending_work(self):
+        cfg, system, sim, trad = make()
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+
+        spare_holder = {}
+
+        def kill_spare():
+            spare = system.n_disks - 1
+            spare_holder["id"] = spare
+            trad.on_disk_failure(spare)
+
+        # kill the spare while most rebuilds are still queued
+        sim.schedule_at(100.0 + cfg.detection_latency
+                        + 2 * cfg.rebuild_seconds_per_block, kill_spare)
+        sim.run(until=1 * YEAR)
+        assert trad.stats.target_redirections > 0
+        assert trad.spares_provisioned >= 2
+        # all groups resolved (rebuilt or counted lost)
+        for g in system.groups:
+            assert g.lost or not g.failed
+
+    def test_second_disk_failure_gets_its_own_spare(self):
+        cfg, system, sim, trad = make()
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+        sim.schedule_at(200.0, trad.on_disk_failure, 1)
+        sim.run(until=1 * YEAR)
+        assert trad.spares_provisioned == 2
+
+    def test_loss_when_partner_fails_inside_queue_window(self):
+        cfg, system, sim, trad = make()
+        group = system.groups_on_disk(0)[0]
+        partner = next(d for d in group.disks if d != 0)
+        sim.schedule_at(100.0, trad.on_disk_failure, 0)
+        # just after detection: (almost) the whole queue is still pending,
+        # so the shared group's surviving replica is certainly unrebuilt
+        sim.schedule_at(100.0 + cfg.detection_latency + 1.0,
+                        trad.on_disk_failure, partner)
+        sim.run(until=1 * YEAR)
+        assert group.lost
+        assert trad.stats.groups_lost > 0

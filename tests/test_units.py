@@ -1,0 +1,35 @@
+"""Tests for unit constants and formatting (repro.units)."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_si_bytes(self):
+        assert units.GB == 1e9 and units.TB == 1e12 and units.PB == 1e15
+
+    def test_paper_arithmetic_is_si(self):
+        """1 GB at 16 MB/s = 62.5 s — the paper's '64 seconds'."""
+        assert units.GB / (16 * units.MB) == pytest.approx(62.5)
+
+    def test_time_units(self):
+        assert units.HOUR == 3600
+        assert units.YEAR == pytest.approx(365.25 * 86400)
+        assert units.MONTH * 12 == pytest.approx(units.YEAR)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expected", [
+        (2e15, "2 PB"), (1.5e12, "1.5 TB"), (4e11, "400 GB"),
+        (2.5e6, "2.5 MB"), (999, "999 B"),
+    ])
+    def test_fmt_bytes(self, value, expected):
+        assert units.fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize("value,contains", [
+        (6 * units.YEAR, "yr"), (3 * units.DAY, "d"),
+        (7200, "h"), (90, "min"), (5, "s"),
+    ])
+    def test_fmt_duration(self, value, contains):
+        assert contains in units.fmt_duration(value)

@@ -1,0 +1,87 @@
+"""Tests for the workload models (repro.cluster.workload)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ConstantWorkload, DiurnalWorkload
+from repro.units import DAY, HOUR, MB
+
+
+class TestConstantWorkload:
+    def test_zero_load_is_exact_transfer(self):
+        w = ConstantWorkload(0.0)
+        assert w.time_to_transfer(16e6 * 100, 16 * MB, start=0.0) == 100.0
+
+    def test_half_load_doubles_time(self):
+        w = ConstantWorkload(0.5)
+        assert w.time_to_transfer(16e6, 16 * MB, 0.0) == pytest.approx(2.0)
+
+    def test_zero_bytes(self):
+        assert ConstantWorkload(0.3).time_to_transfer(0.0, 1.0, 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload(1.0)
+
+
+class TestDiurnalProfile:
+    def test_load_peaks_at_peak_time(self):
+        w = DiurnalWorkload(peak_load=0.7, trough_load=0.1,
+                            peak_time=14 * HOUR)
+        assert w.load(14 * HOUR) == pytest.approx(0.7)
+        assert w.load(2 * HOUR) == pytest.approx(0.1)
+
+    def test_load_bounded(self):
+        w = DiurnalWorkload(peak_load=0.8, trough_load=0.2)
+        loads = [w.load(t * 600.0) for t in range(300)]
+        assert min(loads) >= 0.2 - 1e-9 and max(loads) <= 0.8 + 1e-9
+
+    def test_daily_periodicity(self):
+        w = DiurnalWorkload()
+        assert w.load(3 * HOUR) == pytest.approx(w.load(3 * HOUR + DAY))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalWorkload(peak_load=0.2, trough_load=0.5)
+        with pytest.raises(ValueError):
+            DiurnalWorkload(peak_load=1.0)
+
+
+class TestDiurnalTransferTimes:
+    def test_transfer_slower_than_full_rate(self):
+        w = DiurnalWorkload(peak_load=0.7, trough_load=0.1)
+        nbytes = 16e6 * 3600      # one hour at full rate
+        dt = w.time_to_transfer(nbytes, 16 * MB, start=12 * HOUR)
+        assert dt > 3600.0
+
+    def test_transfer_bounded_by_trough_and_peak_rates(self):
+        w = DiurnalWorkload(peak_load=0.6, trough_load=0.2)
+        nbytes = 16e6 * 1000
+        dt = w.time_to_transfer(nbytes, 16 * MB, start=0.0)
+        assert 1000 / 0.8 <= dt <= 1000 / 0.4 + 1
+
+    def test_night_transfers_faster_than_peak(self):
+        w = DiurnalWorkload(peak_load=0.7, trough_load=0.1,
+                            peak_time=14 * HOUR)
+        nbytes = 16e6 * 600
+        night = w.time_to_transfer(nbytes, 16 * MB, start=2 * HOUR)
+        peak = w.time_to_transfer(nbytes, 16 * MB, start=14 * HOUR)
+        assert night < peak
+
+    @given(st.floats(1e6, 1e12), st.floats(0, 2 * DAY))
+    @settings(max_examples=30, deadline=None)
+    def test_transferred_bytes_match_duration(self, nbytes, start):
+        """Inverting the integral: integrating the available rate over the
+        returned duration yields the requested bytes."""
+        w = DiurnalWorkload(peak_load=0.7, trough_load=0.1)
+        bw = 16 * MB
+        dt = w.time_to_transfer(nbytes, bw, start)
+        moved = (w._integral(start + dt) - w._integral(start)) * bw
+        assert moved == pytest.approx(nbytes, rel=1e-5)
+
+    def test_zero_bytes_zero_time(self):
+        assert DiurnalWorkload().time_to_transfer(0.0, 16 * MB, 0.0) == 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            DiurnalWorkload().time_to_transfer(100.0, 0.0, 0.0)

@@ -1,0 +1,75 @@
+"""Tests for the XOR (RAID-5) codec (repro.redundancy.xor_parity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.redundancy import XorParity
+
+
+class TestEncode:
+    def test_parity_is_xor_of_data(self):
+        xp = XorParity(3)
+        data = np.array([[1, 2], [4, 8], [16, 32]], dtype=np.uint8)
+        blocks = xp.encode(data)
+        assert np.array_equal(blocks[3], [1 ^ 4 ^ 16, 2 ^ 8 ^ 32])
+
+    def test_encode_keeps_data_verbatim(self):
+        xp = XorParity(4)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+        assert np.array_equal(xp.encode(data)[:4], data)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            XorParity(3).encode(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ValueError):
+            XorParity(0)
+
+
+class TestReconstruct:
+    @given(st.integers(1, 8), st.integers(0, 2 ** 31))
+    @settings(max_examples=30, deadline=None)
+    def test_any_single_shard_reconstructs(self, m, seed):
+        xp = XorParity(m)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, (m, 8), dtype=np.uint8)
+        blocks = xp.encode(data)
+        for target in range(m + 1):
+            survivors = {i: blocks[i] for i in range(m + 1) if i != target}
+            assert np.array_equal(
+                xp.reconstruct_shard(survivors, target), blocks[target])
+
+    def test_reconstruct_needs_all_others(self):
+        xp = XorParity(3)
+        blocks = xp.encode(np.zeros((3, 4), dtype=np.uint8))
+        with pytest.raises(ValueError, match="other shards"):
+            xp.reconstruct_shard({0: blocks[0]}, 2)
+
+    def test_target_range_checked(self):
+        xp = XorParity(2)
+        with pytest.raises(ValueError):
+            xp.reconstruct_shard({}, 5)
+
+
+class TestDecode:
+    def test_decode_with_missing_data_shard(self):
+        xp = XorParity(3)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, (3, 8), dtype=np.uint8)
+        blocks = xp.encode(data)
+        survivors = {0: blocks[0], 2: blocks[2], 3: blocks[3]}
+        assert np.array_equal(xp.decode(survivors), data)
+
+    def test_decode_with_missing_parity(self):
+        xp = XorParity(2)
+        data = np.arange(8, dtype=np.uint8).reshape(2, 4)
+        blocks = xp.encode(data)
+        assert np.array_equal(xp.decode({0: blocks[0], 1: blocks[1]}), data)
+
+    def test_too_few_shards(self):
+        xp = XorParity(3)
+        with pytest.raises(ValueError):
+            xp.decode({0: np.zeros(4, np.uint8)})
