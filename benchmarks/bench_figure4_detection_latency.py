@@ -20,17 +20,17 @@ from repro.units import GB, MB, MINUTE
 
 #: Trimmed sweep for the routine harness (the module defaults cover the
 #: paper's full 6x5 grid; run them at REPRO_SCALE=paper).
-SIZES_GB = (1.0, 10.0, 50.0)
-LATENCIES_MIN = (0.0, 2.0, 10.0)
+SIZES_BYTES = (1 * GB, 10 * GB, 50 * GB)
+LATENCIES_S = (0.0, 2 * MINUTE, 10 * MINUTE)
 
 
 def test_figure4_detection_latency(benchmark, report, paper_scale):
     scale = current_scale()
-    sizes = SIZES_GB if scale.name != "paper" else None
-    lats = LATENCIES_MIN if scale.name != "paper" else None
+    sizes = SIZES_BYTES if scale.name != "paper" else None
+    lats = LATENCIES_S if scale.name != "paper" else None
     result = benchmark.pedantic(
-        figure4.run, kwargs={"group_sizes_gb": sizes,
-                             "latencies_min": lats},
+        figure4.run, kwargs={"group_sizes_bytes": sizes,
+                             "latencies_s": lats},
         rounds=1, iterations=1)
     report(result)
 

@@ -12,10 +12,11 @@ from repro.experiments import figure8
 from repro.experiments.base import current_scale
 from repro.redundancy import (ECC_4_6, ECC_8_10, MIRROR_2, MIRROR_3,
                               RAID5_2_3, RAID5_4_5)
+from repro.units import PB
 
 #: Trimmed capacity axis for the routine harness; REPRO_SCALE=paper runs
 #: the paper's full 0.1-5 PB axis with all six schemes.
-CAPS_PB = (0.1, 1.0, 5.0)
+CAPS_BYTES = (0.1 * PB, 1 * PB, 5 * PB)
 SCHEMES = (MIRROR_2, MIRROR_3, RAID5_4_5, ECC_4_6)
 
 
@@ -23,7 +24,7 @@ def _kwargs(rate):
     scale = current_scale()
     if scale.name == "paper":
         return {"rate_multiplier": rate}
-    return {"rate_multiplier": rate, "capacities_pb": CAPS_PB,
+    return {"rate_multiplier": rate, "capacities_bytes": CAPS_BYTES,
             "schemes": SCHEMES}
 
 

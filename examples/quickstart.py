@@ -40,7 +40,8 @@ def main() -> None:
         print()
 
     print("FARM shrinks the window of vulnerability from the whole-disk")
-    print("rebuild time to a single-group rebuild — hours down to minutes —")
+    print("rebuild time to a single-group rebuild — hours down to "
+          "minutes —")
     print("which is exactly the paper's Figure 3 result.")
 
 if __name__ == "__main__":

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Repository quality gate: invariant linter, style/type checkers, tier-1
+# tests.  Exits non-zero if any enabled check fails.
+#
+# ruff and mypy are optional — the offline reproduction image may not ship
+# them; when absent they are reported as skipped, not failed.  The
+# invariant linter (repro.analysis) and pytest are stdlib/baked-in and
+# always run.
+#
+# Usage: scripts/check.sh
+set -u -o pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+status=0
+
+step() {
+  local name="$1"; shift
+  echo ">>> $name: $*"
+  if "$@"; then
+    echo "    $name: ok"
+  else
+    status=1
+    echo "    $name: FAILED"
+  fi
+  echo
+}
+
+optional_step() {
+  local name="$1" tool="$2"
+  if python -c "import importlib.util,sys;sys.exit(importlib.util.find_spec('$tool') is None)" 2>/dev/null; then
+    shift 2
+    step "$name" "$@"
+  else
+    echo ">>> $name: skipped ($tool not installed)"
+    echo
+  fi
+}
+
+step "invariant linter" python -m repro.analysis src
+optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
+optional_step "mypy" mypy python -m mypy
+step "tier-1 tests" python -m pytest -x -q
+
+if [ $status -ne 0 ]; then
+  echo "check.sh: FAILED"
+else
+  echo "check.sh: all checks passed"
+fi
+exit $status

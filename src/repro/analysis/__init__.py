@@ -1,0 +1,57 @@
+"""AST-based invariant linter for the reproduction codebase.
+
+Eight rules in three families keep the simulator's correctness invariants
+machine-checked instead of convention-checked:
+
+**Determinism** — results must be a pure function of ``(config, seed)``:
+
+* ``RPR001`` — no stdlib ``random`` (use named ``RandomStreams``);
+* ``RPR002`` — no seedless ``np.random.default_rng()``;
+* ``RPR003`` — no builtin ``hash()`` (process-salted; use
+  ``stable_hash64``);
+* ``RPR004`` — no wall-clock reads in ``sim/``, ``core/``,
+  ``reliability/``, ``placement/``.
+
+**Unit safety** — sizes in bytes, durations in seconds, bandwidths in
+bytes/second, exactly as the paper's arithmetic requires:
+
+* ``RPR005`` — unit-valued magic literals must be ``units.*`` constants;
+* ``RPR006`` — public parameters use base-unit suffixes
+  (``_bytes``/``_s``/``_bps``), not ``_gb``/``_ms``/``_mbps``.
+
+**Simulation discipline** — library code stays silent and never writes
+the clock:
+
+* ``RPR007`` — no ``print()`` outside ``__main__.py``/``trace.py``;
+* ``RPR008`` — no assignment to ``.now``/``._now`` outside the engine.
+
+Run it as ``python -m repro.analysis [paths]`` or via
+:func:`lint_paths`; suppress a single line with ``# repro: noqa`` or
+``# repro: noqa RPRxxx``.  ``tests/test_static_analysis.py`` gates the
+tree: tier-1 fails on any violation in ``src/``.
+"""
+
+from .base import RULES, FileContext, Rule, Violation
+from .determinism import SIM_DIRS
+from .discipline import PRINT_SINKS
+from .reporting import render_json, render_rule_list, render_text
+from .runner import iter_python_files, lint_file, lint_paths, lint_source
+from .units_rules import DEPRECATED_SUFFIXES, MAGIC_LITERALS
+
+__all__ = [
+    "DEPRECATED_SUFFIXES",
+    "FileContext",
+    "MAGIC_LITERALS",
+    "PRINT_SINKS",
+    "RULES",
+    "Rule",
+    "SIM_DIRS",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]

@@ -1,0 +1,53 @@
+"""CLI for the invariant linter: ``python -m repro.analysis [paths]``.
+
+Exit status is 0 when the tree is clean and 1 when any violation (or
+unparseable file) is found, so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .reporting import render_json, render_rule_list, render_text
+from .runner import lint_paths
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter: determinism, unit "
+                    "safety, and simulation discipline (rules RPR001-"
+                    "RPR008).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error("no such file or directory: " + ", ".join(missing))
+
+    violations = lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(violations))
+    elif violations:
+        print(render_text(violations))
+    if violations:
+        print(f"{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

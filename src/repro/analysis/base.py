@@ -1,0 +1,145 @@
+"""Infrastructure for the repro static-analysis pass.
+
+A :class:`Rule` is an ``ast.NodeVisitor`` with a stable ID (``RPR001``,
+``RPR002``, ...), a one-line summary, and a docstring explaining the
+invariant it protects.  Rules are registered with :func:`register` and run
+by :mod:`repro.analysis.runner` over every file in the linted tree.
+
+Suppression: a violation is discarded when its source line carries a
+``# repro: noqa`` comment, either bare (suppresses every rule on that
+line) or listing rule IDs (``# repro: noqa RPR005`` or
+``# repro: noqa RPR001, RPR007``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RPRxxx message`` — the text-report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    path: Path
+    source: str
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    @property
+    def parts(self) -> frozenset[str]:
+        """Path components — used for directory-scoped rules."""
+        return frozenset(self.path.parts)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one static-analysis rule.
+
+    Subclasses set :attr:`id` and :attr:`summary`, override visitor
+    methods, and call :meth:`report` for each violation.  A rule that only
+    applies to part of the tree overrides :meth:`applies_to`.
+    """
+
+    id: str = "RPR000"
+    summary: str = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.violations: list[Violation] = []
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        """Whether this rule runs on the given file at all."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(
+            path=str(self.ctx.path), line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), rule=self.id,
+            message=message))
+
+    @classmethod
+    def check(cls, tree: ast.AST, ctx: FileContext) -> list[Violation]:
+        """Run this rule over a parsed module; return its violations."""
+        inst = cls(ctx)
+        inst.visit(tree)
+        return inst.violations
+
+
+#: All registered rule classes, in registration order.
+RULES: list[type[Rule]] = []
+
+
+def register(rule: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if any(r.id == rule.id for r in RULES):
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES.append(rule)
+    return rule
+
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<ids>[^#\n]*)", re.IGNORECASE)
+_RULE_ID_RE = re.compile(r"RPR\d{3}", re.IGNORECASE)
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """Parse a source line's ``# repro: noqa`` directive.
+
+    Returns ``None`` when the line has no directive, an empty set for a
+    bare ``# repro: noqa`` (suppress everything), or the set of uppercase
+    rule IDs listed after it.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    ids = frozenset(i.upper() for i in _RULE_ID_RE.findall(m.group("ids")))
+    return ids
+
+
+def apply_noqa(violations: list[Violation],
+               source_lines: list[str]) -> list[Violation]:
+    """Drop violations suppressed by a ``# repro: noqa`` on their line."""
+    kept = []
+    for v in violations:
+        if 1 <= v.line <= len(source_lines):
+            ids = suppressed_rules(source_lines[v.line - 1])
+            if ids is not None and (not ids or v.rule in ids):
+                continue
+        kept.append(v)
+    return kept
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``ast.Name``/``ast.Attribute`` chain as ``a.b.c``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,126 @@
+"""Determinism rules (RPR001–RPR004).
+
+The Monte-Carlo results in this repository are only trustworthy because
+every stochastic draw is reproducible from ``(config, seed)``.  These rules
+reject the common ways nondeterminism sneaks into simulation code: the
+stdlib ``random`` module (global, unseeded state), seedless numpy
+generators, Python's per-process-salted ``hash``, and wall-clock reads
+inside simulation logic.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, Rule, dotted_name, register
+
+
+@register
+class StdlibRandomImport(Rule):
+    """RPR001 — the stdlib ``random`` module is banned in ``src/``.
+
+    ``random`` draws from hidden, process-global state and its seeding is
+    not stream-isolated, so a draw anywhere perturbs every later draw.
+    All randomness must come from named streams:
+    ``repro.sim.rng.RandomStreams(seed).get("component")``.
+    """
+
+    id = "RPR001"
+    summary = "stdlib `random` import; use repro.sim.rng.RandomStreams"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self.report(node, "import of stdlib `random`; draw from a "
+                                  "named RandomStreams stream instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module is not None \
+                and node.module.split(".")[0] == "random":
+            self.report(node, "import from stdlib `random`; draw from a "
+                              "named RandomStreams stream instead")
+        self.generic_visit(node)
+
+
+@register
+class SeedlessDefaultRng(Rule):
+    """RPR002 — ``np.random.default_rng()`` without a seed is banned.
+
+    An argless ``default_rng()`` seeds from OS entropy, so two runs of the
+    same experiment disagree.  Pass an explicit seed, or better, take a
+    generator from ``RandomStreams``.
+    """
+
+    id = "RPR002"
+    summary = "seedless np.random.default_rng(); pass a seed or use " \
+              "RandomStreams"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] == "default_rng" \
+                and not node.args and not node.keywords:
+            self.report(node, "default_rng() without a seed is "
+                              "nondeterministic; seed it or use "
+                              "RandomStreams")
+        self.generic_visit(node)
+
+
+@register
+class BuiltinHashCall(Rule):
+    """RPR003 — builtin ``hash()`` is banned.
+
+    Python salts string hashing per process (PYTHONHASHSEED), so builtin
+    ``hash`` values differ between runs and across worker processes —
+    poison for placement and stream derivation.  Use
+    ``repro.sim.rng.stable_hash64`` instead.
+    """
+
+    id = "RPR003"
+    summary = "builtin hash() is process-salted; use stable_hash64"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self.report(node, "builtin hash() is salted per process; use "
+                              "repro.sim.rng.stable_hash64")
+        self.generic_visit(node)
+
+
+#: Directories whose code runs under the simulation clock.
+SIM_DIRS = frozenset({"sim", "core", "reliability", "placement"})
+
+#: Dotted-call suffixes that read the wall clock.
+_WALL_CLOCK_CALLS = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+
+
+@register
+class WallClockInSimCode(Rule):
+    """RPR004 — no wall-clock reads inside simulation code.
+
+    Files under ``sim/``, ``core/``, ``reliability/`` and ``placement/``
+    model *simulated* time; mixing in ``time.time()`` or
+    ``datetime.now()`` couples results to the host machine.  Simulation
+    logic must use the engine clock (``sim.now``); timing harnesses belong
+    in ``__main__`` or the benchmark suite.
+    """
+
+    id = "RPR004"
+    summary = "wall-clock read in simulation code; use the engine clock"
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return bool(SIM_DIRS & ctx.parts)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            if any(name == c or name.endswith("." + c)
+                   for c in _WALL_CLOCK_CALLS):
+                self.report(node, f"wall-clock call {name}() in simulation "
+                                  "code; use the simulator's `now`")
+        self.generic_visit(node)

@@ -1,0 +1,81 @@
+"""Simulation-discipline rules (RPR007–RPR008).
+
+Library modules must stay silent and must never write the simulation
+clock: output goes through returned strings, :class:`TraceRecorder`
+sinks, or the CLI in ``__main__.py``, and time only advances when the
+engine pops an event.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, Rule, register
+
+#: Basenames where ``print`` is an intentional sink.
+PRINT_SINKS = frozenset({"__main__.py", "trace.py"})
+
+
+@register
+class PrintInLibraryCode(Rule):
+    """RPR007 — no ``print()`` in library modules.
+
+    Experiments and simulators are imported by tests, notebooks and
+    benchmark harnesses; stray stdout corrupts captured results and JSONL
+    traces.  Return strings, use a :class:`TraceRecorder` sink, or print
+    from ``__main__.py`` (and ``trace.py``'s explicit writers) only.
+    """
+
+    id = "RPR007"
+    summary = "print() in library module; return text or use a trace sink"
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.basename not in PRINT_SINKS
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.report(node, "print() in library code; return the text "
+                              "or route it through a TraceRecorder sink")
+        self.generic_visit(node)
+
+
+@register
+class AssignsSimulationClock(Rule):
+    """RPR008 — nothing may assign to the simulation clock.
+
+    ``Simulator.now`` is a read-only view of ``_now``; event handlers that
+    set ``engine.now`` (or reach into ``engine._now``) break the total
+    event order and desynchronize every scheduled callback.  Only the
+    engine itself (``sim/engine.py``) advances the clock.
+    """
+
+    id = "RPR008"
+    summary = "assignment to a simulation clock attribute (`.now`/`._now`)"
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.basename != "engine.py"
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt)
+        elif isinstance(target, ast.Attribute) \
+                and target.attr in ("now", "_now"):
+            self.report(target, f"assignment to `.{target.attr}`; the "
+                                "clock only advances inside the engine's "
+                                "event loop")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)

@@ -1,0 +1,35 @@
+"""Violation reporters: plain text and JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .base import RULES, Violation
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col: RPRxxx message`` line per violation."""
+    return "\n".join(v.format() for v in violations)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """A JSON document: violation list plus a per-rule count summary."""
+    counts: dict[str, int] = {}
+    for v in violations:
+        counts[v.rule] = counts.get(v.rule, 0) + 1
+    return json.dumps({"violations": [v.to_dict() for v in violations],
+                       "counts": counts, "total": len(violations)},
+                      indent=2)
+
+
+def render_rule_list() -> str:
+    """Human-readable table of every registered rule."""
+    lines = []
+    for rule in sorted(RULES, key=lambda r: r.id):
+        lines.append(f"{rule.id}  {rule.summary}")
+        doc = (rule.__doc__ or "").strip().splitlines()
+        for ln in doc[1:]:
+            lines.append(f"        {ln.strip()}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,49 @@
+"""File discovery and rule execution for the static-analysis pass."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .base import RULES, FileContext, Violation, apply_noqa
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_source(source: str, path: str | Path) -> list[Violation]:
+    """Lint one already-read module source against every rule."""
+    ctx = FileContext(path=Path(path), source=source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(path=str(path), line=exc.lineno or 0,
+                          col=exc.offset or 0, rule="RPR000",
+                          message=f"syntax error: {exc.msg}")]
+    violations: list[Violation] = []
+    for rule in RULES:
+        if rule.applies_to(ctx):
+            violations.extend(rule.check(tree, ctx))
+    return apply_noqa(violations, source.splitlines())
+
+
+def lint_file(path: str | Path) -> list[Violation]:
+    """Lint one file from disk."""
+    return lint_source(Path(path).read_text(encoding="utf-8"), path)
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[Violation]:
+    """Lint every Python file under ``paths``; sorted, deterministic."""
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return sorted(violations)

@@ -1,0 +1,106 @@
+"""Unit-safety rules (RPR005–RPR006).
+
+The paper's arithmetic is exact only in SI base units (1 GB / 16 MB/s =
+62.5 s).  These rules keep sizes, durations and bandwidths in bytes,
+seconds, and bytes/second throughout: magic literals must be spelled with
+:mod:`repro.units` constants, and public parameters must carry base-unit
+suffixes rather than ambiguous scaled ones.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .. import units
+from .base import FileContext, Rule, register
+
+#: Literal values that must be written as ``units.*`` expressions.
+MAGIC_LITERALS: dict[float, str] = {
+    float(units.MB): "units.MB",
+    float(units.GB): "units.GB",
+    float(units.TB): "units.TB",
+    float(units.PB): "units.PB",
+    float(units.HOUR): "units.HOUR",
+    float(units.DAY): "units.DAY",
+    float(7 * units.DAY): "7 * units.DAY",
+    float(units.MONTH): "units.MONTH",
+    float(units.YEAR): "units.YEAR",
+}
+
+
+@register
+class MagicUnitLiteral(Rule):
+    """RPR005 — unit-valued magic literals must use ``repro.units``.
+
+    A bare ``3600`` or ``1e9`` hides whether a quantity is seconds or
+    bytes and invites decimal-vs-binary mistakes; ``units.HOUR`` and
+    ``units.GB`` carry the intent and keep the paper's arithmetic exact.
+    ``repro/units.py`` itself is exempt (it defines the constants).
+    """
+
+    id = "RPR005"
+    summary = "magic unit literal; spell it with repro.units constants"
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.basename != "units.py"
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        v = node.value
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            suggestion = MAGIC_LITERALS.get(float(v))
+            if suggestion is not None:
+                self.report(node, f"magic literal {v!r}; write "
+                                  f"{suggestion} (repro.units)")
+
+
+#: Parameter-name suffixes that scale or obscure the base unit.
+DEPRECATED_SUFFIXES: dict[str, str] = {}
+for _s in ("_kb", "_mb", "_gb", "_tb", "_pb", "_kib", "_mib", "_gib",
+           "_tib"):
+    DEPRECATED_SUFFIXES[_s] = "_bytes"
+for _s in ("_ms", "_us", "_ns", "_min", "_mins", "_minutes", "_hr",
+           "_hrs", "_hours", "_days", "_years"):
+    DEPRECATED_SUFFIXES[_s] = "_s"
+for _s in ("_kbps", "_mbps", "_gbps"):
+    DEPRECATED_SUFFIXES[_s] = "_bps"
+
+
+@register
+class NonBaseUnitParameter(Rule):
+    """RPR006 — public function parameters use base-unit suffixes.
+
+    Sizes are bytes (``_bytes``), durations seconds (``_s``), bandwidths
+    bytes/second (``_bps``/``_bw``).  A parameter named ``group_gb`` or
+    ``latency_ms`` forces every call site to remember a scale factor;
+    instead take base units and let callers write ``10 * units.GB``.
+    Parameters of underscore-private functions are exempt, as is any
+    name suppressed with ``# repro: noqa RPR006`` (e.g. ``x_min`` meaning
+    "minimum").
+    """
+
+    id = "RPR006"
+    summary = "scaled-unit parameter suffix; use _bytes/_s/_bps base units"
+
+    def _check_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                    ) -> None:
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            lowered = arg.arg.lower()
+            for suffix, base in DEPRECATED_SUFFIXES.items():
+                if lowered.endswith(suffix):
+                    self.report(arg, f"parameter `{arg.arg}` uses a "
+                                     f"scaled unit suffix; take base units "
+                                     f"as `{arg.arg[:-len(suffix)]}{base}` "
+                                     f"and convert with repro.units")
+                    break
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)

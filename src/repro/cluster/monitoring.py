@@ -18,7 +18,7 @@ in-tree user of the generator-process layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from ..sim.engine import Simulator
 from ..sim.process import Process, Timeout
@@ -101,7 +101,7 @@ class HeartbeatMonitor:
         self._detected.discard(disk_id)
 
     # -- the sweep process -------------------------------------------------- #
-    def _sweeper(self):
+    def _sweeper(self) -> Iterator[Timeout]:
         while True:
             yield Timeout(self.period)
             now = self.sim.now

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 
-from ..units import DAY
+from ..units import DAY, HOUR
 
 
 class DiurnalWorkload:
@@ -35,7 +35,7 @@ class DiurnalWorkload:
     """
 
     def __init__(self, peak_load: float = 0.7, trough_load: float = 0.1,
-                 peak_time: float = 14 * 3600.0) -> None:
+                 peak_time: float = 14 * HOUR) -> None:
         if not 0 <= trough_load <= peak_load < 1:
             raise ValueError("need 0 <= trough <= peak < 1")
         self.peak_load = float(peak_load)

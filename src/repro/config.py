@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Literal
+from typing import Any, Literal
 
 from .disks.vintage import PAPER_VINTAGE, DiskVintage
 from .redundancy.schemes import MIRROR_2, RedundancyScheme
@@ -128,8 +128,8 @@ class SystemConfig:
         used = self.vintage.capacity_bytes * self.target_utilization
         return used / self.recovery_bandwidth
 
-    # -- sweeps -------------------------------------------------------------- #
-    def with_(self, **kwargs) -> "SystemConfig":
+    # -- sweeps ------------------------------------------------------------- #
+    def with_(self, **kwargs: Any) -> "SystemConfig":
         """``dataclasses.replace`` with a shorter name for sweep code."""
         return replace(self, **kwargs)
 

@@ -105,7 +105,7 @@ class FarmRecovery(RecoveryManager):
         self.sim.schedule_at(start, self._start_if_alive, job.group,
                              job.rep_id, job.failed_at, name="farm-redirect")
 
-    # -- replacement --------------------------------------------------------- #
+    # -- replacement -------------------------------------------------------- #
     def _after_failure(self, disk_id: int, now: float) -> None:
         self._unreplaced_failures += 1
         pol = self.replacement

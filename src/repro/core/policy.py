@@ -50,7 +50,7 @@ class TargetSelector:
     # ------------------------------------------------------------------ #
     def _admissible(self, disk_id: int, group: RedundancyGroup,
                     nbytes: float, exclude: frozenset[int],
-                    reserved) -> bool:
+                    reserved: Callable[[int], float]) -> bool:
         """Hard constraints (a)-(c), plus caller-supplied exclusions
         (targets of the group's other in-flight rebuilds) and space already
         promised to in-flight rebuilds."""

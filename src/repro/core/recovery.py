@@ -193,7 +193,7 @@ class RecoveryManager(ABC):
         self.stats.window_total += window
         self.stats.window_max = max(self.stats.window_max, window)
 
-    # -- scheme-specific hooks ------------------------------------------------ #
+    # -- scheme-specific hooks ---------------------------------------------- #
     @abstractmethod
     def _schedule_rebuilds(self, failed_disk: int,
                            losses: list[tuple[RedundancyGroup, int]],

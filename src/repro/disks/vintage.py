@@ -56,8 +56,8 @@ class DiskVintage:
     def with_recovery_bandwidth(self, bps: float) -> "DiskVintage":
         """Vintage with an explicit recovery bandwidth (Figure 5 sweeps)."""
         if not 0 < bps <= self.bandwidth_bps:
-            raise ValueError(
-                f"recovery bandwidth {bps} must be in (0, {self.bandwidth_bps}]")
+            raise ValueError(f"recovery bandwidth {bps} must be in "
+                             f"(0, {self.bandwidth_bps}]")
         return replace(self,
                        recovery_bandwidth_fraction=bps / self.bandwidth_bps)
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from ..config import SystemConfig
 from ..disks.failure import BathtubFailureModel, RatePeriod
 from ..reliability.montecarlo import estimate_p_loss
-from ..units import GB
+from ..units import GB, HOUR
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
 
@@ -30,7 +30,7 @@ def _flat_model_matching(model: BathtubFailureModel,
                          horizon: float) -> BathtubFailureModel:
     """Constant-hazard model with the same cumulative failure probability."""
     h = float(model.cumulative_hazard(horizon)) / horizon
-    pct_per_1000h = h * 1000 * 3600 * 100
+    pct_per_1000h = h * 1000 * HOUR * 100
     return BathtubFailureModel(
         (RatePeriod(0.0, float("inf"), pct_per_1000h),))
 

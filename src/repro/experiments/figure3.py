@@ -34,18 +34,19 @@ PAPER_FIGURE3 = {
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        group_gb: float = 10.0) -> ExperimentResult:
-    """One panel of Figure 3 (group size in GB selects panel a or b)."""
+        group_bytes: float = 10 * GB) -> ExperimentResult:
+    """One panel of Figure 3 (the group size selects panel a or b)."""
     scale = scale or current_scale()
     base = scale.size_config(SystemConfig(
-        group_user_bytes=group_gb * GB,
+        group_user_bytes=group_bytes,
         detection_latency=0.0,      # Figure 3 assumes zero latency
     ))
-    panel = "a" if group_gb <= 25 else "b"
+    panel = "a" if group_bytes <= 25 * GB else "b"
     result = ExperimentResult(
         experiment=f"figure3{panel}",
         description=(f"P(data loss) by scheme, with/without FARM, "
-                     f"{group_gb:g} GB groups, zero detection latency"),
+                     f"{group_bytes / GB:g} GB groups, "
+                     f"zero detection latency"),
         scale=scale,
         columns=["scheme", "farm", "p_loss_pct", "ci95",
                  "groups_lost", "paper_pct"],
@@ -62,7 +63,7 @@ def run(scale: Scale | None = None, base_seed: int = 0,
                 ci95=render_proportion(mc.p_loss),
                 groups_lost=mc.groups_lost_total,
                 paper_pct=PAPER_FIGURE3.get(
-                    (scheme.name, int(group_gb), farm)),
+                    (scheme.name, round(group_bytes / GB), farm)),
             )
     result.notes.append(
         "Paper: FARM 1-3% vs 6-25% w/o for two-way mirroring; RAID-5-like "
@@ -73,5 +74,5 @@ def run(scale: Scale | None = None, base_seed: int = 0,
 def run_both_panels(scale: Scale | None = None, base_seed: int = 0
                     ) -> tuple[ExperimentResult, ExperimentResult]:
     """Figure 3(a) and 3(b)."""
-    return (run(scale, base_seed, group_gb=10.0),
-            run(scale, base_seed, group_gb=50.0))
+    return (run(scale, base_seed, group_bytes=10 * GB),
+            run(scale, base_seed, group_bytes=50 * GB))

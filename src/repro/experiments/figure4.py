@@ -20,18 +20,18 @@ from ..units import GB, MINUTE
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
 
-#: Group sizes of the paper's six curves (GB).
-GROUP_SIZES_GB = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0)
-#: Detection latencies swept (minutes).
-LATENCIES_MIN = (0.0, 1.0, 2.0, 5.0, 10.0)
+#: Group sizes of the paper's six curves (bytes; the paper labels GB).
+GROUP_SIZES_BYTES = (1 * GB, 5 * GB, 10 * GB, 25 * GB, 50 * GB, 100 * GB)
+#: Detection latencies swept (seconds; the paper labels minutes).
+LATENCIES_S = (0.0, 1 * MINUTE, 2 * MINUTE, 5 * MINUTE, 10 * MINUTE)
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        group_sizes_gb: tuple[float, ...] | None = None,
-        latencies_min: tuple[float, ...] | None = None) -> ExperimentResult:
+        group_sizes_bytes: tuple[float, ...] | None = None,
+        latencies_s: tuple[float, ...] | None = None) -> ExperimentResult:
     scale = scale or current_scale()
-    sizes = group_sizes_gb or GROUP_SIZES_GB
-    lats = latencies_min or LATENCIES_MIN
+    sizes = group_sizes_bytes or GROUP_SIZES_BYTES
+    lats = latencies_s or LATENCIES_S
     result = ExperimentResult(
         experiment="figure4",
         description=("P(data loss) vs detection latency, by group size "
@@ -41,14 +41,14 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["group_gb", "latency_min", "latency_over_rebuild",
                  "mean_window_s", "p_loss_pct", "ci95"],
     )
-    for gb in sizes:
-        base = scale.size_config(SystemConfig(group_user_bytes=gb * GB))
-        for lat_min in lats:
-            cfg = base.with_(detection_latency=lat_min * MINUTE)
+    for size in sizes:
+        base = scale.size_config(SystemConfig(group_user_bytes=size))
+        for lat in lats:
+            cfg = base.with_(detection_latency=lat)
             mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
                                  base_seed=base_seed, n_jobs=scale.n_jobs)
             ratio = cfg.detection_latency / cfg.rebuild_seconds_per_block
-            result.add(group_gb=gb, latency_min=lat_min,
+            result.add(group_gb=size / GB, latency_min=lat / MINUTE,
                        latency_over_rebuild=ratio,
                        mean_window_s=mc.mean_window,
                        p_loss_pct=100.0 * mc.p_loss.estimate,

@@ -17,16 +17,18 @@ from ..units import GB, MB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
 
-BANDWIDTHS_MBPS = (8.0, 16.0, 24.0, 32.0, 40.0)
-GROUP_SIZES_GB = (10.0, 50.0)
+#: Recovery bandwidths swept (bytes/s; the paper's axis is MB/s).
+BANDWIDTHS_BPS = (8 * MB, 16 * MB, 24 * MB, 32 * MB, 40 * MB)
+GROUP_SIZES_BYTES = (10 * GB, 50 * GB)
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        bandwidths_mbps: tuple[float, ...] | None = None,
-        group_sizes_gb: tuple[float, ...] | None = None) -> ExperimentResult:
+        bandwidths_bps: tuple[float, ...] | None = None,
+        group_sizes_bytes: tuple[float, ...] | None = None
+        ) -> ExperimentResult:
     scale = scale or current_scale()
-    bws = bandwidths_mbps or BANDWIDTHS_MBPS
-    sizes = group_sizes_gb or GROUP_SIZES_GB
+    bws = bandwidths_bps or BANDWIDTHS_BPS
+    sizes = group_sizes_bytes or GROUP_SIZES_BYTES
     result = ExperimentResult(
         experiment="figure5",
         description=("P(data loss) vs recovery bandwidth, FARM vs "
@@ -36,17 +38,17 @@ def run(scale: Scale | None = None, base_seed: int = 0,
                  "p_loss_pct", "ci95"],
     )
     for farm in (True, False):
-        for gb in sizes:
+        for size in sizes:
             base = scale.size_config(SystemConfig(
-                group_user_bytes=gb * GB, use_farm=farm,
+                group_user_bytes=size, use_farm=farm,
                 detection_latency=30.0))
             for bw in bws:
-                cfg = base.with_(recovery_bandwidth_bps=bw * MB)
+                cfg = base.with_(recovery_bandwidth_bps=bw)
                 mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
                                      base_seed=base_seed,
                                      n_jobs=scale.n_jobs)
                 result.add(mode="FARM" if farm else "w/o",
-                           group_gb=gb, bw_mbps=bw,
+                           group_gb=size / GB, bw_mbps=bw / MB,
                            mean_window_s=mc.mean_window,
                            p_loss_pct=100.0 * mc.p_loss.estimate,
                            ci95=render_proportion(mc.p_loss))

@@ -20,16 +20,17 @@ from ..units import GB, PB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
 
-CAPACITIES_PB = (0.1, 0.5, 1.0, 2.0, 5.0)
+#: Total user capacities swept (bytes; the paper's axis is PB).
+CAPACITIES_BYTES = (0.1 * PB, 0.5 * PB, 1 * PB, 2 * PB, 5 * PB)
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
         rate_multiplier: float = 1.0,
-        capacities_pb: tuple[float, ...] | None = None,
+        capacities_bytes: tuple[float, ...] | None = None,
         schemes: tuple[RedundancyScheme, ...] | None = None
         ) -> ExperimentResult:
     scale = scale or current_scale()
-    caps = capacities_pb or CAPACITIES_PB
+    caps = capacities_bytes or CAPACITIES_BYTES
     schs = schemes or PAPER_SCHEMES
     panel = "a" if rate_multiplier == 1.0 else "b"
     vintage = SystemConfig().vintage
@@ -47,11 +48,11 @@ def run(scale: Scale | None = None, base_seed: int = 0,
             # Figure 8 sweeps *absolute* capacity; the scale knob shrinks
             # the whole axis proportionally instead of the point count.
             cfg = SystemConfig(
-                total_user_bytes=cap * PB * scale.data_factor,
+                total_user_bytes=cap * scale.data_factor,
                 group_user_bytes=10 * GB, scheme=scheme, vintage=vintage)
             mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
                                  base_seed=base_seed, n_jobs=scale.n_jobs)
-            result.add(scheme=scheme.name, capacity_pb=cap,
+            result.add(scheme=scheme.name, capacity_pb=cap / PB,
                        p_loss_pct=100.0 * mc.p_loss.estimate,
                        ci95=render_proportion(mc.p_loss))
     result.notes.append(

@@ -23,12 +23,13 @@ from .base import ExperimentResult, Scale, current_scale
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        group_gb: float = 10.0) -> ExperimentResult:
+        group_bytes: float = 10 * GB) -> ExperimentResult:
     scale = scale or current_scale()
     result = ExperimentResult(
         experiment="mttdl",
         description=("analytic MTTDL per scheme and recovery mode "
-                     f"({group_gb:g} GB groups, paper base geometry)"),
+                     f"({group_bytes / GB:g} GB groups, "
+                     "paper base geometry)"),
         scale=scale,
         columns=["scheme", "mode", "window_s", "group_mttdl_yr",
                  "system_mttdl_yr", "p_loss_6yr_pct"],
@@ -36,7 +37,7 @@ def run(scale: Scale | None = None, base_seed: int = 0,
     for scheme in PAPER_SCHEMES:
         assert is_threshold_scheme(scheme)
         for farm in (True, False):
-            cfg = SystemConfig(group_user_bytes=group_gb * GB,
+            cfg = SystemConfig(group_user_bytes=group_bytes,
                                scheme=scheme, use_farm=farm)
             lam = mean_hazard(cfg)
             w = mean_window(cfg)

@@ -15,7 +15,10 @@ Two chart types cover every figure in the paper:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .base import ExperimentResult
 
 _MARKS = "ox+*#@%&"
 
@@ -96,8 +99,9 @@ def line_chart(series: dict[str, list[tuple[float, float]]],
     return "\n".join(lines)
 
 
-def result_bar_chart(result, label_columns: Sequence[str],
-                     value_column: str, **kw) -> str:
+def result_bar_chart(result: ExperimentResult,
+                     label_columns: Sequence[str],
+                     value_column: str, **kw: Any) -> str:
     """Bar chart straight from an ExperimentResult."""
     labels = [" ".join(str(r[c]) for c in label_columns)
               for r in result.rows]
@@ -106,8 +110,8 @@ def result_bar_chart(result, label_columns: Sequence[str],
                      title=kw.pop("title", result.description), **kw)
 
 
-def result_line_chart(result, series_column: str, x_column: str,
-                      y_column: str, **kw) -> str:
+def result_line_chart(result: ExperimentResult, series_column: str,
+                      x_column: str, y_column: str, **kw: Any) -> str:
     """Line chart straight from an ExperimentResult."""
     series: dict[str, list[tuple[float, float]]] = {}
     for row in result.rows:

@@ -19,13 +19,14 @@ from ..units import GB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
 
-GROUP_SIZES_GB = (10.0, 50.0, 100.0)
+GROUP_SIZES_BYTES = (10 * GB, 50 * GB, 100 * GB)
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        group_sizes_gb: tuple[float, ...] | None = None) -> ExperimentResult:
+        group_sizes_bytes: tuple[float, ...] | None = None
+        ) -> ExperimentResult:
     scale = scale or current_scale()
-    sizes = group_sizes_gb or GROUP_SIZES_GB
+    sizes = group_sizes_bytes or GROUP_SIZES_BYTES
     result = ExperimentResult(
         experiment="redirection",
         description=("fraction of systems seeing >=1 recovery redirection "
@@ -34,12 +35,12 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["group_gb", "systems_with_redirection_pct", "ci95",
                  "redirections_total"],
     )
-    for gb in sizes:
-        cfg = scale.size_config(SystemConfig(group_user_bytes=gb * GB))
+    for size in sizes:
+        cfg = scale.size_config(SystemConfig(group_user_bytes=size))
         mc = estimate_p_loss(cfg, n_runs=scale.n_runs, base_seed=base_seed,
                              n_jobs=scale.n_jobs)
         p = wilson_interval(mc.runs_with_redirection, mc.n_runs)
-        result.add(group_gb=gb,
+        result.add(group_gb=size / GB,
                    systems_with_redirection_pct=100.0 * p.estimate,
                    ci95=render_proportion(p),
                    redirections_total=mc.redirections_total)

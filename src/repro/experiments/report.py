@@ -7,7 +7,10 @@ can be diffed against EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..reliability.stats import Proportion
 
 
 def _fmt(value: Any) -> str:
@@ -27,7 +30,7 @@ def render_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
     cells = [[_fmt(r.get(c)) for c in columns] for r in rows]
     widths = [max(len(c), *(len(row[i]) for row in cells)) if cells
               else len(c) for i, c in enumerate(columns)]
-    def line(vals):
+    def line(vals: Sequence[str]) -> str:
         return "  ".join(v.ljust(w) for v, w in zip(vals, widths)).rstrip()
     out = [line(columns), line(["-" * w for w in widths])]
     out.extend(line(row) for row in cells)
@@ -39,6 +42,6 @@ def pct(x: float) -> str:
     return f"{100.0 * x:.2f}%"
 
 
-def render_proportion(p) -> str:
+def render_proportion(p: Proportion) -> str:
     """Short 'est [lo, hi]' rendering of a Proportion."""
     return f"{100 * p.estimate:.2f} [{100 * p.lo:.2f},{100 * p.hi:.2f}]"

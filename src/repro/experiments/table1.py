@@ -38,8 +38,9 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         exposure_kh = at_risk_time.sum() / (1000 * HOUR)
         empirical = 100.0 * failures / exposure_kh if exposure_kh else 0.0
         spec = period.pct_per_1000h
-        label = (f"{period.start_months:g}-"
-                 f"{'EODL' if period.end_months == float('inf') else f'{period.end_months:g}'}")
+        end = ("EODL" if period.end_months == float("inf")
+               else f"{period.end_months:g}")
+        label = f"{period.start_months:g}-{end}"
         result.add(period_months=label, specified_pct=spec,
                    empirical_pct=empirical,
                    rel_err_pct=100.0 * abs(empirical - spec) / spec)

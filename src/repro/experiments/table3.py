@@ -24,24 +24,24 @@ from ..sim.rng import RandomStreams
 from ..units import GB, TB
 from .base import ExperimentResult, Scale, current_scale
 
-GROUP_SIZES_GB = (1.0, 10.0, 50.0)
+GROUP_SIZES_BYTES = (1 * GB, 10 * GB, 50 * GB)
 N_DISKS = 1000
 SAMPLED_DISKS = 10
 
 
-def _config_for(group_gb: float, n_disks: int) -> SystemConfig:
+def _config_for(group_bytes: float, n_disks: int) -> SystemConfig:
     """A system whose geometry forces exactly ``n_disks`` drives."""
-    cfg = SystemConfig(group_user_bytes=group_gb * GB, placement="rush")
+    cfg = SystemConfig(group_user_bytes=group_bytes, placement="rush")
     user = n_disks * cfg.vintage.capacity_bytes * cfg.target_utilization \
         / cfg.scheme.stretch
     return cfg.with_(total_user_bytes=user)
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        group_sizes_gb: tuple[float, ...] | None = None,
+        group_sizes_bytes: tuple[float, ...] | None = None,
         n_disks: int = N_DISKS) -> ExperimentResult:
     scale = scale or current_scale()
-    sizes = group_sizes_gb or GROUP_SIZES_GB
+    sizes = group_sizes_bytes or GROUP_SIZES_BYTES
     result = ExperimentResult(
         experiment="table3",
         description=("per-disk utilization (GB): mean/std at t=0 and after "
@@ -50,8 +50,8 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["group_gb", "when", "mean_gb", "std_gb",
                  "failed_disks", "sample_gb"],
     )
-    for gb in sizes:
-        cfg = _config_for(gb, n_disks)
+    for size in sizes:
+        cfg = _config_for(size, n_disks)
         streams = RandomStreams(base_seed)
         system = StorageSystem(cfg, streams)
         sample = streams.get("table3-sample").choice(
@@ -59,7 +59,7 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         sample.sort()
 
         initial = system.utilization_bytes()[:n_disks]
-        result.add(group_gb=gb, when="initial",
+        result.add(group_gb=size / GB, when="initial",
                    mean_gb=float(initial.mean()) / GB,
                    std_gb=float(initial.std()) / GB,
                    failed_disks=0,
@@ -74,7 +74,7 @@ def run(scale: Scale | None = None, base_seed: int = 0,
 
         final = system.utilization_bytes()[:n_disks]
         online = np.array([d.online for d in system.disks[:n_disks]])
-        result.add(group_gb=gb, when="after 6y",
+        result.add(group_gb=size / GB, when="after 6y",
                    mean_gb=float(final[online].mean()) / GB,
                    std_gb=float(final[online].std()) / GB,
                    failed_disks=int((~online).sum()),

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import SystemConfig
+from ..redundancy.composite import SchemeLike
 
 
 @dataclass(frozen=True)
@@ -44,7 +45,7 @@ class DegradedLoad:
         return self.user_load_factor + self.rebuild_read_share
 
 
-def degraded_read_amplification(scheme) -> float:
+def degraded_read_amplification(scheme: SchemeLike) -> float:
     """Physical reads needed to serve one logical read of a lost block.
 
     Mirroring redirects to the surviving replica (1 read); an m/n code
@@ -53,7 +54,8 @@ def degraded_read_amplification(scheme) -> float:
     return 1.0 if scheme.m == 1 else float(scheme.m)
 
 
-def user_load_factor(scheme, n_disks: int, failed: int = 1) -> float:
+def user_load_factor(scheme: SchemeLike, n_disks: int,
+                     failed: int = 1) -> float:
     """Relative user-serving load per survivor with ``failed`` disks out.
 
     The survivors pick up (a) their own share and (b) the failed disks'

@@ -41,12 +41,15 @@ def hash_u64(seed: int, a: np.ndarray | int, b: np.ndarray | int = 0,
     return h
 
 
-def hash_unit(seed: int, a, b=0, c=0) -> np.ndarray:
+def hash_unit(seed: int, a: np.ndarray | int, b: np.ndarray | int = 0,
+              c: np.ndarray | int = 0) -> np.ndarray:
     """Hash mapped to floats uniform on [0, 1)."""
     return hash_u64(seed, a, b, c) / _U64_MAX_PLUS1
 
 
-def hash_range(seed: int, n: int, a, b=0, c=0) -> np.ndarray:
+def hash_range(seed: int, n: int, a: np.ndarray | int,
+               b: np.ndarray | int = 0,
+               c: np.ndarray | int = 0) -> np.ndarray:
     """Hash mapped to integers uniform on [0, n).
 
     Uses the multiply-shift (Lemire) reduction, which is unbiased enough for

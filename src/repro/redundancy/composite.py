@@ -24,9 +24,12 @@ and rejects them explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Union
 
-from .schemes import SchemeKind
+from .schemes import RedundancyScheme, SchemeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .xor_parity import XorParity
 
 
 @dataclass(frozen=True)
@@ -107,7 +110,7 @@ class MirroredParity:
         fully_dead = sum(1 for c in dead_count.values() if c == 2)
         return fully_dead >= 2
 
-    def make_codec(self):
+    def make_codec(self) -> XorParity:
         """Byte-level realization: the stripe's XOR codec (copies are
         verbatim mirrors, so one codec serves both)."""
         from .xor_parity import XorParity
@@ -117,7 +120,12 @@ class MirroredParity:
         return self.name
 
 
-def pattern_is_lost(scheme, failed: Iterable[int]) -> bool:
+#: Anything with the RedundancyScheme surface: plain threshold codes, or
+#: composite schemes carrying a set-based ``is_lost`` predicate.
+SchemeLike = Union[RedundancyScheme, MirroredParity]
+
+
+def pattern_is_lost(scheme: SchemeLike, failed: Iterable[int]) -> bool:
     """Whether a failed-block set defeats ``scheme`` (works for both
     threshold and composite schemes)."""
     is_lost = getattr(scheme, "is_lost", None)
@@ -126,7 +134,7 @@ def pattern_is_lost(scheme, failed: Iterable[int]) -> bool:
     return len(set(failed)) > scheme.tolerance
 
 
-def exhaustive_tolerance(scheme) -> int:
+def exhaustive_tolerance(scheme: SchemeLike) -> int:
     """Guaranteed tolerance by exhaustive search over failure patterns.
 
     The largest k such that *every* k-subset of block positions is
@@ -142,7 +150,7 @@ def exhaustive_tolerance(scheme) -> int:
     return scheme.n
 
 
-def survival_fraction(scheme, k: int) -> float:
+def survival_fraction(scheme: SchemeLike, k: int) -> float:
     """Fraction of k-failure patterns the scheme survives.
 
     ``k`` beyond the scheme's block count means the whole group is gone:
@@ -158,7 +166,7 @@ def survival_fraction(scheme, k: int) -> float:
     return survived / len(patterns)
 
 
-def is_threshold_scheme(scheme) -> bool:
+def is_threshold_scheme(scheme: SchemeLike) -> bool:
     """Whether loss depends only on the number of failed blocks.
 
     Threshold schemes (all plain m/n codes) work on both engines; schemes

@@ -25,6 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .reedsolomon import ReedSolomon
+    from .xor_parity import XorParity
 
 
 class SchemeKind(Enum):
@@ -96,7 +101,7 @@ class RedundancyScheme:
         return self.block_bytes(group_user_bytes)
 
     # -- codec ---------------------------------------------------------- #
-    def make_codec(self):
+    def make_codec(self) -> XorParity | ReedSolomon | None:
         """Instantiate the byte-level codec realizing this scheme.
 
         Mirroring needs no codec (blocks are verbatim copies); RAID 5 uses

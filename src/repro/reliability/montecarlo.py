@@ -73,8 +73,9 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
     else:
         workers = os.cpu_count() if n_jobs == 0 else n_jobs
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk = max(1, n_runs // (4 * workers))
             all_stats = list(pool.map(run_seed, [config] * n_runs, seeds,
-                                      chunksize=max(1, n_runs // (4 * workers))))
+                                      chunksize=chunk))
 
     losses = sum(1 for s in all_stats if s.any_loss)
     completed = sum(s.rebuilds_completed for s in all_stats)

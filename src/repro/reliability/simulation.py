@@ -21,6 +21,7 @@ Mechanics per run:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -144,7 +145,7 @@ class ReliabilitySimulation:
         new_cap = max(need, self._cap * 2)
         pad = new_cap - self._cap
 
-        def _extend(arr, fill):
+        def _extend(arr: np.ndarray, fill: float | bool | int) -> np.ndarray:
             return np.concatenate([arr, np.full(pad, fill, dtype=arr.dtype)])
 
         self.alive = _extend(self.alive, False)
@@ -173,7 +174,7 @@ class ReliabilitySimulation:
     # ------------------------------------------------------------------ #
     # Block index
     # ------------------------------------------------------------------ #
-    def _blocks_on(self, disk: int):
+    def _blocks_on(self, disk: int) -> Iterator[tuple[int, int]]:
         """Yield (g, rep) of blocks currently on ``disk``."""
         if disk < self.N0:
             lo, hi = self._idx_start[disk], self._idx_start[disk + 1]

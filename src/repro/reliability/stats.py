@@ -47,8 +47,12 @@ def wilson_interval(successes: int, trials: int,
     center = (p + z * z / (2 * trials)) / denom
     half = (z / denom) * math.sqrt(
         p * (1 - p) / trials + z * z / (4 * trials * trials))
+    # Clamp to [0, 1] and to the estimate itself: at k = 0 (or k = n) the
+    # exact bound coincides with p, and rounding can push it past it by
+    # ~1 ulp, yielding lo > estimate (or hi < estimate).
     return Proportion(successes=successes, trials=trials, estimate=p,
-                      lo=max(0.0, center - half), hi=min(1.0, center + half),
+                      lo=min(p, max(0.0, center - half)),
+                      hi=max(p, min(1.0, center + half)),
                       confidence=confidence)
 
 

@@ -3,10 +3,10 @@
 The paper ran its experiments on PARSEC, a C discrete-event simulation tool.
 This module is the Python substitute: a deterministic, timestamp-ordered
 event loop.  It is intentionally simple — a binary heap of
-:class:`~repro.sim.events.Event` objects and a clock — because the reliability
-simulations schedule at most a few hundred thousand events per run and the
-costly work (failure-time sampling, placement) is vectorized outside the
-loop.
+:class:`~repro.sim.events.Event` objects and a clock — because the
+reliability simulations schedule at most a few hundred thousand events per
+run and the costly work (failure-time sampling, placement) is vectorized
+outside the loop.
 
 Example
 -------
@@ -31,7 +31,7 @@ from .events import PRIORITY_NORMAL, Event
 
 
 class SimulationError(RuntimeError):
-    """Raised for invalid scheduling operations (e.g. scheduling in the past)."""
+    """Raised for invalid scheduling (e.g. scheduling in the past)."""
 
 
 class Simulator:

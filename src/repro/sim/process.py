@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Generator, Iterable
 
 from .engine import Simulator
+from .events import Event
 
 
 class Interrupt(Exception):
@@ -102,7 +103,7 @@ class Process:
         self.alive = True
         self.value: Any = None
         self._done_signal = Signal(f"done:{self.name}")
-        self._pending_event = None
+        self._pending_event: Event | None = None
         self._waiting_on: Signal | None = None
         # Start at the current time (but via the event queue so ordering
         # with already-scheduled events at `now` stays deterministic).

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, TextIO
 
 from .events import Event
 
@@ -40,28 +40,35 @@ class TraceRecorder:
         are kept (e.g. ``("disk-failure", "rebuild")``).
     max_records:
         Ring-buffer cap; oldest records are dropped beyond it.
+    sink:
+        Optional callback invoked with each kept :class:`TraceRecord` as
+        it is recorded — the streaming writer (wire it to a logger, a
+        JSONL file via :meth:`write_jsonl`, or any callable).
 
     Usage::
 
         recorder = TraceRecorder(prefixes=("disk-failure",))
         sim = Simulator(trace=recorder)
         ...
-        for rec in recorder:
-            print(rec.time, rec.name)
+        with open("trace.jsonl", "w") as fh:
+            recorder.write_jsonl(fh)
     """
 
     prefixes: tuple[str, ...] = ()
     max_records: int | None = None
     records: list[TraceRecord] = field(default_factory=list)
     dropped: int = 0
+    sink: Callable[[TraceRecord], None] | None = None
 
     def __call__(self, event: Event) -> None:
         """The Simulator trace hook."""
         name = event.name or getattr(event.callback, "__name__", "?")
         if self.prefixes and not name.startswith(self.prefixes):
             return
-        self.records.append(TraceRecord(time=event.time, name=name,
-                                        seq=event.seq))
+        record = TraceRecord(time=event.time, name=name, seq=event.seq)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
         if self.max_records is not None and \
                 len(self.records) > self.max_records:
             del self.records[0]
@@ -92,6 +99,17 @@ class TraceRecorder:
     def to_jsonl(self) -> str:
         """One JSON object per line, in firing order."""
         return "\n".join(r.to_json() for r in self.records)
+
+    def write_jsonl(self, file: TextIO) -> int:
+        """Write the collected records to ``file`` as JSON lines.
+
+        Returns the number of records written.  This is the batch
+        counterpart of the streaming ``sink`` callback.
+        """
+        for r in self.records:
+            file.write(r.to_json())
+            file.write("\n")
+        return len(self.records)
 
 
 def filtered(hook: Callable[[Event], None],

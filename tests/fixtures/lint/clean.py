@@ -1,0 +1,15 @@
+"""Fixture: fully compliant module — the linter must stay silent."""
+
+from repro import units
+from repro.sim.rng import RandomStreams, stable_hash64
+
+REBUILD_TIMEOUT = units.HOUR
+
+
+def pick(seed: int, name: str) -> float:
+    streams = RandomStreams(seed)
+    return float(streams.get(name).random())
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    return stable_hash64(key) % n_shards

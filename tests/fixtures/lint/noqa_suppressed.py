@@ -1,0 +1,9 @@
+"""Fixture: every violation here is suppressed with ``# repro: noqa``."""
+
+import random  # repro: noqa RPR001
+
+SPIN_DOWN_DELAY = 86400  # repro: noqa
+
+
+def jitter() -> float:
+    return random.random()

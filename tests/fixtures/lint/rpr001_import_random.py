@@ -1,0 +1,8 @@
+"""Fixture: RPR001 — stdlib ``random`` import (violation on line 4)."""
+
+# The simulator must draw from named RandomStreams, never from here:
+import random
+
+
+def pick() -> float:
+    return random.random()

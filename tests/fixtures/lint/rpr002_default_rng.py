@@ -1,0 +1,7 @@
+"""Fixture: RPR002 — seedless default_rng (violation on line 7)."""
+
+import numpy as np
+
+
+def fresh_generator() -> np.random.Generator:
+    return np.random.default_rng()

@@ -1,0 +1,5 @@
+"""Fixture: RPR003 — builtin hash() (violation on line 5)."""
+
+
+def bucket_of(name: str) -> int:
+    return hash(name) % 8

@@ -1,0 +1,4 @@
+"""Fixture: RPR005 — magic unit literal (violation on line 4)."""
+
+# Should be written ``units.HOUR``:
+REBUILD_TIMEOUT = 3600

@@ -1,0 +1,6 @@
+"""Fixture: RPR006 — scaled-unit parameter suffix (violation on line 5)."""
+
+
+# Public parameter in GB instead of base bytes:
+def transfer_seconds(size_gb: float, bandwidth_bps: float) -> float:
+    return size_gb * 1e9 / bandwidth_bps  # repro: noqa RPR005

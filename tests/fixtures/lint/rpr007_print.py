@@ -1,0 +1,5 @@
+"""Fixture: RPR007 — print() in library code (violation on line 5)."""
+
+
+def announce(message: str) -> None:
+    print(message)

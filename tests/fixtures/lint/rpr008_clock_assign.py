@@ -1,0 +1,6 @@
+"""Fixture: RPR008 — assignment to the sim clock (violation on line 6)."""
+
+
+def skip_ahead(engine: object, t: float) -> None:
+    # Event handlers must never warp the clock:
+    engine.now = t  # type: ignore[attr-defined]

@@ -1,0 +1,10 @@
+"""Fixture: RPR004 — wall-clock read in sim code (violation on line 10).
+
+This file sits under a ``sim/`` directory, so the scoped rule applies.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -11,6 +11,7 @@ from repro.experiments import (SCALES, ablations, current_scale, figure3,
                                figure4, figure5, figure7, figure8,
                                redirection, table1, table3)
 from repro.experiments.base import Scale
+from repro.units import GB, MB, MINUTE, PB
 
 SMOKE = SCALES["smoke"]
 
@@ -69,8 +70,8 @@ class TestFigure3:
 
 class TestFigure4:
     def test_ratio_column_consistency(self):
-        result = figure4.run(SMOKE, group_sizes_gb=(1.0, 10.0),
-                             latencies_min=(0.0, 2.0))
+        result = figure4.run(SMOKE, group_sizes_bytes=(1 * GB, 10 * GB),
+                             latencies_s=(0.0, 2 * MINUTE))
         for row in result.rows:
             if row["latency_min"] == 0.0:
                 assert row["latency_over_rebuild"] == 0.0
@@ -78,8 +79,8 @@ class TestFigure4:
                 assert row["latency_over_rebuild"] > 0
 
     def test_collapse_sorted_by_ratio(self):
-        result = figure4.run(SMOKE, group_sizes_gb=(1.0,),
-                             latencies_min=(0.0, 2.0))
+        result = figure4.run(SMOKE, group_sizes_bytes=(1 * GB,),
+                             latencies_s=(0.0, 2 * MINUTE))
         rows = figure4.collapse_by_ratio(result)
         ratios = [r["ratio"] for r in rows]
         assert ratios == sorted(ratios)
@@ -87,19 +88,19 @@ class TestFigure4:
 
 class TestFigure5:
     def test_sweep_dimensions(self):
-        result = figure5.run(SMOKE, bandwidths_mbps=(8.0, 40.0),
-                             group_sizes_gb=(10.0,))
+        result = figure5.run(SMOKE, bandwidths_bps=(8 * MB, 40 * MB),
+                             group_sizes_bytes=(10 * GB,))
         assert len(result.rows) == 4       # 2 modes x 1 size x 2 bw
 
 
 class TestTable3:
     def test_initial_mean_utilization_400gb(self):
-        result = table3.run(SMOKE, group_sizes_gb=(10.0,), n_disks=200)
+        result = table3.run(SMOKE, group_sizes_bytes=(10 * GB,), n_disks=200)
         initial = result.rows[0]
         assert initial["mean_gb"] == pytest.approx(400.0, rel=0.1)
 
     def test_mean_grows_after_six_years(self):
-        result = table3.run(SMOKE, group_sizes_gb=(10.0,), n_disks=200)
+        result = table3.run(SMOKE, group_sizes_bytes=(10 * GB,), n_disks=200)
         initial, final = result.rows
         assert final["mean_gb"] > initial["mean_gb"]
         assert final["failed_disks"] > 0
@@ -116,20 +117,21 @@ class TestFigure7:
 class TestFigure8:
     def test_capacity_series_per_scheme(self):
         from repro.redundancy import MIRROR_2
-        result = figure8.run(SMOKE, capacities_pb=(0.5, 2.0),
+        result = figure8.run(SMOKE, capacities_bytes=(0.5 * PB, 2 * PB),
                              schemes=(MIRROR_2,))
         assert [r["capacity_pb"] for r in result.rows] == [0.5, 2.0]
 
     def test_rate_multiplier_panel_name(self):
         from repro.redundancy import MIRROR_2
         result = figure8.run(SMOKE, rate_multiplier=2.0,
-                             capacities_pb=(0.5,), schemes=(MIRROR_2,))
+                             capacities_bytes=(0.5 * PB,),
+                             schemes=(MIRROR_2,))
         assert result.experiment == "figure8b"
 
 
 class TestRedirectionAndAblations:
     def test_redirection_experiment_runs(self):
-        result = redirection.run(SMOKE, group_sizes_gb=(10.0,))
+        result = redirection.run(SMOKE, group_sizes_bytes=(10 * GB,))
         assert 0 <= result.rows[0]["systems_with_redirection_pct"] <= 100
 
     def test_placement_ablation_has_both_rows(self):

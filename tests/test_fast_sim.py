@@ -1,4 +1,5 @@
-"""Tests for the flat-array reliability engine (repro.reliability.simulation)."""
+"""Tests for the flat-array reliability engine
+(repro.reliability.simulation)."""
 
 import numpy as np
 import pytest
@@ -90,7 +91,8 @@ class TestRunOutcomes:
         sim = ReliabilitySimulation(c, seed=7)
         sim.run()
         gd = sim.group_disks[~sim.lost]
-        placed = np.where(gd >= 0, gd, -np.arange(gd.size).reshape(gd.shape) - 1)
+        filler = -np.arange(gd.size).reshape(gd.shape) - 1
+        placed = np.where(gd >= 0, gd, filler)
         srt = np.sort(placed, axis=1)
         assert not ((srt[:, 1:] == srt[:, :-1]) & (srt[:, 1:] >= 0)).any()
 

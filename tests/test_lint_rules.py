@@ -1,0 +1,133 @@
+"""Unit tests for the invariant linter (repro.analysis).
+
+Each rule has a fixture in ``tests/fixtures/lint/`` carrying exactly one
+known violation; the tests pin the rule ID and line number, and check
+that ``# repro: noqa`` suppression works per line and per rule ID.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (RULES, Violation, lint_file, lint_paths,
+                            lint_source, render_json, render_text)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+#: fixture file -> (expected rule, expected line)
+EXPECTED = {
+    "rpr001_import_random.py": ("RPR001", 4),
+    "rpr002_default_rng.py": ("RPR002", 7),
+    "rpr003_builtin_hash.py": ("RPR003", 5),
+    "sim/rpr004_wall_clock.py": ("RPR004", 10),
+    "rpr005_magic_literal.py": ("RPR005", 4),
+    "rpr006_unit_suffix.py": ("RPR006", 5),
+    "rpr007_print.py": ("RPR007", 5),
+    "rpr008_clock_assign.py": ("RPR008", 6),
+}
+
+
+class TestRegistry:
+    def test_eight_rules_with_unique_ids(self):
+        ids = [r.id for r in RULES]
+        assert len(ids) == len(set(ids)) == 8
+        assert sorted(ids) == [f"RPR00{n}" for n in range(1, 9)]
+
+    def test_every_rule_documented(self):
+        for rule in RULES:
+            assert rule.summary, rule.id
+            assert rule.__doc__ and rule.id in rule.__doc__, rule.id
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()),
+                             ids=sorted(EXPECTED))
+    def test_fixture_flags_rule_and_line(self, name, expected):
+        rule, line = expected
+        violations = lint_file(FIXTURES / name)
+        assert [(v.rule, v.line) for v in violations] == [(rule, line)]
+
+    def test_clean_fixture_is_silent(self):
+        assert lint_file(FIXTURES / "clean.py") == []
+
+    def test_whole_fixture_dir_totals(self):
+        violations = lint_paths([FIXTURES])
+        assert len(violations) == len(EXPECTED)
+        assert {v.rule for v in violations} == {
+            r for r, _ in EXPECTED.values()}
+
+
+class TestNoqa:
+    def test_noqa_fixture_fully_suppressed(self):
+        assert lint_file(FIXTURES / "noqa_suppressed.py") == []
+
+    def test_bare_noqa_suppresses_any_rule(self):
+        src = "import random  # repro: noqa\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_listed_id_suppresses_only_that_rule(self):
+        src = "import random  # repro: noqa RPR001\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_wrong_id_does_not_suppress(self):
+        src = "import random  # repro: noqa RPR005\n"
+        violations = lint_source(src, "x.py")
+        assert [v.rule for v in violations] == ["RPR001"]
+
+    def test_multiple_ids(self):
+        src = "t = 3600  # repro: noqa RPR001, RPR005\n"
+        assert lint_source(src, "x.py") == []
+
+
+class TestRuleEdges:
+    def test_seeded_default_rng_is_fine(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_wall_clock_outside_sim_dirs_is_fine(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, "experiments/harness.py") == []
+
+    def test_wall_clock_inside_core_flagged(self):
+        src = "import time\nt = time.time()\n"
+        violations = lint_source(src, "core/harness.py")
+        assert [v.rule for v in violations] == ["RPR004"]
+
+    def test_print_allowed_in_main_and_trace(self):
+        src = "print('hi')\n"
+        assert lint_source(src, "repro/__main__.py") == []
+        assert lint_source(src, "repro/sim/trace.py") == []
+
+    def test_private_function_params_exempt_from_rpr006(self):
+        src = "def _helper(size_gb):\n    return size_gb\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_units_py_exempt_from_rpr005(self):
+        src = "HOUR = 3600.0\n"
+        assert lint_source(src, "repro/units.py") == []
+
+    def test_clock_assign_allowed_in_engine(self):
+        src = "class S:\n    def step(self):\n        self._now = 1.0\n"
+        assert lint_source(src, "sim/engine.py") == []
+
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n", "x.py")
+        assert [v.rule for v in violations] == ["RPR000"]
+
+    def test_magic_literal_in_docstring_not_flagged(self):
+        src = '"""Runs for 3600 seconds."""\n'
+        assert lint_source(src, "x.py") == []
+
+
+class TestReporting:
+    def test_text_format(self):
+        v = Violation(path="a.py", line=3, col=1, rule="RPR001",
+                      message="boom")
+        assert render_text([v]) == "a.py:3:1: RPR001 boom"
+
+    def test_json_counts(self):
+        import json
+        violations = lint_paths([FIXTURES])
+        doc = json.loads(render_json(violations))
+        assert doc["total"] == len(violations)
+        assert sum(doc["counts"].values()) == doc["total"]

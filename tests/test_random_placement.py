@@ -1,9 +1,11 @@
-"""Tests for the vectorized random placement (repro.placement.random_placement)."""
+"""Tests for vectorized random placement
+(repro.placement.random_placement)."""
 
 import numpy as np
 import pytest
 
-from repro.placement import PlacementError, RandomPlacement, analyze, disk_loads
+from repro.placement import (PlacementError, RandomPlacement, analyze,
+                             disk_loads)
 
 
 class TestDeterminism:

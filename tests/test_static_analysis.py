@@ -1,0 +1,60 @@
+"""Tier-1 gate: the invariant linter must pass on ``src/``.
+
+This is the enforcement point for the repository's determinism,
+unit-safety, and simulation-discipline invariants (rules RPR001–RPR008,
+see ``docs/DEVELOPMENT.md``): any violation in the library tree fails the
+test suite, with the offending ``file:line`` in the assertion message.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+class TestSrcTreeIsClean:
+    def test_no_violations_in_src(self):
+        violations = lint_paths([SRC])
+        assert violations == [], (
+            "static-analysis violations in src/ "
+            "(see docs/DEVELOPMENT.md for the rules):\n"
+            + render_text(violations))
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        proc = _run_cli(str(SRC))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violations_exit_nonzero_with_rule_and_location(self):
+        proc = _run_cli(str(FIXTURES))
+        assert proc.returncode == 1
+        assert "RPR001" in proc.stdout
+        assert "rpr001_import_random.py:4" in proc.stdout
+
+    def test_json_format_is_parseable(self):
+        proc = _run_cli(str(FIXTURES), "--format", "json")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["total"] == len(doc["violations"]) > 0
+        assert doc["counts"]["RPR001"] == 1
+
+    def test_list_rules_mentions_every_rule(self):
+        proc = _run_cli("--list-rules")
+        assert proc.returncode == 0
+        for n in range(1, 9):
+            assert f"RPR00{n}" in proc.stdout

@@ -1,5 +1,6 @@
 """Tests for structured event tracing (repro.sim.trace)."""
 
+import io
 import json
 
 from repro.sim import Simulator
@@ -79,6 +80,21 @@ class TestQueries:
         assert len(lines) == 4
         first = json.loads(lines[0])
         assert first == {"t": 1.0, "name": "a", "seq": first["seq"]}
+
+    def test_write_jsonl_matches_to_jsonl(self):
+        rec = self._make()
+        out = io.StringIO()
+        assert rec.write_jsonl(out) == 4
+        assert out.getvalue() == rec.to_jsonl() + "\n"
+
+    def test_sink_streams_records(self):
+        seen = []
+        rec = TraceRecorder(sink=lambda r: seen.append((r.time, r.name)))
+        sim = Simulator(trace=rec)
+        sim.schedule(1.0, lambda: None, name="a")
+        sim.schedule(2.0, lambda: None, name="b")
+        sim.run()
+        assert seen == [(1.0, "a"), (2.0, "b")]
 
 
 class TestFilteredHook:
