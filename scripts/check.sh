@@ -40,6 +40,7 @@ optional_step() {
 step "invariant linter" python -m repro.analysis src
 optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
 optional_step "mypy" mypy python -m mypy
+step "fault-injection tests" python -m pytest tests/test_faults.py tests/test_fault_scenarios.py -q
 step "tier-1 tests" python -m pytest -x -q
 
 if [ $status -ne 0 ]; then

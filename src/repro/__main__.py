@@ -23,9 +23,9 @@ import time
 
 from .config import SystemConfig
 from .experiments import SCALES, ablations, base
-from .experiments import (figure3, figure4, figure5, figure7, figure8,
-                          mttdl_table, perf_table, redirection, table1,
-                          table3)
+from .experiments import (faults_sweep, figure3, figure4, figure5, figure7,
+                          figure8, mttdl_table, perf_table, redirection,
+                          table1, table3)
 from .redundancy.schemes import RedundancyScheme
 from .reliability import estimate_p_loss, p_loss_window_model
 from .units import GB, PB
@@ -42,6 +42,7 @@ EXPERIMENTS = {
                                 figure8.run(s, seed, rate_multiplier=2.0)],
     "redirection": lambda s, seed: [redirection.run(s, seed)],
     "mttdl": lambda s, seed: [mttdl_table.run(s, seed)],
+    "faults": lambda s, seed: [faults_sweep.run(s, seed)],
     "perf": lambda s, seed: [perf_table.run(s, seed)],
     "ablations": lambda s, seed: [ablations.run_placement(s, seed),
                                   ablations.run_policy(s, seed),

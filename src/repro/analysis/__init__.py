@@ -1,6 +1,6 @@
 """AST-based invariant linter for the reproduction codebase.
 
-Eight rules in three families keep the simulator's correctness invariants
+Nine rules in four families keep the simulator's correctness invariants
 machine-checked instead of convention-checked:
 
 **Determinism** — results must be a pure function of ``(config, seed)``:
@@ -25,6 +25,11 @@ the clock:
 * ``RPR007`` — no ``print()`` outside ``__main__.py``/``trace.py``;
 * ``RPR008`` — no assignment to ``.now``/``._now`` outside the engine.
 
+**Robustness** — failures must be visible, never silently swallowed:
+
+* ``RPR009`` — no ``except`` that only passes/returns in ``core/`` and
+  ``cluster/``; count it, trace it, defer it, or propagate it.
+
 Run it as ``python -m repro.analysis [paths]`` or via
 :func:`lint_paths`; suppress a single line with ``# repro: noqa`` or
 ``# repro: noqa RPRxxx``.  ``tests/test_static_analysis.py`` gates the
@@ -35,12 +40,14 @@ from .base import RULES, FileContext, Rule, Violation
 from .determinism import SIM_DIRS
 from .discipline import PRINT_SINKS
 from .reporting import render_json, render_rule_list, render_text
+from .robustness import GUARDED_DIRS
 from .runner import iter_python_files, lint_file, lint_paths, lint_source
 from .units_rules import DEPRECATED_SUFFIXES, MAGIC_LITERALS
 
 __all__ = [
     "DEPRECATED_SUFFIXES",
     "FileContext",
+    "GUARDED_DIRS",
     "MAGIC_LITERALS",
     "PRINT_SINKS",
     "RULES",

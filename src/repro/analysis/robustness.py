@@ -1,0 +1,82 @@
+"""Robustness rule (RPR009): no silent exception swallows in recovery.
+
+The original FARM engine silently dropped a rebuild when target selection
+failed — the group stayed degraded with nothing in the stats or the trace
+to show for it.  That class of bug is now structurally forbidden in the
+recovery-critical packages: an ``except`` handler must either account for
+the event (a stats/trace/defer call, a raise) or convert it into a value
+its caller must handle; it may not simply ``pass``/``return``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, Rule, dotted_name, register
+
+#: Directories where a swallowed exception can hide a degraded group.
+GUARDED_DIRS = frozenset({"core", "cluster"})
+
+#: A call whose dotted name contains one of these accounts for the event.
+ACCOUNTING_TOKENS = ("stats", "trace", "record", "defer", "log", "warn",
+                     "report")
+
+
+@register
+class SilentExceptionSwallow(Rule):
+    """RPR009 — no silent exception swallows in ``core/``/``cluster/``.
+
+    An ``except`` whose body only passes, continues, or returns nothing —
+    with no stats/trace/defer accounting call and no raise — makes a
+    failure invisible: the simulated system degrades but neither
+    :class:`~repro.core.recovery.RecoveryStats` nor the event trace shows
+    it (the bug RPR009 exists to prevent regressed at
+    ``core/farm.py``, where ``NoTargetError`` once ate rebuilds).  Count
+    it, trace it, defer it, re-raise it, or return a value the caller
+    must act on.
+    """
+
+    id = "RPR009"
+    summary = ("silent exception swallow in recovery code; count, trace, "
+               "or propagate it")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return bool(GUARDED_DIRS & ctx.parts)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _accounts(stmt: ast.stmt) -> bool:
+        """Whether a statement records the event or propagates it."""
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and any(tok in name.lower()
+                                for tok in ACCOUNTING_TOKENS):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_silent_stmt(stmt: ast.stmt) -> bool:
+        """pass / continue / bare return / return None / docstring."""
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.Return):
+            return stmt.value is None or (
+                isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is None)
+        if isinstance(stmt, ast.Expr) \
+                and isinstance(stmt.value, ast.Constant):
+            return True     # stray docstring/comment expression
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if not any(self._accounts(s) for s in node.body) \
+                and all(self._is_silent_stmt(s) for s in node.body):
+            self.report(node, "exception swallowed with no stats/trace "
+                              "accounting; the failure becomes invisible "
+                              "(count it, defer it, or return a signal "
+                              "value)")
+        self.generic_visit(node)

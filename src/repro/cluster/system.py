@@ -153,6 +153,9 @@ class StorageSystem:
         """
         disk = self.disks[disk_id]
         disk.fail(now)
+        # Whole-disk failure supersedes any latent errors on it: the blocks
+        # are failed wholesale below.
+        disk.latent_blocks.clear()
         affected = []
         for group in self.groups_on_disk(disk_id):
             reps = group.fail_disk(disk_id, now)
@@ -160,6 +163,79 @@ class StorageSystem:
         if self.smart is not None:
             self.smart.forget(disk_id)
         return affected
+
+    # -- transient outages ------------------------------------------------- #
+    def take_offline(self, disk_id: int, now: float) -> None:
+        """Begin a transient outage (data intact, disk unreachable)."""
+        self.disks[disk_id].set_offline(now)
+
+    def bring_online(self, disk_id: int, now: float) -> bool:
+        """End a transient outage.
+
+        Returns False (and does nothing) if the disk permanently failed
+        while it was offline — the restore event is then stale.
+        """
+        disk = self.disks[disk_id]
+        if disk.state is not DiskState.OFFLINE:
+            return False
+        disk.restore(now)
+        return True
+
+    # -- latent sector errors ---------------------------------------------- #
+    def inject_latent_error(self, disk_id: int, rng: np.random.Generator,
+                            now: float) -> tuple[int, int] | None:
+        """Silently corrupt one uniformly-chosen live block on ``disk_id``.
+
+        Returns the corrupted ``(grp_id, rep_id)``, or None when the disk
+        holds no live, not-already-corrupt block.  Nothing else observes
+        the corruption until a scrub or a rebuild read discovers it.
+        """
+        disk = self.disks[disk_id]
+        candidates = [
+            (group.grp_id, rep)
+            for group in self.groups_on_disk(disk_id)
+            for rep, d in enumerate(group.disks)
+            if d == disk_id and rep not in group.failed
+            and not disk.has_latent_error(group.grp_id, rep)]
+        if not candidates:
+            return None
+        grp_id, rep_id = candidates[int(rng.integers(len(candidates)))]
+        disk.add_latent_error(grp_id, rep_id, now)
+        return grp_id, rep_id
+
+    def has_latent_error(self, disk_id: int, grp_id: int,
+                         rep_id: int) -> bool:
+        return self.disks[disk_id].has_latent_error(grp_id, rep_id)
+
+    def clear_latent_error(self, disk_id: int, grp_id: int,
+                           rep_id: int) -> float | None:
+        """Forget a latent error; returns its corruption time if present."""
+        return self.disks[disk_id].clear_latent_error(grp_id, rep_id)
+
+    def latent_error_count(self) -> int:
+        """Undiscovered latent errors currently present in the system."""
+        return sum(len(d.latent_blocks) for d in self.disks if not d.dead)
+
+    # -- index maintenance -------------------------------------------------- #
+    def compact_index(self) -> int:
+        """Rebuild ``_disk_groups`` from live group state.
+
+        Rebuilds and migration append to the index without ever removing
+        the superseded entries, so after a replacement batch the lists can
+        hold many stale (group moved away / block failed) references that
+        :meth:`groups_on_disk` must filter on every failure.  This sweep
+        drops them; returns the number of stale entries removed.
+        """
+        fresh: list[list[int]] = [[] for _ in self.disks]
+        for group in self.groups:
+            for rep, disk_id in enumerate(group.disks):
+                if rep in group.failed or disk_id < 0:
+                    continue
+                fresh[disk_id].append(group.grp_id)
+        dropped = sum(len(e) for e in self._disk_groups) \
+            - sum(len(e) for e in fresh)
+        self._disk_groups = fresh
+        return dropped
 
     def add_spare(self, now: float) -> int:
         """Deploy one dedicated spare disk (traditional RAID recovery).
@@ -209,12 +285,17 @@ class StorageSystem:
             for rep, disk_id in enumerate(group.disks):
                 if rep in group.failed or disk_id in new_ids:
                     continue
+                if not self.disks[disk_id].online:
+                    continue    # transiently unreachable: cannot be read
                 if rng.random() >= share:
                     continue
                 target = int(rng.choice(new_ids))
                 if group.holds_buddy(target):
                     continue
                 self.disks[disk_id].release(block_bytes)
+                # A migrated block is rewritten from a clean replica, so a
+                # latent error in the abandoned copy dies with it.
+                self.disks[disk_id].clear_latent_error(group.grp_id, rep)
                 self.disks[target].allocate(block_bytes)
                 group.disks[rep] = target
                 self.note_block_moved(group.grp_id, target)

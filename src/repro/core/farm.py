@@ -52,14 +52,21 @@ class FarmRecovery(RecoveryManager):
     def _allows_buddy(self) -> bool:
         return not self.selector.policy.forbid_buddy
 
-    def _pick_sources(self, group: RedundancyGroup, rep_id: int
-                      ) -> tuple[int, ...]:
-        """The m disks a rebuild reads from (all survivors for mirroring)."""
-        survivors = group.buddies_of(rep_id)
-        return tuple(survivors[:group.scheme.m])
+    def _try_start(self, group: RedundancyGroup, rep_id: int,
+                   failed_at: float, now: float) -> bool:
+        """Start one block rebuild; False defers it (never a silent drop).
 
-    def _start_job(self, group: RedundancyGroup, rep_id: int,
-                   failed_at: float, now: float) -> None:
+        Cannot-start cases: every admissible target is full
+        (:class:`NoTargetError`) or too few source replicas are online
+        (transient outages).  Reading the sources also surfaces any latent
+        errors in them first — which can reveal the group as already dead.
+        """
+        self._discover_latent_partners(group, rep_id)
+        if group.lost or rep_id not in group.failed:
+            return True     # moot: resolved or lost while we looked
+        sources = self._online_sources(group, rep_id)
+        if not sources:
+            return False    # no readable replica until an outage ends
         cfg = self.config
         # A group may have several rebuilds in flight (m/n schemes); their
         # targets must stay pairwise distinct or two buddies would end up
@@ -71,18 +78,18 @@ class FarmRecovery(RecoveryManager):
                 group, cfg.block_bytes, now, self.busy_until,
                 exclude=inflight, reserved=self.reserved_bytes)
         except NoTargetError:
-            # System too full to re-protect the group; it stays degraded.
-            return
+            return False    # system too full: defer until space frees up
         job = RebuildJob(group=group, rep_id=rep_id, target=target,
-                         failed_at=failed_at,
-                         sources=self._pick_sources(group, rep_id))
+                         failed_at=failed_at, sources=sources)
+        factor = self._bandwidth_factor(target, sources)
         duration = self.workload.time_to_transfer(
-            cfg.block_bytes, cfg.recovery_bandwidth, now)
+            cfg.block_bytes, cfg.recovery_bandwidth * factor, now)
         completion = self.server(target).submit(now, duration)
         job.event = self.sim.schedule_at(completion, self._complete, job,
                                          name="farm-rebuild")
         self._register(job)
         self.stats.rebuilds_started += 1
+        return True
 
     # -- RecoveryManager hooks -------------------------------------------- #
     def _schedule_rebuilds(self, failed_disk: int,
@@ -98,7 +105,9 @@ class FarmRecovery(RecoveryManager):
         """Detection fired: begin the rebuild unless the group died since."""
         if group.lost or rep not in group.failed:
             return
-        self._start_job(group, rep, failed_at, self.sim.now)
+        now = self.sim.now
+        if not self._try_start(group, rep, failed_at, now):
+            self.defer_rebuild(group, rep, failed_at, now)
 
     def _reschedule(self, job: RebuildJob, now: float) -> None:
         start = now + self.config.detection_latency
@@ -127,3 +136,9 @@ class FarmRecovery(RecoveryManager):
         rng: np.random.Generator = self.system.streams.get("migration")
         self.stats.blocks_migrated += self.system.migrate_to_batch(
             new_ids, now, rng)
+        # Migration leaves superseded entries behind; sweep them so the
+        # disk -> groups index stays tight across many batches.
+        self.system.compact_index()
+        # Fresh capacity arrived: rebuilds deferred for want of target
+        # space can run immediately instead of waiting out their backoff.
+        self.rearm_deferred()

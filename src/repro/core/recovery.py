@@ -6,6 +6,21 @@ source dies mid-flight, and accounts for data loss.  The two concrete
 managers are :class:`~repro.core.farm.FarmRecovery` (the paper's
 contribution) and :class:`~repro.core.traditional.TraditionalRecovery` (the
 RAID baseline).
+
+Graceful degradation.  A rebuild that cannot start right now — every
+admissible target is full, or every source replica is transiently offline —
+is never dropped: it lands in a *deferred-rebuild queue* and retries with
+exponential backoff (capped), re-armed immediately by events that change
+the answer (a replacement batch, a provisioned spare, a disk returning from
+an outage).  Deferrals and retries are counted in :class:`RecoveryStats`
+and emitted as ``rebuild-deferred`` trace markers, so a degraded group is
+always visible in the stats and the timeline.
+
+The manager also understands two fault kinds beyond whole-disk death (see
+:mod:`repro.faults`): *transient outages* (:meth:`on_disk_offline` /
+:meth:`on_disk_online` redirect in-flight work instead of counting losses)
+and *latent sector errors* (:meth:`discover_latent` turns a scrub or
+rebuild-read discovery into an ordinary per-block rebuild).
 """
 
 from __future__ import annotations
@@ -18,6 +33,7 @@ from ..redundancy.group import RedundancyGroup
 from ..sim.engine import Simulator
 from ..sim.events import Event
 from ..sim.resources import SerialServer
+from ..units import HOUR, MINUTE
 
 
 @dataclass
@@ -36,6 +52,17 @@ class RecoveryStats:
     window_max: float = 0.0
     replacement_batches: int = 0
     blocks_migrated: int = 0
+    #: Rebuilds that could not start (no target / no readable source) and
+    #: were parked in the deferred-rebuild queue instead of being dropped.
+    rebuilds_deferred: int = 0
+    #: Deferred-rebuild retry attempts (backoff or re-arm firings).
+    retries: int = 0
+    #: Latent sector errors surfaced by a scrub or a rebuild read.
+    latent_errors_discovered: int = 0
+    #: Sum over discoveries of (discovery time - corruption time).
+    latent_window_total: float = 0.0
+    #: Transient outages processed (disk went offline and work redirected).
+    transient_outages: int = 0
 
     @property
     def any_loss(self) -> bool:
@@ -47,6 +74,13 @@ class RecoveryStats:
         if self.rebuilds_completed == 0:
             return 0.0
         return self.window_total / self.rebuilds_completed
+
+    @property
+    def mean_latent_window(self) -> float:
+        """Mean time a latent error stayed undiscovered (0 if none found)."""
+        if self.latent_errors_discovered == 0:
+            return 0.0
+        return self.latent_window_total / self.latent_errors_discovered
 
     def record_loss(self, group: RedundancyGroup, now: float) -> None:
         self.groups_lost += 1
@@ -73,8 +107,27 @@ class RebuildJob:
             self.event.cancel()
 
 
+@dataclass(eq=False)     # identity semantics, like RebuildJob
+class DeferredRebuild:
+    """A rebuild that could not start; parked for retry with backoff."""
+
+    group: RedundancyGroup
+    rep_id: int
+    failed_at: float
+    attempts: int = 0
+    event: Event | None = None
+
+
+def _marker() -> None:
+    """No-op event callback: exists only to appear in the trace timeline."""
+
+
 class RecoveryManager(ABC):
     """Base class wiring a recovery scheme into the simulator."""
+
+    #: Deferred-rebuild backoff: ``base * 2**attempt`` seconds, capped.
+    retry_base_s: float = MINUTE
+    retry_cap_s: float = HOUR
 
     def __init__(self, system: StorageSystem, sim: Simulator) -> None:
         self.system = system
@@ -91,6 +144,8 @@ class RecoveryManager(ABC):
         # must treat reserved space as used or concurrent jobs could
         # collectively overflow a target.
         self._reserved: dict[int, float] = {}
+        # Rebuilds awaiting a viable target/source, keyed (grp_id, rep_id).
+        self._deferred: dict[tuple[int, int], DeferredRebuild] = {}
 
     # -- queues ------------------------------------------------------------ #
     def server(self, disk_id: int) -> SerialServer:
@@ -131,7 +186,7 @@ class RecoveryManager(ABC):
     def on_disk_failure(self, disk_id: int) -> None:
         """DES callback: disk ``disk_id`` fails now."""
         now = self.sim.now
-        if not self.system.disks[disk_id].online:
+        if self.system.disks[disk_id].dead:
             return      # already failed/retired (stale event)
         self.stats.disk_failures += 1
         affected = self.system.fail_disk(disk_id, now)
@@ -193,6 +248,193 @@ class RecoveryManager(ABC):
         self.stats.window_total += window
         self.stats.window_max = max(self.stats.window_max, window)
 
+    # -- deferred-rebuild retry queue ---------------------------------------- #
+    @property
+    def deferred_outstanding(self) -> int:
+        """Rebuilds currently parked awaiting a viable target/source."""
+        return len(self._deferred)
+
+    def _trace_marker(self, name: str) -> None:
+        """Make ``name`` visible in the simulation trace at the current
+        time (the trace hook only sees fired events)."""
+        self.sim.schedule(0.0, _marker, name=name)
+
+    def defer_rebuild(self, group: RedundancyGroup, rep_id: int,
+                      failed_at: float, now: float) -> None:
+        """Park a rebuild that cannot start; retry with capped backoff.
+
+        Replaces the old silent-drop behaviour: the group stays visibly
+        degraded (``stats.rebuilds_deferred``, a ``rebuild-deferred`` trace
+        marker) and the rebuild is retried until it starts, the group is
+        lost, or the simulation ends.
+        """
+        key = (group.grp_id, rep_id)
+        entry = self._deferred.get(key)
+        if entry is None:
+            entry = DeferredRebuild(group=group, rep_id=rep_id,
+                                    failed_at=failed_at)
+            self._deferred[key] = entry
+            self.stats.rebuilds_deferred += 1
+            self._trace_marker("rebuild-deferred")
+        self._arm_retry(key, entry)
+
+    def _arm_retry(self, key: tuple[int, int],
+                   entry: DeferredRebuild) -> None:
+        if entry.event is not None:
+            entry.event.cancel()
+        delay = min(self.retry_base_s * (2.0 ** entry.attempts),
+                    self.retry_cap_s)
+        entry.attempts += 1
+        entry.event = self.sim.schedule(delay, self._retry_deferred, key,
+                                        name="rebuild-retry")
+
+    def _retry_deferred(self, key: tuple[int, int]) -> None:
+        entry = self._deferred.get(key)
+        if entry is None:
+            return
+        group = entry.group
+        if group.lost or entry.rep_id not in group.failed:
+            del self._deferred[key]     # resolved (or lost) in the meantime
+            return
+        self.stats.retries += 1
+        del self._deferred[key]
+        if not self._try_start(group, entry.rep_id, entry.failed_at,
+                               self.sim.now):
+            self._deferred[key] = entry     # keep the attempt count: the
+            self._arm_retry(key, entry)     # backoff must keep growing
+
+    def rearm_deferred(self) -> int:
+        """Retry every parked rebuild now, with a fresh backoff.
+
+        Called when the world changed in recovery's favour: a replacement
+        batch or spare arrived (space freed), or a disk returned from a
+        transient outage (sources readable again).
+        """
+        for key, entry in list(self._deferred.items()):
+            if entry.event is not None:
+                entry.event.cancel()
+            entry.attempts = 0
+            entry.event = self.sim.schedule(0.0, self._retry_deferred, key,
+                                            name="rebuild-retry")
+        return len(self._deferred)
+
+    # -- latent sector errors ------------------------------------------------ #
+    def discover_latent(self, disk_id: int, grp_id: int, rep_id: int) -> bool:
+        """A scrub or rebuild read found a latent error: fail the block and
+        enqueue an ordinary per-group rebuild.  Returns True if the call
+        discovered a (still relevant) error."""
+        corrupted_at = self.system.clear_latent_error(disk_id, grp_id,
+                                                      rep_id)
+        if corrupted_at is None:
+            return False
+        group = self.system.groups[grp_id]
+        if group.lost or rep_id in group.failed:
+            return False    # superseded by a whole-disk failure
+        now = self.sim.now
+        group.fail_block(rep_id, now)
+        disk = self.system.disks[disk_id]
+        if not disk.dead:
+            disk.release(self.config.block_bytes)
+        self.stats.latent_errors_discovered += 1
+        self.stats.latent_window_total += now - corrupted_at
+        self._trace_marker("latent-discovered")
+        if group.lost and group.loss_time == now:
+            # The corrupt block defeated what redundancy remained.
+            self.stats.record_loss(group, now)
+            for job in list(self._jobs_by_group.get(grp_id, ())):
+                self._unregister(job)
+                job.cancel()
+            return True
+        self._schedule_rebuilds(disk_id, [(group, rep_id)], now)
+        return True
+
+    def _discover_latent_partners(self, group: RedundancyGroup,
+                                  rep_id: int) -> None:
+        """Rebuild-read discovery: reconstructing ``rep_id`` reads the
+        group's other live blocks, surfacing any latent errors in them."""
+        for rep, disk_id in enumerate(list(group.disks)):
+            if rep == rep_id or rep in group.failed or disk_id < 0:
+                continue
+            if self.system.has_latent_error(disk_id, group.grp_id, rep):
+                self.discover_latent(disk_id, group.grp_id, rep)
+
+    # -- transient outages --------------------------------------------------- #
+    def on_disk_offline(self, disk_id: int) -> None:
+        """DES callback: ``disk_id`` becomes temporarily unreachable.
+
+        Unlike a failure, no data is lost and no group state changes;
+        in-flight rebuilds writing to the disk restart elsewhere (a target
+        redirection) and rebuilds reading from it swap sources, or are
+        deferred when no readable replica remains.
+        """
+        now = self.sim.now
+        if not self.system.disks[disk_id].online:
+            return      # already offline or dead (stale event)
+        self.system.take_offline(disk_id, now)
+        self.stats.transient_outages += 1
+        self._trace_marker("disk-offline")
+
+        for job in list(self._jobs_by_target.get(disk_id, ())):
+            self._unregister(job)
+            job.cancel()
+            if job.group.lost:
+                continue
+            self.stats.target_redirections += 1
+            self._reschedule(job, now)
+
+        for job in list(self._jobs_by_source.get(disk_id, ())):
+            if job.cancelled or job.group.lost:
+                continue
+            online = [d for d in job.group.buddies_of(job.rep_id)
+                      if self.system.disks[d].online]
+            if len(online) >= job.group.scheme.m:
+                self.stats.source_redirections += 1
+                for s in job.sources:
+                    self._jobs_by_source.get(s, set()).discard(job)
+                job.sources = tuple(online[:job.group.scheme.m])
+                for s in job.sources:
+                    self._jobs_by_source.setdefault(s, set()).add(job)
+            else:
+                # No readable replica until the outage ends: park it.
+                self._unregister(job)
+                job.cancel()
+                self.defer_rebuild(job.group, job.rep_id, job.failed_at,
+                                   now)
+
+    def on_disk_online(self, disk_id: int) -> None:
+        """DES callback: a transient outage ends; the disk's data is back.
+
+        Stale if the disk permanently failed during the outage.  Parked
+        rebuilds are re-armed: the returning disk may hold the only
+        readable source, or be an acceptable target again.
+        """
+        now = self.sim.now
+        if not self.system.bring_online(disk_id, now):
+            return
+        self._trace_marker("disk-online")
+        self.rearm_deferred()
+
+    # -- shared helpers ------------------------------------------------------ #
+    def _bandwidth_factor(self, target: int, sources: tuple[int, ...]
+                          ) -> float:
+        """Effective bandwidth multiplier of a rebuild: the slowest
+        participating disk (straggler model) bounds the transfer."""
+        disks = self.system.disks
+        factor = disks[target].bandwidth_factor
+        for s in sources:
+            factor = min(factor, disks[s].bandwidth_factor)
+        return max(factor, 1e-3)
+
+    def _online_sources(self, group: RedundancyGroup,
+                        rep_id: int) -> tuple[int, ...]:
+        """The m reachable disks a rebuild of ``rep_id`` would read from
+        (empty tuple when too few replicas are currently online)."""
+        online = [d for d in group.buddies_of(rep_id)
+                  if self.system.disks[d].online]
+        if len(online) < group.scheme.m:
+            return ()
+        return tuple(online[:group.scheme.m])
+
     # -- scheme-specific hooks ---------------------------------------------- #
     @abstractmethod
     def _schedule_rebuilds(self, failed_disk: int,
@@ -203,6 +445,16 @@ class RecoveryManager(ABC):
     @abstractmethod
     def _reschedule(self, job: RebuildJob, now: float) -> None:
         """Restart a job whose target died mid-rebuild."""
+
+    @abstractmethod
+    def _try_start(self, group: RedundancyGroup, rep_id: int,
+                   failed_at: float, now: float) -> bool:
+        """Attempt to start (or re-start) one block rebuild.
+
+        Returns True when the rebuild was started or is moot (group lost /
+        block already rebuilt); False when it cannot run right now and
+        should be deferred.  Must never raise for want of a target.
+        """
 
     def _after_failure(self, disk_id: int, now: float) -> None:
         """Hook for replacement policies; default does nothing."""

@@ -43,48 +43,75 @@ class TraditionalRecovery(RecoveryManager):
         return spare
 
     def _enqueue(self, group: RedundancyGroup, rep: int, spare: int,
-                 failed_at: float, start: float) -> None:
+                 failed_at: float, start: float,
+                 sources: tuple[int, ...]) -> None:
         job = RebuildJob(group=group, rep_id=rep, target=spare,
-                         failed_at=failed_at,
-                         sources=tuple(group.buddies_of(rep)[:group.scheme.m]))
-        duration = self.config.rebuild_seconds_per_block
+                         failed_at=failed_at, sources=sources)
+        factor = self._bandwidth_factor(spare, sources)
+        duration = self.config.rebuild_seconds_per_block / factor
         completion = self.server(spare).submit(start, duration)
         job.event = self.sim.schedule_at(completion, self._complete, job,
                                          name="raid-rebuild")
         self._register(job)
         self.stats.rebuilds_started += 1
 
-    # -- RecoveryManager hooks -------------------------------------------- #
-    def _schedule_rebuilds(self, failed_disk: int,
-                           losses: list[tuple[RedundancyGroup, int]],
-                           now: float) -> None:
+    def _spare_disk_for(self, failed_disk: int, group: RedundancyGroup,
+                        now: float) -> int:
+        """The (possibly provisioned-on-demand) spare for ``failed_disk``,
+        or a secondary spare when the primary already holds a buddy."""
         spare = self._spare_for.get(failed_disk)
         if spare is None or not self.system.disks[spare].online:
             spare = self._provision_spare(now)
             self._spare_for[failed_disk] = spare
+        if not group.holds_buddy(spare):
+            return spare
+        # The spare must not hold two blocks of one group; recover this
+        # block onto a second spare (rare).
+        alt = self._spare_for.get(-spare - 1)
+        if alt is None or not self.system.disks[alt].online or \
+                group.holds_buddy(alt):
+            alt = self._provision_spare(now)
+            self._spare_for[-spare - 1] = alt
+        return alt
+
+    # -- RecoveryManager hooks -------------------------------------------- #
+    def _try_start(self, group: RedundancyGroup, rep_id: int,
+                   failed_at: float, now: float) -> bool:
+        """Queue one block onto the failed disk's spare; False defers it.
+
+        The spare is provisioned on demand so a target always exists; the
+        only cannot-start case is that too few source replicas are online
+        (transient outages).  Reading the sources surfaces latent errors.
+        """
+        self._discover_latent_partners(group, rep_id)
+        if group.lost or rep_id not in group.failed:
+            return True     # moot: resolved or lost while we looked
+        sources = self._online_sources(group, rep_id)
+        if not sources:
+            return False    # no readable replica until an outage ends
+        # The block's recorded location is still the disk it failed on, so
+        # late losses of one disk's data share that disk's spare queue.
+        failed_disk = group.disks[rep_id]
+        spare = self._spare_disk_for(failed_disk, group, now)
         start = now + self.config.detection_latency
+        self._enqueue(group, rep_id, spare, failed_at, start, sources)
+        return True
+
+    def _schedule_rebuilds(self, failed_disk: int,
+                           losses: list[tuple[RedundancyGroup, int]],
+                           now: float) -> None:
         for group, rep in losses:
-            if group.holds_buddy(spare):
-                # The spare must not hold two blocks of one group; recover
-                # this block onto a second spare (rare).
-                alt = self._spare_for.get(-spare - 1)
-                if alt is None or not self.system.disks[alt].online or \
-                        group.holds_buddy(alt):
-                    alt = self._provision_spare(now)
-                    self._spare_for[-spare - 1] = alt
-                self._enqueue(group, rep, alt, now, start)
-            else:
-                self._enqueue(group, rep, spare, now, start)
+            if not self._try_start(group, rep, now, now):
+                self.defer_rebuild(group, rep, now, now)
 
     def _reschedule(self, job: RebuildJob, now: float) -> None:
-        """The spare died: restart this block on a replacement spare."""
+        """The spare died or went offline: restart the block elsewhere.
+
+        The failed disk's ``_spare_for`` entry still names the dead spare,
+        so the first rescheduled job provisions a replacement and the rest
+        share it via :meth:`_spare_disk_for`.
+        """
         if job.group.lost or job.rep_id not in job.group.failed:
             return
-        # All jobs of the dead spare land here one by one; they share the
-        # replacement spare via _spare_for keyed on the dead target.
-        spare = self._spare_for.get(job.target)
-        if spare is None or not self.system.disks[spare].online:
-            spare = self._provision_spare(now)
-            self._spare_for[job.target] = spare
-        start = now + self.config.detection_latency
-        self._enqueue(job.group, job.rep_id, spare, job.failed_at, start)
+        if not self._try_start(job.group, job.rep_id, job.failed_at, now):
+            self.defer_rebuild(job.group, job.rep_id, job.failed_at, now)

@@ -20,6 +20,7 @@ from .vintage import PAPER_VINTAGE, DiskVintage
 
 class DiskState(Enum):
     ONLINE = "online"
+    OFFLINE = "offline"   # transient outage: data intact, disk unreachable
     FAILED = "failed"
     RETIRED = "retired"   # removed at EODL / replaced
 
@@ -48,6 +49,16 @@ class Disk:
     state: DiskState = DiskState.ONLINE
     used_bytes: float = 0.0
     failed_at: float | None = None
+    #: Recovery-bandwidth multiplier in (0, 1]; < 1 marks a straggler whose
+    #: rebuilds stretch by 1/factor (the slowest participant of a rebuild
+    #: bounds its throughput).
+    bandwidth_factor: float = 1.0
+    #: Latent sector errors: (grp_id, rep_id) -> corruption time.  The block
+    #: is silently unreadable; nothing notices until a scrub or a rebuild
+    #: read touches it.
+    latent_blocks: dict[tuple[int, int], float] = field(default_factory=dict)
+    offline_since: float | None = None
+    offline_seconds: float = 0.0
 
     # -- geometry -------------------------------------------------------- #
     @property
@@ -75,9 +86,18 @@ class Disk:
     def online(self) -> bool:
         return self.state is DiskState.ONLINE
 
+    @property
+    def dead(self) -> bool:
+        """Permanently gone (failed or retired) — unlike a transient outage."""
+        return self.state in (DiskState.FAILED, DiskState.RETIRED)
+
     def fail(self, now: float) -> None:
-        if self.state is not DiskState.ONLINE:
-            raise ValueError(f"disk {self.disk_id} is not online")
+        """Permanent failure; legal from ONLINE or OFFLINE (a disk can die
+        during a transient outage)."""
+        if self.dead:
+            raise ValueError(f"disk {self.disk_id} is already dead")
+        if self.state is DiskState.OFFLINE:
+            self._accumulate_outage(now)
         self.state = DiskState.FAILED
         self.failed_at = now
 
@@ -85,6 +105,38 @@ class Disk:
         if self.state is not DiskState.ONLINE:
             raise ValueError(f"disk {self.disk_id} is not online")
         self.state = DiskState.RETIRED
+
+    def set_offline(self, now: float) -> None:
+        """Begin a transient outage: the disk is unreachable but its data
+        survives and returns intact on :meth:`restore`."""
+        if self.state is not DiskState.ONLINE:
+            raise ValueError(f"disk {self.disk_id} is not online")
+        self.state = DiskState.OFFLINE
+        self.offline_since = now
+
+    def restore(self, now: float) -> None:
+        """End a transient outage (inverse of :meth:`set_offline`)."""
+        if self.state is not DiskState.OFFLINE:
+            raise ValueError(f"disk {self.disk_id} is not offline")
+        self._accumulate_outage(now)
+        self.state = DiskState.ONLINE
+
+    def _accumulate_outage(self, now: float) -> None:
+        if self.offline_since is not None:
+            self.offline_seconds += now - self.offline_since
+            self.offline_since = None
+
+    # -- latent sector errors --------------------------------------------- #
+    def add_latent_error(self, grp_id: int, rep_id: int, now: float) -> None:
+        """Silently corrupt block ``<grp_id, rep_id>`` held by this disk."""
+        self.latent_blocks.setdefault((grp_id, rep_id), now)
+
+    def clear_latent_error(self, grp_id: int, rep_id: int) -> float | None:
+        """Forget a latent error; returns its corruption time if present."""
+        return self.latent_blocks.pop((grp_id, rep_id), None)
+
+    def has_latent_error(self, grp_id: int, rep_id: int) -> bool:
+        return (grp_id, rep_id) in self.latent_blocks
 
     # -- allocation -------------------------------------------------------- #
     def can_accept(self, nbytes: float, initial_placement: bool = False

@@ -1,0 +1,27 @@
+"""Composable fault injection for the recovery simulations.
+
+Public surface:
+
+* :class:`~repro.faults.base.FaultInjector` — the injector protocol.
+* :class:`~repro.faults.base.FaultContext`,
+  :class:`~repro.faults.base.FaultStats`, and
+  :func:`~repro.faults.base.arm_all` — wiring and bookkeeping.
+* :class:`~repro.faults.latent.LatentSectorErrors` — silent corruption.
+* :class:`~repro.faults.outages.TransientOutages` — offline-and-return.
+* :class:`~repro.faults.correlated.CorrelatedFailures` — shelf bursts.
+* :class:`~repro.faults.stragglers.Stragglers` — degraded bandwidth.
+* :class:`~repro.faults.scrub.Scrubber` — periodic latent-error discovery.
+"""
+
+from .base import FaultContext, FaultInjector, FaultStats, arm_all
+from .correlated import CorrelatedFailures
+from .latent import LatentSectorErrors
+from .outages import TransientOutages
+from .scrub import Scrubber
+from .stragglers import Stragglers
+
+__all__ = [
+    "FaultInjector", "FaultContext", "FaultStats", "arm_all",
+    "LatentSectorErrors", "TransientOutages", "CorrelatedFailures",
+    "Stragglers", "Scrubber",
+]

@@ -12,7 +12,7 @@ Public surface:
 * :class:`~repro.sim.rng.RandomStreams` — named reproducible RNG streams.
 """
 
-from .engine import SimulationError, Simulator
+from .engine import PeriodicTimer, SimulationError, Simulator
 from .events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, Event
 from .process import Interrupt, Process, Signal, Timeout, all_of
 from .resources import Request, Resource, SerialServer
@@ -20,7 +20,7 @@ from .rng import RandomStreams, stable_hash64
 from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
-    "Simulator", "SimulationError", "Event",
+    "Simulator", "SimulationError", "Event", "PeriodicTimer",
     "PRIORITY_HIGH", "PRIORITY_LOW", "PRIORITY_NORMAL",
     "Process", "Timeout", "Signal", "Interrupt", "all_of",
     "SerialServer", "Resource", "Request",

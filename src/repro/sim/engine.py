@@ -158,3 +158,71 @@ class Simulator:
     def clear(self) -> None:
         """Drop all pending events (clock unchanged)."""
         self._heap.clear()
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    def every(self, interval: float | Callable[[], float],
+              callback: Callable[..., Any], *args: Any,
+              until: float | None = None,
+              name: str = "") -> "PeriodicTimer":
+        """Run ``callback(*args)`` repeatedly, ``interval`` seconds apart.
+
+        ``interval`` may be a zero-argument callable re-evaluated before
+        each arming, for periods that depend on mutable state (e.g. a
+        scrub cycle spread over a growing disk population).  The first
+        firing is one interval from now; firings stop after ``until`` or
+        when the returned timer is cancelled.
+        """
+        timer = PeriodicTimer(self, interval, callback, args, until, name)
+        timer._arm()
+        return timer
+
+
+class PeriodicTimer:
+    """A self-rescheduling timer (see :meth:`Simulator.every`)."""
+
+    __slots__ = ("sim", "interval", "callback", "args", "until", "name",
+                 "cancelled", "fired", "_event")
+
+    def __init__(self, sim: Simulator,
+                 interval: float | Callable[[], float],
+                 callback: Callable[..., Any], args: tuple,
+                 until: float | None, name: str) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.until = until
+        self.name = name
+        self.cancelled = False
+        self.fired = 0
+        self._event: Event | None = None
+
+    def _period(self) -> float:
+        dt = self.interval() if callable(self.interval) else self.interval
+        if dt <= 0 or math.isnan(dt):
+            raise SimulationError(f"timer period must be positive, got {dt}")
+        return float(dt)
+
+    def _arm(self) -> None:
+        when = self.sim.now + self._period()
+        if self.until is not None and when > self.until:
+            self._event = None
+            return
+        self._event = self.sim.schedule_at(when, self._fire,
+                                           name=self.name)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.callback(*self.args)
+        if not self.cancelled:
+            self._arm()
+
+    def cancel(self) -> None:
+        """Stop the timer; any armed firing is cancelled."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()

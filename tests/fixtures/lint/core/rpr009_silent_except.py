@@ -1,0 +1,8 @@
+"""Fixture: RPR009 — exception swallowed with no accounting."""
+
+
+def drop_rebuild(selector, group):
+    try:
+        return selector.select(group)
+    except LookupError:
+        return None

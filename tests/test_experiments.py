@@ -7,9 +7,10 @@ quantitative reproduction runs in benchmarks/ (REPRO_SCALE=small/paper).
 
 import pytest
 
-from repro.experiments import (SCALES, ablations, current_scale, figure3,
-                               figure4, figure5, figure7, figure8,
-                               redirection, table1, table3)
+from repro.experiments import (SCALES, ablations, current_scale,
+                               faults_sweep, figure3, figure4, figure5,
+                               figure7, figure8, redirection, table1,
+                               table3)
 from repro.experiments.base import Scale
 from repro.units import GB, MB, MINUTE, PB
 
@@ -146,3 +147,30 @@ class TestRedirectionAndAblations:
         result = ablations.run_policy(SMOKE)
         by_policy = {r["policy"]: r for r in result.rows}
         assert by_policy["full"]["buddy_violations"] == 0
+
+
+class TestFaultsSweep:
+    def test_mttdl_monotone_as_scrub_interval_shrinks(self):
+        result = faults_sweep.run(SMOKE, base_seed=0)
+        intervals = result.column("scrub_interval_h")
+        assert intervals == sorted(intervals, reverse=True)
+        mttdl = result.column("group_mttdl_yr")
+        assert all(later > earlier
+                   for earlier, later in zip(mttdl, mttdl[1:]))
+
+    def test_measured_latency_tracks_interval(self):
+        result = faults_sweep.run(SMOKE, base_seed=0)
+        latency = result.column("mean_latency_h")
+        assert all(later < earlier
+                   for earlier, later in zip(latency, latency[1:]))
+        # Mean undiscovered lifetime is on the order of interval/2.
+        for row in result.rows:
+            assert 0 < row["mean_latency_h"] < row["scrub_interval_h"]
+
+    def test_analytic_column_pure_function(self):
+        cfg = faults_sweep.SystemConfig()
+        a = faults_sweep.analytic_mttdl_years(
+            cfg, 24 * 3600.0, faults_sweep.LATENT_RATE_PER_DISK)
+        b = faults_sweep.analytic_mttdl_years(
+            cfg, 24 * 3600.0, faults_sweep.LATENT_RATE_PER_DISK)
+        assert a == b > 0

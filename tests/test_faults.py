@@ -1,0 +1,250 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import pytest
+
+from repro.cluster import StorageSystem
+from repro.config import SystemConfig
+from repro.core.runner import build_manager
+from repro.disks.disk import DiskState
+from repro.faults import (CorrelatedFailures, FaultContext, FaultStats,
+                          LatentSectorErrors, Scrubber, Stragglers,
+                          TransientOutages, arm_all)
+from repro.sim import RandomStreams, Simulator, TraceRecorder
+from repro.units import DAY, GB, HOUR, TB
+
+HORIZON = 30 * DAY
+
+
+def small_config(**kw):
+    defaults = dict(total_user_bytes=4 * TB, group_user_bytes=10 * GB)
+    defaults.update(kw)
+    return SystemConfig(**defaults)
+
+
+def make_ctx(seed=0, horizon=HORIZON, **kw):
+    streams = RandomStreams(seed)
+    system = StorageSystem(small_config(**kw), streams,
+                           deterministic_failures=True)
+    sim = Simulator(trace=TraceRecorder())
+    manager = build_manager(system, sim)
+    return FaultContext(system=system, sim=sim, manager=manager,
+                        streams=streams, horizon=horizon)
+
+
+class TestDiskStateMachine:
+    def test_offline_and_restore(self):
+        ctx = make_ctx()
+        disk = ctx.system.disks[0]
+        disk.set_offline(100.0)
+        assert disk.state is DiskState.OFFLINE
+        assert not disk.online and not disk.dead
+        disk.restore(250.0)
+        assert disk.online
+        assert disk.offline_seconds == pytest.approx(150.0)
+
+    def test_fail_legal_from_offline(self):
+        ctx = make_ctx()
+        disk = ctx.system.disks[0]
+        disk.set_offline(10.0)
+        disk.fail(40.0)
+        assert disk.dead
+        assert disk.offline_seconds == pytest.approx(30.0)
+
+    def test_offline_requires_online(self):
+        ctx = make_ctx()
+        disk = ctx.system.disks[0]
+        disk.fail(5.0)
+        with pytest.raises(ValueError):
+            disk.set_offline(6.0)
+
+    def test_latent_bookkeeping(self):
+        ctx = make_ctx()
+        disk = ctx.system.disks[0]
+        disk.add_latent_error(3, 1, now=7.0)
+        assert disk.has_latent_error(3, 1)
+        assert disk.clear_latent_error(3, 1) == 7.0
+        assert not disk.has_latent_error(3, 1)
+        assert disk.clear_latent_error(3, 1) is None
+
+
+class TestSystemFaultSurface:
+    def test_inject_latent_error_picks_live_block(self):
+        ctx = make_ctx()
+        rng = ctx.streams.get("faults-latent")
+        hit = ctx.system.inject_latent_error(4, rng, now=50.0)
+        assert hit is not None
+        grp_id, rep_id = hit
+        assert ctx.system.groups[grp_id].disks[rep_id] == 4
+        assert ctx.system.has_latent_error(4, grp_id, rep_id)
+        assert ctx.system.latent_error_count() == 1
+
+    def test_failure_supersedes_latent_errors(self):
+        ctx = make_ctx()
+        rng = ctx.streams.get("faults-latent")
+        ctx.system.inject_latent_error(4, rng, now=50.0)
+        ctx.system.fail_disk(4, now=60.0)
+        assert ctx.system.latent_error_count() == 0
+
+    def test_bring_online_stale_after_death(self):
+        ctx = make_ctx()
+        ctx.system.take_offline(2, now=10.0)
+        ctx.system.disks[2].fail(20.0)
+        assert ctx.system.bring_online(2, now=30.0) is False
+
+
+class TestInjectorValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatentSectorErrors(0.0)
+        with pytest.raises(ValueError):
+            TransientOutages(0.0, HOUR)
+        with pytest.raises(ValueError):
+            TransientOutages(1.0 / DAY, 0.0)
+        with pytest.raises(ValueError):
+            CorrelatedFailures(0.0)
+        with pytest.raises(ValueError):
+            CorrelatedFailures(1.0 / DAY, shelf_size=0)
+        with pytest.raises(ValueError):
+            CorrelatedFailures(1.0 / DAY, spread_s=-1.0)
+        with pytest.raises(ValueError):
+            Stragglers(0.0)
+        with pytest.raises(ValueError):
+            Stragglers(0.5, factor_range=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            Scrubber(0.0)
+
+
+class TestLatentAndScrub:
+    def test_latent_errors_arrive_and_scrub_discovers(self):
+        ctx = make_ctx()
+        arm_all([LatentSectorErrors(1.0 / DAY), Scrubber(2 * DAY)], ctx)
+        ctx.sim.run(until=HORIZON)
+        assert ctx.stats.latent_injected > 0
+        assert ctx.stats.scrubs > 0
+        assert ctx.stats.scrub_discoveries > 0
+        s = ctx.manager.stats
+        assert s.latent_errors_discovered >= ctx.stats.scrub_discoveries
+        # A full scrub cycle bounds the undiscovered lifetime (plus the
+        # time to the first cycle; use a generous factor).
+        assert 0 < s.mean_latent_window < 3 * 2 * DAY
+
+    def test_discovered_latent_block_is_rebuilt(self):
+        ctx = make_ctx()
+        arm_all([LatentSectorErrors(1.0 / DAY), Scrubber(DAY)], ctx)
+        ctx.sim.run(until=HORIZON)
+        s = ctx.manager.stats
+        assert s.rebuilds_completed > 0
+        live_groups = [g for g in ctx.system.groups if not g.lost]
+        assert all(not g.failed for g in live_groups)
+
+    def test_shorter_interval_means_shorter_latency(self):
+        latencies = []
+        for interval in (8 * DAY, DAY):
+            ctx = make_ctx()
+            arm_all([LatentSectorErrors(1.0 / DAY), Scrubber(interval)],
+                    ctx)
+            ctx.sim.run(until=HORIZON)
+            latencies.append(ctx.manager.stats.mean_latent_window)
+        assert latencies[1] < latencies[0]
+
+
+class TestTransientOutages:
+    def test_outages_start_end_and_count(self):
+        ctx = make_ctx()
+        arm_all([TransientOutages(1.0 / (4 * DAY), 2 * HOUR)], ctx)
+        ctx.sim.run(until=HORIZON)
+        assert ctx.stats.outages_started > 0
+        assert ctx.stats.outages_ended == ctx.stats.outages_started
+        assert ctx.manager.stats.transient_outages == \
+            ctx.stats.outages_started
+        # Every outage ended: nothing stays offline, nothing is lost.
+        assert all(d.state is not DiskState.OFFLINE
+                   for d in ctx.system.disks)
+        assert ctx.manager.stats.groups_lost == 0
+
+    def test_outage_is_not_a_failure(self):
+        ctx = make_ctx()
+        arm_all([TransientOutages(1.0 / (4 * DAY), 2 * HOUR)], ctx)
+        ctx.sim.run(until=HORIZON)
+        assert ctx.manager.stats.disk_failures == 0
+
+
+class TestCorrelatedFailures:
+    def test_burst_kills_a_shelf(self):
+        ctx = make_ctx()
+        arm_all([CorrelatedFailures(1.0 / (10 * DAY), shelf_size=4,
+                                    spread_s=60.0)], ctx)
+        ctx.sim.run(until=HORIZON)
+        assert ctx.stats.bursts > 0
+        assert ctx.stats.burst_failures > 0
+        assert ctx.manager.stats.disk_failures == ctx.stats.burst_failures
+        # Failed disks form whole shelves of consecutive ids.
+        dead = sorted(d.disk_id for d in ctx.system.disks if d.dead)
+        for disk_id in dead:
+            assert disk_id // 4 in {d // 4 for d in dead}
+
+
+class TestStragglers:
+    def test_factors_sampled_in_range(self):
+        ctx = make_ctx()
+        Stragglers(0.25, factor_range=(0.1, 0.5)).arm(ctx)
+        degraded = [d for d in ctx.system.disks
+                    if d.bandwidth_factor < 1.0]
+        assert len(degraded) == ctx.stats.stragglers == \
+            round(0.25 * len(ctx.system.disks))
+        assert all(0.1 <= d.bandwidth_factor <= 0.5 for d in degraded)
+
+    def test_stragglers_slow_rebuilds(self):
+        fast = make_ctx()
+        fast.manager.on_disk_failure(0)
+        fast.sim.run(until=DAY)
+
+        slow = make_ctx()
+        Stragglers(1.0, factor_range=(0.25, 0.25)).arm(slow)
+        slow.manager.on_disk_failure(0)
+        slow.sim.run(until=DAY)
+
+        assert slow.manager.stats.rebuilds_completed > 0
+        assert slow.manager.stats.mean_window > \
+            fast.manager.stats.mean_window
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        def run():
+            ctx = make_ctx(seed=11)
+            arm_all([LatentSectorErrors(1.0 / DAY),
+                     TransientOutages(1.0 / (4 * DAY), HOUR),
+                     CorrelatedFailures(1.0 / (15 * DAY), shelf_size=4),
+                     Scrubber(2 * DAY)], ctx)
+            ctx.sim.run(until=HORIZON)
+            return ctx
+
+        a, b = run(), run()
+        assert a.stats == b.stats
+        assert a.manager.stats == b.manager.stats
+        assert a.sim.events_fired == b.sim.events_fired
+
+    def test_fault_streams_do_not_perturb_base_run(self):
+        """Arming injectors must not change the draw order of any other
+        stream: a no-fault run is bit-identical with or without the
+        faults module imported and its streams created."""
+        plain = make_ctx(seed=3)
+        plain.manager.on_disk_failure(0)
+        plain.sim.run(until=DAY)
+
+        warmed = make_ctx(seed=3)
+        warmed.streams.get("faults-latent")       # create, never draw
+        warmed.streams.get("faults-outages")
+        warmed.manager.on_disk_failure(0)
+        warmed.sim.run(until=DAY)
+
+        assert plain.manager.stats == warmed.manager.stats
+
+
+class TestFaultStats:
+    def test_default_zeroed(self):
+        s = FaultStats()
+        assert s == FaultStats(latent_injected=0, outages_started=0,
+                               outages_ended=0, bursts=0, burst_failures=0,
+                               stragglers=0, scrubs=0, scrub_discoveries=0)

@@ -24,14 +24,15 @@ EXPECTED = {
     "rpr006_unit_suffix.py": ("RPR006", 5),
     "rpr007_print.py": ("RPR007", 5),
     "rpr008_clock_assign.py": ("RPR008", 6),
+    "core/rpr009_silent_except.py": ("RPR009", 7),
 }
 
 
 class TestRegistry:
-    def test_eight_rules_with_unique_ids(self):
+    def test_nine_rules_with_unique_ids(self):
         ids = [r.id for r in RULES]
-        assert len(ids) == len(set(ids)) == 8
-        assert sorted(ids) == [f"RPR00{n}" for n in range(1, 9)]
+        assert len(ids) == len(set(ids)) == 9
+        assert sorted(ids) == [f"RPR00{n}" for n in range(1, 10)]
 
     def test_every_rule_documented(self):
         for rule in RULES:
@@ -117,6 +118,27 @@ class TestRuleEdges:
     def test_magic_literal_in_docstring_not_flagged(self):
         src = '"""Runs for 3600 seconds."""\n'
         assert lint_source(src, "x.py") == []
+
+    def test_silent_except_outside_guarded_dirs_is_fine(self):
+        src = ("try:\n    f()\nexcept ValueError:\n    pass\n")
+        assert lint_source(src, "experiments/harness.py") == []
+
+    def test_silent_except_in_cluster_flagged(self):
+        src = ("try:\n    f()\nexcept ValueError:\n    pass\n")
+        violations = lint_source(src, "cluster/system.py")
+        assert [v.rule for v in violations] == ["RPR009"]
+
+    def test_signal_value_return_not_flagged(self):
+        src = ("def g():\n    try:\n        return f()\n"
+               "    except ValueError:\n        return False\n")
+        assert lint_source(src, "core/farm.py") == []
+
+    def test_accounted_swallow_not_flagged(self):
+        src = ("def g(self):\n    try:\n        return f()\n"
+               "    except ValueError:\n"
+               "        self.stats.retries += 1\n"
+               "        self.defer_rebuild()\n        return None\n")
+        assert lint_source(src, "core/farm.py") == []
 
 
 class TestReporting:

@@ -210,3 +210,42 @@ class TestEventObject:
         ev = Event(time=0.0, callback=out.append, args=("y",))
         ev.fire()
         assert out == ["y"]
+
+
+class TestPeriodicTimer:
+    def test_fires_at_fixed_interval(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run(until=45.0)
+        assert times == [10.0, 20.0, 30.0, 40.0]
+
+    def test_until_bounds_firings(self, sim):
+        timer = sim.every(10.0, lambda: None, until=25.0)
+        sim.run(until=100.0)
+        assert timer.fired == 2
+
+    def test_cancel_stops_rearming(self, sim):
+        timer = sim.every(5.0, lambda: None)
+        sim.schedule_at(12.0, timer.cancel)
+        sim.run(until=50.0)
+        assert timer.fired == 2 and timer.cancelled
+
+    def test_callable_interval_reevaluated(self, sim):
+        periods = [5.0, 10.0, 20.0]
+        times = []
+        sim.every(lambda: periods[min(len(times), 2)],
+                  lambda: times.append(sim.now))
+        sim.run(until=40.0)
+        assert times == [5.0, 15.0, 35.0]
+
+    def test_nonpositive_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(math.nan, lambda: None)
+
+    def test_args_passed_through(self, sim):
+        out = []
+        sim.every(1.0, out.append, "tick", until=3.5)
+        sim.run(until=10.0)
+        assert out == ["tick", "tick", "tick"]

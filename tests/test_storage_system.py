@@ -156,3 +156,49 @@ class TestSmartIntegration:
             system.is_suspect(d, now=system.failure_times[d] - 3600.0)
             for d in range(len(system.disks)))
         assert flagged > 0
+
+
+class TestIndexCompaction:
+    def _live_index(self, system):
+        """disk -> set of groups with a live block there, from group state
+        (the ground truth the index approximates)."""
+        truth = [set() for _ in system.disks]
+        for group in system.groups:
+            for rep, disk_id in enumerate(group.disks):
+                if rep not in group.failed and disk_id >= 0:
+                    truth[disk_id].add(group.grp_id)
+        return truth
+
+    def test_migration_leaves_stale_entries(self):
+        system = StorageSystem(small_config(), RandomStreams(1))
+        ids = system.add_batch(10, now=0.0)
+        system.migrate_to_batch(ids, now=0.0, rng=np.random.default_rng(0))
+        dropped = system.compact_index()
+        assert dropped > 0
+        assert system.compact_index() == 0      # idempotent once tight
+
+    def test_compaction_preserves_groups_on_disk(self):
+        system = StorageSystem(small_config(), RandomStreams(2))
+        ids = system.add_batch(10, now=0.0)
+        system.migrate_to_batch(ids, now=0.0, rng=np.random.default_rng(1))
+        before = {d.disk_id: {g.grp_id for g in
+                              system.groups_on_disk(d.disk_id)}
+                  for d in system.disks}
+        system.compact_index()
+        after = {d.disk_id: {g.grp_id for g in
+                             system.groups_on_disk(d.disk_id)}
+                 for d in system.disks}
+        assert before == after
+
+    def test_compacted_index_holds_no_stale_entry(self):
+        """After compaction every index entry is live: recovery can never
+        consult an entry whose block moved away or failed."""
+        system = StorageSystem(small_config(), RandomStreams(3))
+        system.fail_disk(7, now=1.0)
+        ids = system.add_batch(10, now=2.0)
+        system.migrate_to_batch(ids, now=2.0, rng=np.random.default_rng(2))
+        system.compact_index()
+        truth = self._live_index(system)
+        for disk_id, entries in enumerate(system._disk_groups):
+            assert len(entries) == len(set(entries))
+            assert set(entries) == truth[disk_id]
