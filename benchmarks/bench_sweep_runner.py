@@ -1,0 +1,48 @@
+"""Benchmarks of the sweep runner (repro.reliability.runner).
+
+Tracks the cost of the sweep orchestration layer itself — persistent-pool
+dispatch, streaming aggregation, BENCH record emission — on a small
+multi-point sweep, and pins the serial/parallel bit-identity guarantee at
+benchmark scale so a regression in the reorder-buffer fold shows up here
+even if the unit tests' tiny sweeps happen to mask it.
+"""
+
+import json
+
+from repro.config import SystemConfig
+from repro.reliability import PointSpec, SweepRunner, shutdown_pool, sweep
+from repro.units import GB, TB
+
+
+def _points():
+    base = SystemConfig(total_user_bytes=20 * TB, group_user_bytes=10 * GB)
+    return [PointSpec("farm", base),
+            PointSpec("trad", base.with_(use_farm=False)),
+            PointSpec("ecc", base.with_(detection_latency=600.0))]
+
+
+def test_sweep_serial_throughput(benchmark, tmp_path):
+    runner = SweepRunner(n_jobs=None,
+                         bench_path=tmp_path / "BENCH_sweep.json")
+    out = benchmark(runner.run_points, _points(), 4, 0)
+    assert len(out) == 3
+    record = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+    assert record["runs_per_s"] > 0
+
+
+def test_sweep_parallel_matches_serial(benchmark):
+    """One timed parallel sweep, checked bit-for-bit against serial."""
+    cfgs = {p.label: p.config for p in _points()}
+    serial = sweep(cfgs, n_runs=4, base_seed=3, n_jobs=None,
+                   bench_path=None)
+    try:
+        parallel = benchmark.pedantic(
+            sweep, args=(cfgs,),
+            kwargs=dict(n_runs=4, base_seed=3, n_jobs=2, bench_path=None),
+            rounds=1, iterations=1)
+        for label in cfgs:
+            assert parallel[label].losses == serial[label].losses
+            assert parallel[label].mean_window == serial[label].mean_window
+            assert parallel[label].max_window == serial[label].max_window
+    finally:
+        shutdown_pool()

@@ -3,15 +3,18 @@
 Usage::
 
     python -m repro list
-    python -m repro run figure3 --scale smoke
+    python -m repro run figure3 --scale smoke --jobs 4
     python -m repro run all --scale small --out results/
     python -m repro estimate --data-pb 2 --scheme 1/2 --runs 20 [--no-farm]
     python -m repro sensitivity --scheme 1/2 [--no-farm]
+    python -m repro sweep-check --jobs 2
 
 ``run`` executes the named experiment(s) at the chosen scale and prints the
 regenerated table; ``estimate`` answers the library's core question — the
-probability of data loss for one configuration — and ``sensitivity`` ranks
-which design knob moves it the most.
+probability of data loss for one configuration — ``sensitivity`` ranks
+which design knob moves it the most, and ``sweep-check`` asserts the sweep
+runner's determinism guarantee (parallel aggregates bit-identical to a
+serial run) on a small multi-point sweep.
 """
 
 from __future__ import annotations
@@ -61,7 +64,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
     scale = SCALES[args.scale] if args.scale else base.current_scale()
+    if args.jobs is not None:
+        scale = dataclasses.replace(scale, n_jobs=args.jobs)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     out_dir = pathlib.Path(args.out) if args.out else None
@@ -104,6 +110,81 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep_check(args: argparse.Namespace) -> int:
+    """Assert the sweep runner's determinism guarantee end to end.
+
+    Runs a small multi-point sweep twice — serially and with worker
+    processes — and requires every aggregate (losses, CI input, window
+    sums/max, Welford moments) to be *bit-identical*.  Also validates the
+    BENCH_sweep.json perf record the parallel run writes.
+    """
+    import json
+    import tempfile
+
+    from .reliability import shutdown_pool, sweep
+    from .reliability.runner import BENCH_SCHEMA
+    from .units import TB
+
+    tiny = SystemConfig(total_user_bytes=args.data_tb * TB,
+                        group_user_bytes=10 * GB)
+    points = {
+        "farm": tiny,
+        "traditional": tiny.with_(use_farm=False),
+        "slow-detect": tiny.with_(detection_latency=600.0),
+    }
+    serial = sweep(points, n_runs=args.runs, base_seed=args.seed,
+                   n_jobs=None, bench_path=None, sweep_name="sweep-check")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        bench_path = tmp.name
+    parallel = sweep(points, n_runs=args.runs, base_seed=args.seed,
+                     n_jobs=args.jobs, bench_path=bench_path,
+                     sweep_name="sweep-check")
+    shutdown_pool()
+
+    failures = []
+    for label in points:
+        s, p = serial[label], parallel[label]
+        checks = {
+            "losses": (s.losses, p.losses),
+            "p_loss": (s.p_loss, p.p_loss),
+            "groups_lost_total": (s.groups_lost_total,
+                                  p.groups_lost_total),
+            "mean_window": (s.mean_window, p.mean_window),
+            "max_window": (s.max_window, p.max_window),
+            "disk_failures_total": (s.disk_failures_total,
+                                    p.disk_failures_total),
+            "redirections_total": (s.redirections_total,
+                                   p.redirections_total),
+            "window_moments.m2": (s.aggregate.window_moments.m2,
+                                  p.aggregate.window_moments.m2),
+            "failure_moments.m2": (s.aggregate.failure_moments.m2,
+                                   p.aggregate.failure_moments.m2),
+        }
+        for field_name, (a, b) in checks.items():
+            if a != b:
+                failures.append(f"{label}.{field_name}: {a!r} != {b!r}")
+    record = json.loads(pathlib.Path(bench_path).read_text())
+    for key in ("schema", "wall_time_s", "events_fired", "runs_per_s",
+                "points"):
+        if key not in record:
+            failures.append(f"BENCH record missing {key!r}")
+    if record.get("schema") != BENCH_SCHEMA:
+        failures.append(f"BENCH schema {record.get('schema')!r}")
+    if len(record.get("points", [])) != len(points):
+        failures.append("BENCH per-point timings incomplete")
+    pathlib.Path(bench_path).unlink(missing_ok=True)
+
+    if failures:
+        print("sweep-check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"sweep-check OK: {len(points)} points x {args.runs} runs, "
+          f"serial == parallel (jobs={args.jobs}), BENCH record valid "
+          f"({record['runs_per_s']:.1f} runs/s)")
+    return 0
+
+
 def cmd_sensitivity(args: argparse.Namespace) -> int:
     from .reliability.sensitivity import render_tornado, tornado
     cfg = SystemConfig(
@@ -138,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=list(SCALES), default=None)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--out", help="directory to save rendered tables")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="Monte-Carlo worker processes (0 = all cores; "
+                          "overrides REPRO_JOBS; results are bit-identical "
+                          "to a serial run)")
 
     est = sub.add_parser("estimate",
                          help="P(data loss) for one configuration")
@@ -160,13 +245,25 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("--scheme", default="1/2")
     sens.add_argument("--detection", type=float, default=30.0)
     sens.add_argument("--no-farm", action="store_true")
+
+    chk = sub.add_parser("sweep-check",
+                         help="assert parallel sweep aggregates are "
+                              "bit-identical to a serial run")
+    chk.add_argument("--jobs", type=int, default=2,
+                     help="worker processes for the parallel run")
+    chk.add_argument("--runs", type=int, default=6,
+                     help="lifetimes per sweep point")
+    chk.add_argument("--seed", type=int, default=0)
+    chk.add_argument("--data-tb", type=float, default=10.0,
+                     help="system size for the check sweep (TB)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "estimate": cmd_estimate,
-            "sensitivity": cmd_sensitivity}[args.command](args)
+            "sensitivity": cmd_sensitivity,
+            "sweep-check": cmd_sweep_check}[args.command](args)
 
 
 if __name__ == "__main__":

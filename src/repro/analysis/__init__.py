@@ -1,6 +1,6 @@
 """AST-based invariant linter for the reproduction codebase.
 
-Nine rules in four families keep the simulator's correctness invariants
+Ten rules in five families keep the simulator's correctness invariants
 machine-checked instead of convention-checked:
 
 **Determinism** — results must be a pure function of ``(config, seed)``:
@@ -30,6 +30,12 @@ the clock:
 * ``RPR009`` — no ``except`` that only passes/returns in ``core/`` and
   ``cluster/``; count it, trace it, defer it, or propagate it.
 
+**Parameterization** — knobs are read from the config, never restated:
+
+* ``RPR010`` — no bare numeric literal equal to a known
+  ``SystemConfig``/``SmartMonitor`` default in ``core/``, ``cluster/``,
+  ``reliability/``, ``disks/`` (definition sites are exempt).
+
 Run it as ``python -m repro.analysis [paths]`` or via
 :func:`lint_paths`; suppress a single line with ``# repro: noqa`` or
 ``# repro: noqa RPRxxx``.  ``tests/test_static_analysis.py`` gates the
@@ -39,6 +45,7 @@ tree: tier-1 fails on any violation in ``src/``.
 from .base import RULES, FileContext, Rule, Violation
 from .determinism import SIM_DIRS
 from .discipline import PRINT_SINKS
+from .parameters import KNOWN_PARAMETER_DEFAULTS, PARAM_GUARDED_DIRS
 from .reporting import render_json, render_rule_list, render_text
 from .robustness import GUARDED_DIRS
 from .runner import iter_python_files, lint_file, lint_paths, lint_source
@@ -48,7 +55,9 @@ __all__ = [
     "DEPRECATED_SUFFIXES",
     "FileContext",
     "GUARDED_DIRS",
+    "KNOWN_PARAMETER_DEFAULTS",
     "MAGIC_LITERALS",
+    "PARAM_GUARDED_DIRS",
     "PRINT_SINKS",
     "RULES",
     "Rule",

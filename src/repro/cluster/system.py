@@ -61,7 +61,11 @@ class StorageSystem:
         self.placement = placement
         self.smart: SmartMonitor | None = None
         if config.use_smart:
-            self.smart = SmartMonitor(streams.get("smart"))
+            self.smart = SmartMonitor(
+                streams.get("smart"),
+                detection_probability=config.smart_detection_probability,
+                warning_horizon=config.smart_warning_horizon,
+                false_positive_rate=config.smart_false_positive_rate)
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -292,6 +296,8 @@ class StorageSystem:
                 target = int(rng.choice(new_ids))
                 if group.holds_buddy(target):
                     continue
+                if not self.disks[target].can_accept(block_bytes):
+                    continue    # never overfill a replacement drive
                 self.disks[disk_id].release(block_bytes)
                 # A migrated block is rewritten from a clean replica, so a
                 # latent error in the abandoned copy dies with it.

@@ -13,7 +13,7 @@ from typing import Any, Literal
 
 from .disks.vintage import PAPER_VINTAGE, DiskVintage
 from .redundancy.schemes import MIRROR_2, RedundancyScheme
-from .units import GB, PB, YEAR
+from .units import DAY, GB, PB, YEAR
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,12 @@ class SystemConfig:
     spare_reserve_fraction: float = 0.04
     use_farm: bool = True
     use_smart: bool = False
+    #: SMART monitor model (paper §2.3), consumed by *both* engines when
+    #: ``use_smart`` is on: chance a failing drive is flagged inside the
+    #: warning horizon, the horizon itself, and the spurious-flag rate.
+    smart_detection_probability: float = 0.4
+    smart_warning_horizon: float = 7 * DAY
+    smart_false_positive_rate: float = 0.01
     replacement_threshold: float | None = None
     duration: float = 6 * YEAR
     placement: Literal["random", "rush"] = "random"
@@ -64,6 +70,12 @@ class SystemConfig:
         if self.replacement_threshold is not None and not (
                 0 < self.replacement_threshold < 1):
             raise ValueError("replacement threshold must be in (0, 1)")
+        if not 0 <= self.smart_detection_probability <= 1:
+            raise ValueError("smart detection probability must be in [0, 1]")
+        if not 0 <= self.smart_false_positive_rate <= 1:
+            raise ValueError("smart false positive rate must be in [0, 1]")
+        if self.smart_warning_horizon < 0:
+            raise ValueError("smart warning horizon cannot be negative")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if not 0 <= self.workload_peak_load < 1:

@@ -25,6 +25,7 @@ from ..config import SystemConfig
 from ..faults import LatentSectorErrors, Scrubber
 from ..reliability.analytic import mean_hazard, mean_window
 from ..reliability.markov import mttdl
+from ..reliability.runner import SweepRunner
 from ..reliability.scenarios import Scenario
 from ..units import DAY, GB, HOUR, TB, YEAR
 from .base import ExperimentResult, Scale, current_scale
@@ -68,6 +69,24 @@ def analytic_mttdl_years(cfg: SystemConfig, interval_s: float,
                  parallel_repair=cfg.use_farm) / YEAR
 
 
+def _interval_row(task: tuple[SystemConfig, int, float]) -> dict:
+    """One scrub-interval scenario (module-level so it pickles for the
+    sweep runner's worker pool)."""
+    cfg, seed, interval = task
+    out = (Scenario(cfg, seed=seed)
+           .inject_faults(
+               LatentSectorErrors(LATENT_RATE_PER_DISK),
+               Scrubber(interval))
+           .run(horizon=HORIZON))
+    s = out.stats
+    return dict(scrub_interval_h=interval / HOUR,
+                latent_found=s.latent_errors_discovered,
+                mean_latency_h=s.mean_latent_window / HOUR,
+                deferred=s.rebuilds_deferred,
+                retries=s.retries,
+                groups_lost=len(out.lost_groups))
+
+
 def run(scale: Scale | None = None, base_seed: int = 0) -> ExperimentResult:
     scale = scale or current_scale()
     cfg = _measured_config()
@@ -80,19 +99,12 @@ def run(scale: Scale | None = None, base_seed: int = 0) -> ExperimentResult:
                  "deferred", "retries", "groups_lost", "group_mttdl_yr"],
     )
     paper_cfg = SystemConfig()
-    for interval in SCRUB_INTERVALS:
-        out = (Scenario(cfg, seed=base_seed)
-               .inject_faults(
-                   LatentSectorErrors(LATENT_RATE_PER_DISK),
-                   Scrubber(interval))
-               .run(horizon=HORIZON))
-        s = out.stats
-        result.add(scrub_interval_h=interval / HOUR,
-                   latent_found=s.latent_errors_discovered,
-                   mean_latency_h=s.mean_latent_window / HOUR,
-                   deferred=s.rebuilds_deferred,
-                   retries=s.retries,
-                   groups_lost=len(out.lost_groups),
+    runner = SweepRunner(n_jobs=scale.n_jobs)
+    rows = runner.map_tasks(
+        _interval_row,
+        [(cfg, base_seed, interval) for interval in SCRUB_INTERVALS])
+    for interval, row in zip(SCRUB_INTERVALS, rows):
+        result.add(**row,
                    group_mttdl_yr=analytic_mttdl_years(
                        paper_cfg, interval, LATENT_RATE_PER_DISK))
     result.notes.append(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..config import SystemConfig
 from ..redundancy.schemes import PAPER_SCHEMES
-from ..reliability.montecarlo import estimate_p_loss
+from ..reliability.montecarlo import sweep
 from ..units import GB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
@@ -51,11 +51,14 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["scheme", "farm", "p_loss_pct", "ci95",
                  "groups_lost", "paper_pct"],
     )
+    points = {f"{scheme.name}|{farm}": base.with_(scheme=scheme,
+                                                  use_farm=farm)
+              for scheme in PAPER_SCHEMES for farm in (True, False)}
+    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
+                    n_jobs=scale.n_jobs, sweep_name=f"figure3{panel}")
     for scheme in PAPER_SCHEMES:
         for farm in (True, False):
-            cfg = base.with_(scheme=scheme, use_farm=farm)
-            mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
-                                 base_seed=base_seed, n_jobs=scale.n_jobs)
+            mc = results[f"{scheme.name}|{farm}"]
             result.add(
                 scheme=scheme.name,
                 farm="FARM" if farm else "w/o",

@@ -15,7 +15,7 @@ all group sizes onto one curve.
 from __future__ import annotations
 
 from ..config import SystemConfig
-from ..reliability.montecarlo import estimate_p_loss
+from ..reliability.montecarlo import sweep
 from ..units import GB, MINUTE
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
@@ -41,12 +41,18 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["group_gb", "latency_min", "latency_over_rebuild",
                  "mean_window_s", "p_loss_pct", "ci95"],
     )
+    points = {}
     for size in sizes:
         base = scale.size_config(SystemConfig(group_user_bytes=size))
         for lat in lats:
-            cfg = base.with_(detection_latency=lat)
-            mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
-                                 base_seed=base_seed, n_jobs=scale.n_jobs)
+            points[f"{size / GB:g}|{lat:g}"] = \
+                base.with_(detection_latency=lat)
+    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
+                    n_jobs=scale.n_jobs, sweep_name="figure4")
+    for size in sizes:
+        for lat in lats:
+            mc = results[f"{size / GB:g}|{lat:g}"]
+            cfg = mc.config
             ratio = cfg.detection_latency / cfg.rebuild_seconds_per_block
             result.add(group_gb=size / GB, latency_min=lat / MINUTE,
                        latency_over_rebuild=ratio,

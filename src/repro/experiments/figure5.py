@@ -12,7 +12,7 @@ effect with FARM, whose windows are already short.
 from __future__ import annotations
 
 from ..config import SystemConfig
-from ..reliability.montecarlo import estimate_p_loss
+from ..reliability.montecarlo import sweep
 from ..units import GB, MB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
@@ -37,16 +37,21 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["mode", "group_gb", "bw_mbps", "mean_window_s",
                  "p_loss_pct", "ci95"],
     )
+    points = {}
     for farm in (True, False):
         for size in sizes:
             base = scale.size_config(SystemConfig(
                 group_user_bytes=size, use_farm=farm,
                 detection_latency=30.0))
             for bw in bws:
-                cfg = base.with_(recovery_bandwidth_bps=bw)
-                mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
-                                     base_seed=base_seed,
-                                     n_jobs=scale.n_jobs)
+                points[f"{farm}|{size / GB:g}|{bw / MB:g}"] = \
+                    base.with_(recovery_bandwidth_bps=bw)
+    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
+                    n_jobs=scale.n_jobs, sweep_name="figure5")
+    for farm in (True, False):
+        for size in sizes:
+            for bw in bws:
+                mc = results[f"{farm}|{size / GB:g}|{bw / MB:g}"]
                 result.add(mode="FARM" if farm else "w/o",
                            group_gb=size / GB, bw_mbps=bw / MB,
                            mean_window_s=mc.mean_window,

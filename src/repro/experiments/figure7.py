@@ -12,7 +12,7 @@ frequency does not significantly affect reliability.
 from __future__ import annotations
 
 from ..config import SystemConfig
-from ..reliability.montecarlo import estimate_p_loss
+from ..reliability.montecarlo import sweep
 from ..units import GB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
@@ -33,18 +33,18 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["threshold_pct", "p_loss_pct", "ci95", "batches_mean",
                  "migrated_mean"],
     )
+    points = {f"{th:g}": base.with_(replacement_threshold=th)
+              for th in ths}
+    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
+                    n_jobs=scale.n_jobs, sweep_name="figure7")
     for th in ths:
-        cfg = base.with_(replacement_threshold=th)
-        mc = estimate_p_loss(cfg, n_runs=scale.n_runs, base_seed=base_seed,
-                             n_jobs=scale.n_jobs)
-        n = max(1, len(mc.run_stats))
+        mc = results[f"{th:g}"]
         result.add(
             threshold_pct=100.0 * th,
             p_loss_pct=100.0 * mc.p_loss.estimate,
             ci95=render_proportion(mc.p_loss),
-            batches_mean=sum(s.replacement_batches
-                             for s in mc.run_stats) / n,
-            migrated_mean=sum(s.blocks_migrated for s in mc.run_stats) / n,
+            batches_mean=mc.replacement_batches_total / mc.n_runs,
+            migrated_mean=mc.blocks_migrated_total / mc.n_runs,
         )
     result.notes.append(
         "Paper: overlapping CIs across thresholds — the cohort effect is "

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..config import SystemConfig
 from ..redundancy.schemes import PAPER_SCHEMES, RedundancyScheme
-from ..reliability.montecarlo import estimate_p_loss
+from ..reliability.montecarlo import sweep
 from ..units import GB, PB
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
@@ -43,15 +43,17 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         scale=scale,
         columns=["scheme", "capacity_pb", "p_loss_pct", "ci95"],
     )
+    # Figure 8 sweeps *absolute* capacity; the scale knob shrinks the
+    # whole axis proportionally instead of the point count.
+    points = {f"{scheme.name}|{cap / PB:g}": SystemConfig(
+                  total_user_bytes=cap * scale.data_factor,
+                  group_user_bytes=10 * GB, scheme=scheme, vintage=vintage)
+              for scheme in schs for cap in caps}
+    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
+                    n_jobs=scale.n_jobs, sweep_name=f"figure8{panel}")
     for scheme in schs:
         for cap in caps:
-            # Figure 8 sweeps *absolute* capacity; the scale knob shrinks
-            # the whole axis proportionally instead of the point count.
-            cfg = SystemConfig(
-                total_user_bytes=cap * scale.data_factor,
-                group_user_bytes=10 * GB, scheme=scheme, vintage=vintage)
-            mc = estimate_p_loss(cfg, n_runs=scale.n_runs,
-                                 base_seed=base_seed, n_jobs=scale.n_jobs)
+            mc = results[f"{scheme.name}|{cap / PB:g}"]
             result.add(scheme=scheme.name, capacity_pb=cap / PB,
                        p_loss_pct=100.0 * mc.p_loss.estimate,
                        ci95=render_proportion(mc.p_loss))

@@ -5,6 +5,9 @@ from .analytic import (WindowModel, expected_disk_failures, mean_window,
 from .markov import group_generator, mttdl, p_group_loss, p_system_loss
 from .montecarlo import (MonteCarloResult, estimate_p_loss,
                          loss_probability_series, run_seed, sweep)
+from .runner import (PointOutcome, PointSpec, RunningMoments,
+                     StatsAggregate, SweepRunner, default_bench_path,
+                     seed_schedule, shutdown_pool)
 from .scenarios import Injection, Scenario, ScenarioOutcome
 from .sensitivity import (SensitivityRow, elasticity, render_tornado,
                           tornado)
@@ -15,6 +18,9 @@ __all__ = [
     "ReliabilitySimulation",
     "MonteCarloResult", "estimate_p_loss", "sweep",
     "loss_probability_series", "run_seed",
+    "SweepRunner", "PointSpec", "PointOutcome", "StatsAggregate",
+    "RunningMoments", "seed_schedule", "shutdown_pool",
+    "default_bench_path",
     "Proportion", "wilson_interval", "bootstrap_mean",
     "p_loss", "p_loss_window_model", "WindowModel",
     "mean_window", "expected_disk_failures",

@@ -5,21 +5,23 @@ report the fraction that lose at least one redundancy group, with Wilson
 confidence intervals (Figure 7 shows 95% CIs; the other figures use 100
 runs per point).
 
-Runs can execute serially (deterministic, benchmark-friendly) or across
-processes (``n_jobs``) for the full paper-scale sweeps.
+Execution is delegated to :mod:`repro.reliability.runner`: a sweep shares
+one persistent process pool across *all* of its points and aggregates
+per-run statistics streamingly, so parallel (``n_jobs``) and serial runs
+produce bit-identical results and memory stays flat however many runs a
+point has.  Pass ``keep_run_stats=True`` to also retain the raw per-run
+:class:`~repro.core.recovery.RecoveryStats` objects.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-
-import numpy as np
+from pathlib import Path
 
 from ..config import SystemConfig
 from ..core.recovery import RecoveryStats
-from ..sim.rng import stable_hash64
+from .runner import (PointOutcome, PointSpec, StatsAggregate, SweepRunner,
+                     default_bench_path)
 from .simulation import ReliabilitySimulation
 from .stats import Proportion, wilson_interval
 
@@ -37,10 +39,16 @@ class MonteCarloResult:
     max_window: float
     disk_failures_total: int
     redirections_total: int
+    replacement_batches_total: int = 0
+    blocks_migrated_total: int = 0
+    events_fired_total: int = 0
+    aggregate: StatsAggregate | None = field(repr=False, default=None)
     run_stats: list[RecoveryStats] = field(repr=False, default_factory=list)
 
     @property
     def runs_with_redirection(self) -> int:
+        if self.aggregate is not None:
+            return self.aggregate.runs_with_redirection
         return sum(1 for s in self.run_stats if s.target_redirections > 0)
 
 
@@ -49,9 +57,31 @@ def run_seed(config: SystemConfig, seed: int) -> RecoveryStats:
     return ReliabilitySimulation(config, seed=seed).run()
 
 
+def _result_from(outcome: PointOutcome,
+                 confidence: float) -> MonteCarloResult:
+    agg = outcome.aggregate
+    return MonteCarloResult(
+        config=outcome.config,
+        n_runs=outcome.n_runs,
+        losses=agg.losses,
+        p_loss=wilson_interval(agg.losses, outcome.n_runs, confidence),
+        groups_lost_total=agg.groups_lost,
+        mean_window=agg.mean_window,
+        max_window=agg.window_max,
+        disk_failures_total=agg.disk_failures,
+        redirections_total=agg.target_redirections,
+        replacement_batches_total=agg.replacement_batches,
+        blocks_migrated_total=agg.blocks_migrated,
+        events_fired_total=agg.events_fired,
+        aggregate=agg,
+        run_stats=outcome.run_stats,
+    )
+
+
 def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
                     base_seed: int = 0, confidence: float = 0.95,
-                    n_jobs: int | None = None) -> MonteCarloResult:
+                    n_jobs: int | None = None,
+                    keep_run_stats: bool = False) -> MonteCarloResult:
     """Estimate P(data loss over the configured duration).
 
     Parameters
@@ -63,55 +93,53 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
         reproducible and runs are independent.
     n_jobs:
         Process-parallelism; ``None``/1 runs serially, 0 uses all cores.
+        Aggregates are bit-identical to the serial run either way.
+    keep_run_stats:
+        Retain the per-run :class:`RecoveryStats` list on the result
+        (off by default; aggregates are streamed regardless).
     """
-    if n_runs <= 0:
-        raise ValueError("n_runs must be positive")
-    seeds = [stable_hash64(base_seed, "mc-run", i) % (2 ** 62)
-             for i in range(n_runs)]
-    if n_jobs is None or n_jobs == 1:
-        all_stats = [run_seed(config, s) for s in seeds]
-    else:
-        workers = os.cpu_count() if n_jobs == 0 else n_jobs
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunk = max(1, n_runs // (4 * workers))
-            all_stats = list(pool.map(run_seed, [config] * n_runs, seeds,
-                                      chunksize=chunk))
-
-    losses = sum(1 for s in all_stats if s.any_loss)
-    completed = sum(s.rebuilds_completed for s in all_stats)
-    window_total = sum(s.window_total for s in all_stats)
-    return MonteCarloResult(
-        config=config,
-        n_runs=n_runs,
-        losses=losses,
-        p_loss=wilson_interval(losses, n_runs, confidence),
-        groups_lost_total=sum(s.groups_lost for s in all_stats),
-        mean_window=(window_total / completed) if completed else 0.0,
-        max_window=max((s.window_max for s in all_stats), default=0.0),
-        disk_failures_total=sum(s.disk_failures for s in all_stats),
-        redirections_total=sum(s.target_redirections for s in all_stats),
-        run_stats=all_stats,
-    )
+    runner = SweepRunner(n_jobs=n_jobs)
+    [outcome] = runner.run_points(
+        [PointSpec("point", config)], n_runs, base_seed=base_seed,
+        keep_run_stats=keep_run_stats, sweep_name="estimate_p_loss")
+    return _result_from(outcome, confidence)
 
 
 def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
-          base_seed: int = 0, n_jobs: int | None = None
+          base_seed: int = 0, n_jobs: int | None = None,
+          confidence: float = 0.95, keep_run_stats: bool = False,
+          sweep_name: str = "sweep",
+          bench_path: str | Path | None | object = "auto"
           ) -> dict[str, MonteCarloResult]:
-    """Estimate P(loss) for a labelled family of configurations."""
-    return {label: estimate_p_loss(cfg, n_runs=n_runs, base_seed=base_seed,
-                                   n_jobs=n_jobs)
-            for label, cfg in configs.items()}
+    """Estimate P(loss) for a labelled family of configurations.
+
+    All points run on one :class:`SweepRunner` (and hence one persistent
+    worker pool) with every ``(point, run)`` lifetime submitted as an
+    independent task.  A ``BENCH_sweep.json`` perf record is written per
+    invocation unless ``bench_path=None`` (or ``REPRO_BENCH_PATH=""``).
+    """
+    if bench_path == "auto":
+        bench_path = default_bench_path()
+    runner = SweepRunner(n_jobs=n_jobs, bench_path=bench_path)
+    points = [PointSpec(label, cfg) for label, cfg in configs.items()]
+    outcomes = runner.run_points(points, n_runs, base_seed=base_seed,
+                                 keep_run_stats=keep_run_stats,
+                                 sweep_name=sweep_name)
+    return {o.label: _result_from(o, confidence) for o in outcomes}
 
 
 def loss_probability_series(base: SystemConfig, param: str,
                             values: list, n_runs: int = 100,
                             base_seed: int = 0,
-                            n_jobs: int | None = None
+                            n_jobs: int | None = None,
+                            keep_run_stats: bool = False,
+                            sweep_name: str | None = None,
+                            bench_path: str | Path | None | object = "auto"
                             ) -> list[tuple[object, MonteCarloResult]]:
     """Sweep one config field; returns (value, result) pairs in order."""
-    out = []
-    for v in values:
-        cfg = base.with_(**{param: v})
-        out.append((v, estimate_p_loss(cfg, n_runs=n_runs,
-                                       base_seed=base_seed, n_jobs=n_jobs)))
-    return out
+    labelled = {str(v): base.with_(**{param: v}) for v in values}
+    results = sweep(labelled, n_runs=n_runs, base_seed=base_seed,
+                    n_jobs=n_jobs, keep_run_stats=keep_run_stats,
+                    sweep_name=sweep_name or f"series:{param}",
+                    bench_path=bench_path)
+    return [(v, results[str(v)]) for v in values]

@@ -1,0 +1,406 @@
+"""Sweep-level parallel execution with a persistent worker pool.
+
+The paper's headline results (Figs. 3-8) are Monte-Carlo sweeps: hundreds
+of independent lifetimes per point across many points.  Before this module
+existed every point built and tore down its own ``ProcessPoolExecutor``
+and the points themselves ran serially, so a 12-point x 100-run sweep
+repeatedly barriered on its slowest point.  The :class:`SweepRunner`
+instead submits **every** ``(point, run)`` lifetime as an independent task
+to one process pool that persists across all points of a sweep (and across
+sweeps within the process), so the pool stays saturated end to end.
+
+Three guarantees:
+
+* **Determinism** — run ``i`` of every point uses the seed
+  ``stable_hash64(base_seed, "mc-run", i)``, the exact schedule the serial
+  path uses, and results are folded into the aggregates *in run-index
+  order* (a small reorder buffer holds out-of-order completions), so the
+  parallel aggregates are bit-identical to a serial run.
+* **Streaming aggregation** — per-run :class:`RecoveryStats` are reduced
+  into a :class:`StatsAggregate` (counts, window sum/max, Welford moments)
+  as they arrive; a sweep no longer retains one stats object per run
+  unless the caller opts in with ``keep_run_stats=True``.
+* **Perf record** — each sweep invocation can emit a machine-readable
+  ``BENCH_sweep.json`` (wall time, events fired, runs/s, per-point
+  timings) so the benchmark trajectory has data.
+
+Wall-clock reads here measure *host* performance only — simulated time
+never touches them — and go through module-level injectable aliases so
+tests can substitute a fake clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from ..config import SystemConfig
+from ..core.recovery import RecoveryStats
+from ..sim.rng import stable_hash64
+from .simulation import ReliabilitySimulation
+
+#: Injectable host-performance clocks (never simulated time; RPR004 keeps
+#: direct wall-clock *calls* out of simulation logic, and these aliases
+#: are the one sanctioned, swappable measurement point).
+_WALL_CLOCK: Callable[[], float] = time.perf_counter
+_WALL_TIME: Callable[[], float] = time.time
+
+#: Default location of the perf record; ``REPRO_BENCH_PATH`` overrides it
+#: ("" disables writing entirely).
+DEFAULT_BENCH_PATH = Path("results") / "BENCH_sweep.json"
+
+#: Schema tag stamped into every perf record.
+BENCH_SCHEMA = "repro.bench-sweep.v1"
+
+#: Cap on queued-but-unsubmitted task batching: every task is submitted
+#: up front (sweeps are at most a few thousand lifetimes), but completions
+#: are drained in waves of this size to bound reorder-buffer growth.
+_DRAIN_WAVE = 256
+
+
+def default_bench_path() -> Path | None:
+    """Where a sweep's perf record goes (None disables writing)."""
+    env = os.environ.get("REPRO_BENCH_PATH")
+    if env is not None:
+        return Path(env) if env else None
+    return DEFAULT_BENCH_PATH
+
+
+def seed_schedule(base_seed: int, n_runs: int) -> list[int]:
+    """The per-run seed schedule shared by serial and parallel paths."""
+    return [stable_hash64(base_seed, "mc-run", i) % (2 ** 62)
+            for i in range(n_runs)]
+
+
+def resolve_workers(n_jobs: int | None) -> int:
+    """Worker-process count for an ``n_jobs`` request (0 = all cores)."""
+    if n_jobs is None or n_jobs == 1:
+        return 1
+    if n_jobs == 0:
+        return os.cpu_count() or 1
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0 or None, got {n_jobs}")
+    return n_jobs
+
+
+# --------------------------------------------------------------------- #
+# Streaming aggregation
+# --------------------------------------------------------------------- #
+@dataclass
+class RunningMoments:
+    """Welford online mean/variance (numerically stable, single pass)."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return self.variance ** 0.5
+
+
+@dataclass
+class StatsAggregate:
+    """Order-stable streaming reduction of per-run :class:`RecoveryStats`.
+
+    Integer fields are plain sums; float fields are folded in run-index
+    order so the result is bit-identical however the runs were executed.
+    ``window_moments`` tracks the per-run *mean* window and
+    ``failure_moments`` the per-run disk-failure count — the two
+    quantities the experiment tables quote spreads for.
+    """
+
+    n_runs: int = 0
+    losses: int = 0
+    groups_lost: int = 0
+    bytes_lost: float = 0.0
+    disk_failures: int = 0
+    rebuilds_started: int = 0
+    rebuilds_completed: int = 0
+    target_redirections: int = 0
+    source_redirections: int = 0
+    runs_with_redirection: int = 0
+    window_total: float = 0.0
+    window_max: float = 0.0
+    replacement_batches: int = 0
+    blocks_migrated: int = 0
+    rebuilds_deferred: int = 0
+    retries: int = 0
+    latent_errors_discovered: int = 0
+    latent_window_total: float = 0.0
+    transient_outages: int = 0
+    events_fired: int = 0
+    run_seconds_total: float = 0.0
+    window_moments: RunningMoments = field(default_factory=RunningMoments)
+    failure_moments: RunningMoments = field(default_factory=RunningMoments)
+
+    def fold(self, stats: RecoveryStats, events_fired: int = 0,
+             run_seconds: float = 0.0) -> None:
+        """Reduce one lifetime's stats into the aggregate."""
+        self.n_runs += 1
+        self.losses += 1 if stats.any_loss else 0
+        self.groups_lost += stats.groups_lost
+        self.bytes_lost += stats.bytes_lost
+        self.disk_failures += stats.disk_failures
+        self.rebuilds_started += stats.rebuilds_started
+        self.rebuilds_completed += stats.rebuilds_completed
+        self.target_redirections += stats.target_redirections
+        self.source_redirections += stats.source_redirections
+        self.runs_with_redirection += \
+            1 if stats.target_redirections > 0 else 0
+        self.window_total += stats.window_total
+        self.window_max = max(self.window_max, stats.window_max)
+        self.replacement_batches += stats.replacement_batches
+        self.blocks_migrated += stats.blocks_migrated
+        self.rebuilds_deferred += stats.rebuilds_deferred
+        self.retries += stats.retries
+        self.latent_errors_discovered += stats.latent_errors_discovered
+        self.latent_window_total += stats.latent_window_total
+        self.transient_outages += stats.transient_outages
+        self.events_fired += events_fired
+        self.run_seconds_total += run_seconds
+        self.window_moments.add(stats.mean_window)
+        self.failure_moments.add(float(stats.disk_failures))
+
+    @property
+    def mean_window(self) -> float:
+        """Mean window of vulnerability over all completed rebuilds."""
+        if self.rebuilds_completed == 0:
+            return 0.0
+        return self.window_total / self.rebuilds_completed
+
+
+# --------------------------------------------------------------------- #
+# Worker tasks (module-level for pickling)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _LifetimeTask:
+    """One (point, run) lifetime shipped to a worker process."""
+
+    point: int
+    index: int
+    config: SystemConfig
+    seed: int
+
+
+def _run_lifetime(task: _LifetimeTask
+                  ) -> tuple[int, int, RecoveryStats, int, float]:
+    """Execute one lifetime; returns (point, index, stats, events, secs)."""
+    t0 = _WALL_CLOCK()
+    sim = ReliabilitySimulation(task.config, seed=task.seed)
+    stats = sim.run()
+    return (task.point, task.index, stats, sim.sim.events_fired,
+            _WALL_CLOCK() - t0)
+
+
+# --------------------------------------------------------------------- #
+# Persistent pool
+# --------------------------------------------------------------------- #
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide executor, (re)built only when the size changes."""
+    global _POOL, _POOL_WORKERS
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if _POOL is None or _POOL_WORKERS != workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear the shared pool down (tests, or explicit cleanup)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+# --------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PointSpec:
+    """One labelled sweep point."""
+
+    label: str
+    config: SystemConfig
+
+
+@dataclass
+class PointOutcome:
+    """Aggregated result of one sweep point."""
+
+    label: str
+    config: SystemConfig
+    n_runs: int
+    aggregate: StatsAggregate
+    run_stats: list[RecoveryStats] = field(repr=False, default_factory=list)
+    #: Host seconds from sweep start until this point's last run folded.
+    completed_at_s: float = 0.0
+
+
+class SweepRunner:
+    """Executes labelled sweep points over a persistent process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        ``None``/1 runs serially in-process; 0 uses all cores; ``k`` uses
+        ``k`` worker processes.  Aggregates are bit-identical either way.
+    bench_path:
+        Where to write the ``BENCH_sweep.json`` perf record after each
+        :meth:`run_points` invocation; ``None`` disables the record.
+    """
+
+    def __init__(self, n_jobs: int | None = None,
+                 bench_path: str | Path | None = None) -> None:
+        self.n_jobs = n_jobs
+        self.workers = resolve_workers(n_jobs)
+        self.bench_path = Path(bench_path) if bench_path else None
+        self.last_record: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------ #
+    def run_points(self, points: Sequence[PointSpec], n_runs: int,
+                   base_seed: int = 0, keep_run_stats: bool = False,
+                   sweep_name: str = "sweep") -> list[PointOutcome]:
+        """Run ``n_runs`` lifetimes for every point; aggregate streamingly.
+
+        Every point uses the same ``base_seed`` (hence the same per-run
+        seed schedule), exactly like back-to-back ``estimate_p_loss``
+        calls; results come back in point order.
+        """
+        if n_runs <= 0:
+            raise ValueError("n_runs must be positive")
+        if not points:
+            raise ValueError("at least one sweep point is required")
+        t0 = _WALL_CLOCK()
+        seeds = seed_schedule(base_seed, n_runs)
+        outcomes = [PointOutcome(label=p.label, config=p.config,
+                                 n_runs=n_runs, aggregate=StatsAggregate())
+                    for p in points]
+        if self.workers <= 1:
+            self._run_serial(points, seeds, outcomes, keep_run_stats, t0)
+        else:
+            self._run_parallel(points, seeds, outcomes, keep_run_stats, t0)
+        wall = _WALL_CLOCK() - t0
+        self.last_record = self._bench_record(sweep_name, outcomes, n_runs,
+                                              wall)
+        self._write_bench(self.last_record)
+        return outcomes
+
+    def map_tasks(self, fn: Callable[[Any], Any],
+                  items: Iterable[Any]) -> list[Any]:
+        """Ordered map over picklable items, on the shared pool when
+        parallel (used by scenario-style experiment drivers)."""
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(shared_pool(self.workers).map(fn, items))
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, points: Sequence[PointSpec], seeds: list[int],
+                    outcomes: list[PointOutcome], keep_run_stats: bool,
+                    t0: float) -> None:
+        for p, point in enumerate(points):
+            for i, seed in enumerate(seeds):
+                _, _, stats, events, secs = _run_lifetime(
+                    _LifetimeTask(p, i, point.config, seed))
+                outcomes[p].aggregate.fold(stats, events, secs)
+                if keep_run_stats:
+                    outcomes[p].run_stats.append(stats)
+            outcomes[p].completed_at_s = _WALL_CLOCK() - t0
+
+    def _run_parallel(self, points: Sequence[PointSpec], seeds: list[int],
+                      outcomes: list[PointOutcome], keep_run_stats: bool,
+                      t0: float) -> None:
+        pool = shared_pool(self.workers)
+        futures: set[Future] = {
+            pool.submit(_run_lifetime, _LifetimeTask(p, i, point.config,
+                                                     seed))
+            for p, point in enumerate(points)
+            for i, seed in enumerate(seeds)}
+        # Per-point reorder buffers: fold strictly in run-index order so
+        # float reductions are bit-identical to the serial path.
+        buffers: list[dict[int, tuple[RecoveryStats, int, float]]] = \
+            [{} for _ in points]
+        next_index = [0] * len(points)
+        n_runs = len(seeds)
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for fut in done:
+                p, i, stats, events, secs = fut.result()
+                buffers[p][i] = (stats, events, secs)
+            for p, buffer in enumerate(buffers):
+                while next_index[p] in buffer:
+                    stats, events, secs = buffer.pop(next_index[p])
+                    outcomes[p].aggregate.fold(stats, events, secs)
+                    if keep_run_stats:
+                        outcomes[p].run_stats.append(stats)
+                    next_index[p] += 1
+                    if next_index[p] == n_runs:
+                        outcomes[p].completed_at_s = _WALL_CLOCK() - t0
+
+    # ------------------------------------------------------------------ #
+    def _bench_record(self, sweep_name: str,
+                      outcomes: list[PointOutcome], n_runs: int,
+                      wall: float) -> dict[str, Any]:
+        total_runs = n_runs * len(outcomes)
+        events = sum(o.aggregate.events_fired for o in outcomes)
+        return {
+            "schema": BENCH_SCHEMA,
+            "sweep": sweep_name,
+            "timestamp": _WALL_TIME(),
+            "n_jobs": self.n_jobs,
+            "workers": self.workers,
+            "n_points": len(outcomes),
+            "n_runs_per_point": n_runs,
+            "total_runs": total_runs,
+            "wall_time_s": wall,
+            "events_fired": events,
+            "runs_per_s": total_runs / wall if wall > 0 else 0.0,
+            "events_per_s": events / wall if wall > 0 else 0.0,
+            "points": [
+                {
+                    "label": o.label,
+                    "n_runs": o.n_runs,
+                    "losses": o.aggregate.losses,
+                    "events_fired": o.aggregate.events_fired,
+                    "run_seconds_total": o.aggregate.run_seconds_total,
+                    "completed_at_s": o.completed_at_s,
+                }
+                for o in outcomes
+            ],
+        }
+
+    def _write_bench(self, record: dict[str, Any]) -> None:
+        if self.bench_path is None:
+            return
+        self.bench_path.parent.mkdir(parents=True, exist_ok=True)
+        self.bench_path.write_text(json.dumps(record, indent=2) + "\n",
+                                   encoding="utf-8")

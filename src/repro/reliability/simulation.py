@@ -33,10 +33,11 @@ from ..placement.random_placement import RandomPlacement
 from ..placement.rush import RushPlacement
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
-from ..units import DAY
 
 #: Salt for the deterministic per-disk SMART detection coin.
 _SMART_SALT = 0x51AC
+#: Salt for the deterministic per-disk SMART false-positive coin.
+_SMART_FP_SALT = 0x51AD
 
 
 @dataclass(eq=False)
@@ -294,14 +295,21 @@ class ReliabilitySimulation:
         return None
 
     def _smart_suspect(self, d: int, now: float) -> bool:
-        """SMART veto: within the warning horizon of a real failure, the
-        monitor flags the drive with the detection probability (decided by
-        a per-disk deterministic coin)."""
-        if not self.cfg.use_smart:
+        """SMART veto, mirroring :class:`~repro.disks.smart.SmartMonitor`:
+        a drive is flagged spuriously with the false-positive rate (decided
+        once per disk), and flagged for real — with the detection
+        probability — inside the warning horizon of its actual failure.
+        Both coins are deterministic per ``(seed, disk)``."""
+        cfg = self.cfg
+        if not cfg.use_smart:
             return False
-        if self.fail_time[d] - now > 7 * DAY:
+        if hash_unit(self.seed, d, _SMART_FP_SALT) \
+                < cfg.smart_false_positive_rate:
+            return True
+        if self.fail_time[d] - now > cfg.smart_warning_horizon:
             return False
-        return bool(hash_unit(self.seed, d, _SMART_SALT) < 0.4)
+        return bool(hash_unit(self.seed, d, _SMART_SALT)
+                    < cfg.smart_detection_probability)
 
     def _pick_spare_target(self, g: int, origin: int,
                            now: float) -> int | None:
@@ -400,6 +408,21 @@ class ReliabilitySimulation:
         dedup[first] = True
         ok &= dedup
         rows, cols, targets = rows[ok], cols[ok], targets[ok]
+        if rows.size == 0:
+            return
+        # Physical capacity: a batch drive only takes what fits.  Admit
+        # moves in row order until each target is full (``used_blocks``
+        # already counts in-flight rebuild reservations).
+        order = np.argsort(targets, kind="stable")
+        sorted_t = targets[order]
+        starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(sorted_t)) + 1])
+        sizes = np.diff(np.concatenate([starts, [sorted_t.size]]))
+        rank_in_target = np.arange(sorted_t.size) - np.repeat(starts, sizes)
+        room = self.capacity_blocks - self.used_blocks[sorted_t]
+        fits = np.zeros(targets.size, dtype=bool)
+        fits[order] = rank_in_target < room
+        rows, cols, targets = rows[fits], cols[fits], targets[fits]
         if rows.size == 0:
             return
         old = gd[rows, cols]

@@ -132,7 +132,8 @@ class Simulator:
             Stop once the next event would fire after this time; the clock is
             advanced to ``until`` (standard end-of-horizon semantics).
         max_events:
-            Safety valve; raise :class:`SimulationError` when exceeded.
+            Safety valve: at most ``max_events`` events fire; a further
+            pending event raises :class:`SimulationError`.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
@@ -145,11 +146,11 @@ class Simulator:
                     break
                 if until is not None and nxt > until:
                     break
-                self.step()
-                fired += 1
-                if max_events is not None and fired > max_events:
+                if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway model?")
+                self.step()
+                fired += 1
             if until is not None and until > self._now:
                 self._now = float(until)
         finally:

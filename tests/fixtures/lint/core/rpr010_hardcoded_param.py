@@ -1,0 +1,5 @@
+"""RPR010 fixture: restates a SystemConfig default inline."""
+
+
+def should_suspect(fail_time, now):
+    return (fail_time - now) < 30.0

@@ -10,10 +10,12 @@ uniform distribution), so downstream counts may drift by a few blocks.
 
 import pytest
 
+from repro.cluster.system import StorageSystem
 from repro.config import SystemConfig
 from repro.core import simulate_run
 from repro.reliability import ReliabilitySimulation
-from repro.units import GB, TB
+from repro.sim.rng import RandomStreams
+from repro.units import DAY, GB, TB, YEAR
 
 
 def cfg(**kw):
@@ -56,6 +58,67 @@ def test_loss_rates_agree_under_stress():
                     for s in seeds)
     assert obj_lost > 0 and fast_lost > 0
     assert fast_lost == pytest.approx(obj_lost, rel=0.5)
+
+
+class TestSmartParity:
+    """With ``use_smart`` on, both engines must consult the same config
+    knobs and produce matching suspect decisions."""
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_deterministic_decisions_match_exactly(self, seed):
+        """detection=1, fp=0 removes every coin flip: a disk is suspect
+        iff ``now`` is within the warning horizon of its failure, so the
+        engines must agree disk by disk at every probe time."""
+        c = cfg(use_smart=True, smart_detection_probability=1.0,
+                smart_false_positive_rate=0.0,
+                smart_warning_horizon=30 * DAY)
+        obj = StorageSystem(c, RandomStreams(seed))
+        fast = ReliabilitySimulation(c, seed=seed)
+        assert obj.failure_times == pytest.approx(
+            list(fast.fail_time[:fast.N0]))
+        for t in (0.0, 0.5 * YEAR, 1 * YEAR, 3 * YEAR):
+            for d in range(c.n_disks):
+                assert obj.is_suspect(d, t) == fast._smart_suspect(d, t), \
+                    (d, t)
+
+    def test_detection_rate_matches_in_distribution(self):
+        """With every disk inside the horizon, the suspect fraction is the
+        detection probability in both engines."""
+        c = cfg(use_smart=True, smart_detection_probability=0.4,
+                smart_false_positive_rate=0.0,
+                smart_warning_horizon=100 * YEAR)
+        obj = StorageSystem(c, RandomStreams(11))
+        fast = ReliabilitySimulation(c, seed=11)
+        inside = [d for d in range(c.n_disks)
+                  if fast.fail_time[d] <= c.smart_warning_horizon]
+        n = len(inside)
+        assert n > 100    # the bathtub tail keeps some disks outside
+        obj_frac = sum(obj.is_suspect(d, 0.0) for d in inside) / n
+        fast_frac = sum(fast._smart_suspect(d, 0.0) for d in inside) / n
+        assert obj_frac == pytest.approx(0.4, abs=0.1)
+        assert fast_frac == pytest.approx(0.4, abs=0.1)
+        assert fast_frac == pytest.approx(obj_frac, abs=0.12)
+
+    def test_false_positive_rate_matches_in_distribution(self):
+        """With a zero horizon and zero detection, only the spurious-flag
+        channel remains; its rate must match the knob in both engines."""
+        c = cfg(use_smart=True, smart_detection_probability=0.0,
+                smart_false_positive_rate=0.3,
+                smart_warning_horizon=0.0)
+        obj = StorageSystem(c, RandomStreams(12))
+        fast = ReliabilitySimulation(c, seed=12)
+        n = c.n_disks
+        obj_frac = sum(obj.is_suspect(d, 0.0) for d in range(n)) / n
+        fast_frac = sum(fast._smart_suspect(d, 0.0) for d in range(n)) / n
+        assert obj_frac == pytest.approx(0.3, abs=0.1)
+        assert fast_frac == pytest.approx(0.3, abs=0.1)
+        assert fast_frac == pytest.approx(obj_frac, abs=0.12)
+
+    def test_smart_runs_complete_on_both_engines(self):
+        c = cfg(use_smart=True)
+        obj = simulate_run(c, seed=6).stats
+        fast = ReliabilitySimulation(c, seed=6).run()
+        assert obj.disk_failures == fast.disk_failures
 
 
 def test_traditional_spare_counts_agree():

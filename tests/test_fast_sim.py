@@ -1,6 +1,8 @@
 """Tests for the flat-array reliability engine
 (repro.reliability.simulation)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -141,6 +143,61 @@ class TestReplacement:
         for row, m in zip(gd, mask):
             live = row[m]
             assert len(set(live.tolist())) == live.size
+
+
+class TestMigrationCapacity:
+    """Regression: ``_migrate`` used to move blocks onto replacement
+    drives without checking ``used_blocks < capacity_blocks``."""
+
+    @staticmethod
+    def small_disk_cfg(**kw):
+        """Drives holding at most two 10 GB blocks, so capacity pressure
+        on a replacement batch is real."""
+        vintage = dataclasses.replace(cfg().vintage,
+                                      capacity_bytes=25 * GB)
+        defaults = dict(total_user_bytes=1 * TB, target_utilization=0.35,
+                        vintage=vintage)
+        defaults.update(kw)
+        return cfg(**defaults)
+
+    def test_full_targets_receive_nothing(self):
+        c = self.small_disk_cfg()
+        sim = ReliabilitySimulation(c, seed=0)
+        assert sim.capacity_blocks == 2
+        new_ids = sim._new_disks(40, now=0.0)
+        # Saturate the batch (as in-flight rebuild reservations would).
+        sim.used_blocks[new_ids] = sim.capacity_blocks
+        sim._migrate(new_ids, 0.0)
+        assert sim.stats.blocks_migrated == 0
+        assert (sim.used_blocks[new_ids] == sim.capacity_blocks).all()
+
+    def test_partial_room_is_respected(self):
+        c = self.small_disk_cfg()
+        sim = ReliabilitySimulation(c, seed=1)
+        new_ids = sim._new_disks(60, now=0.0)
+        sim.used_blocks[new_ids] = sim.capacity_blocks - 1
+        sim._migrate(new_ids, 0.0)
+        assert sim.stats.blocks_migrated > 0
+        # Each target had room for exactly one more block.  (Original
+        # disks are excluded: the random *initial* placement ignores
+        # per-disk capacity, which only matters in this shrunken
+        # geometry.)
+        assert (sim.used_blocks[new_ids] <= sim.capacity_blocks).all()
+
+    def test_lifetime_with_batches_never_overfills(self):
+        c = self.small_disk_cfg(
+            replacement_threshold=0.02,
+            vintage=dataclasses.replace(
+                cfg().vintage,
+                capacity_bytes=25 * GB).with_rate_multiplier(10.0))
+        sim = ReliabilitySimulation(c, seed=3)
+        stats = sim.run()
+        assert stats.replacement_batches > 0
+        # Every drive added after t=0 (spares and batches) gained blocks
+        # only through capacity-checked paths: rebuild targeting and
+        # migration.  None may exceed the physical capacity.
+        assert (sim.used_blocks[sim.N0:sim.total_disks]
+                <= sim.capacity_blocks).all()
 
 
 class TestWorkload:

@@ -25,14 +25,15 @@ EXPECTED = {
     "rpr007_print.py": ("RPR007", 5),
     "rpr008_clock_assign.py": ("RPR008", 6),
     "core/rpr009_silent_except.py": ("RPR009", 7),
+    "core/rpr010_hardcoded_param.py": ("RPR010", 5),
 }
 
 
 class TestRegistry:
-    def test_nine_rules_with_unique_ids(self):
+    def test_ten_rules_with_unique_ids(self):
         ids = [r.id for r in RULES]
-        assert len(ids) == len(set(ids)) == 9
-        assert sorted(ids) == [f"RPR00{n}" for n in range(1, 10)]
+        assert len(ids) == len(set(ids)) == 10
+        assert sorted(ids) == [f"RPR{n:03d}" for n in range(1, 11)]
 
     def test_every_rule_documented(self):
         for rule in RULES:
@@ -132,6 +133,25 @@ class TestRuleEdges:
         src = ("def g():\n    try:\n        return f()\n"
                "    except ValueError:\n        return False\n")
         assert lint_source(src, "core/farm.py") == []
+
+    def test_param_default_copy_flagged_in_reliability(self):
+        src = "threshold = 0.4\n"
+        violations = lint_source(src, "reliability/simulation.py")
+        assert [v.rule for v in violations] == ["RPR010"]
+
+    def test_param_definition_sites_not_flagged(self):
+        src = "def f(p=0.4, q=0.01):\n    return p + q\n"
+        assert lint_source(src, "disks/smart.py") == []
+        src = "class C:\n    spare_reserve_fraction: float = 0.04\n"
+        assert lint_source(src, "disks/disk.py") == []
+
+    def test_param_literal_outside_guarded_dirs_is_fine(self):
+        src = "threshold = 0.4\n"
+        assert lint_source(src, "experiments/harness.py") == []
+
+    def test_unrelated_float_not_flagged(self):
+        src = "half = 0.5\n"
+        assert lint_source(src, "reliability/simulation.py") == []
 
     def test_accounted_swallow_not_flagged(self):
         src = ("def g(self):\n    try:\n        return f()\n"

@@ -25,17 +25,25 @@ class TestEstimate:
 
     def test_runs_are_independent(self):
         """Each run has its own seed: per-run failure counts vary."""
-        r = estimate_p_loss(tiny(), n_runs=6, base_seed=0)
+        r = estimate_p_loss(tiny(), n_runs=6, base_seed=0,
+                            keep_run_stats=True)
         counts = {s.disk_failures for s in r.run_stats}
         assert len(counts) > 1
 
+    def test_run_stats_dropped_by_default(self):
+        r = estimate_p_loss(tiny(), n_runs=3, base_seed=0)
+        assert r.run_stats == []
+        assert r.aggregate is not None and r.aggregate.n_runs == 3
+
     def test_aggregates_consistent(self):
-        r = estimate_p_loss(tiny(), n_runs=5, base_seed=0)
+        r = estimate_p_loss(tiny(), n_runs=5, base_seed=0,
+                            keep_run_stats=True)
         assert r.n_runs == 5 and len(r.run_stats) == 5
         assert r.losses == sum(1 for s in r.run_stats if s.any_loss)
         assert r.p_loss.trials == 5
         assert r.groups_lost_total == sum(s.groups_lost
                                           for s in r.run_stats)
+        assert r.events_fired_total > 0
 
     def test_parallel_matches_serial(self):
         serial = estimate_p_loss(tiny(), n_runs=4, base_seed=3, n_jobs=1)

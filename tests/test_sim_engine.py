@@ -155,6 +155,25 @@ class TestRunControl:
         with pytest.raises(SimulationError, match="max_events"):
             sim.run(max_events=100)
 
+    def test_max_events_exact_budget_is_fine(self, sim):
+        """Exactly ``max_events`` pending events drain without raising."""
+        out = []
+        for i in range(5):
+            sim.schedule(float(i + 1), out.append, i)
+        sim.run(max_events=5)
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_max_events_boundary_raises_on_next_event(self, sim):
+        """An (N+1)th pending event must raise with exactly N fired —
+        the guard used to fire N+1 events before noticing."""
+        out = []
+        for i in range(6):
+            sim.schedule(float(i + 1), out.append, i)
+        with pytest.raises(SimulationError, match="max_events=5"):
+            sim.run(max_events=5)
+        assert out == [0, 1, 2, 3, 4]
+        assert sim.events_fired == 5
+
     def test_not_reentrant(self, sim):
         def nested():
             sim.run()

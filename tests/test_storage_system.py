@@ -142,6 +142,33 @@ class TestSparesAndBatches:
         with pytest.raises(ValueError):
             system.add_batch(0, now=0.0)
 
+    def test_migration_skips_full_targets(self):
+        """Regression: migrate_to_batch used to allocate onto replacement
+        drives without asking ``can_accept``, overfilling them."""
+        system = StorageSystem(small_config(), RandomStreams(2))
+        ids = system.add_batch(10, now=0.0)
+        for d in ids:
+            system.disks[d].used_bytes = system.disks[d].capacity_bytes
+        moved = system.migrate_to_batch(ids, now=0.0,
+                                        rng=np.random.default_rng(0))
+        assert moved == 0
+        for d in ids:
+            assert system.disks[d].free_bytes == 0.0
+
+    def test_migration_never_overfills_partial_room(self):
+        system = StorageSystem(small_config(), RandomStreams(2))
+        ids = system.add_batch(10, now=0.0)
+        block = system.config.block_bytes
+        for d in ids:    # room for exactly one more block each
+            system.disks[d].used_bytes = \
+                system.disks[d].capacity_bytes - block
+        moved = system.migrate_to_batch(ids, now=0.0,
+                                        rng=np.random.default_rng(0))
+        assert 0 < moved <= len(ids)
+        for d in ids:
+            assert system.disks[d].used_bytes <= \
+                system.disks[d].capacity_bytes
+
 
 class TestSmartIntegration:
     def test_no_monitor_means_never_suspect(self, system):
