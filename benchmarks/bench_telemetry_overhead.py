@@ -1,0 +1,94 @@
+"""Benchmarks pinning the cost of the telemetry subsystem.
+
+The disabled path — ``telemetry=None``, the default everywhere — must
+stay essentially free: every instrumentation site in both engines is a
+single ``if self.telemetry is not None`` attribute test that falls
+through.  Its cost is pinned two ways:
+
+* a direct pin: the guard's per-evaluation cost is timed in isolation
+  and scaled by a conservative per-event site count for a real
+  lifetime; the total must stay under 3% of that lifetime's runtime;
+* tracking benchmarks of the disabled and enabled paths, so
+  pytest-benchmark's history catches a regression in either (e.g. an
+  instrumentation site that started doing work before its guard).
+"""
+
+import time
+import timeit
+
+from repro.config import SystemConfig
+from repro.reliability import ReliabilitySimulation
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.units import GB, TB
+
+#: Generous upper bound on telemetry guard evaluations per fired event:
+#: a disk-failure event walks failure bookkeeping, rebuild scheduling,
+#: and completion paths, each with a handful of `is not None` tests.
+GUARDS_PER_EVENT = 8
+
+#: The disabled path may spend at most this fraction of a lifetime's
+#: runtime on telemetry guards.
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+def _config():
+    return SystemConfig(total_user_bytes=10 * TB, group_user_bytes=10 * GB)
+
+
+def _guard_cost_s() -> float:
+    """Seconds per `self.telemetry is not None` test, measured isolated."""
+
+    class Engine:
+        telemetry = None
+
+    obj = Engine()
+    n = 200_000
+    loop = min(timeit.repeat("for _ in r:\n    pass",
+                             globals={"r": range(n)},
+                             number=1, repeat=5))
+    guarded = min(timeit.repeat(
+        "for _ in r:\n    if obj.telemetry is not None:\n        pass",
+        globals={"r": range(n), "obj": obj}, number=1, repeat=5))
+    return max(guarded - loop, 0.0) / n
+
+
+def test_disabled_guard_overhead_within_3pct():
+    """The nullable-handle checks cost <= 3% of a telemetry-off run."""
+    cfg = _config()
+    runtime = min(
+        _timed(lambda: ReliabilitySimulation(cfg, seed=0).run())
+        for _ in range(3))
+    engine = ReliabilitySimulation(cfg, seed=0)
+    engine.run()
+    events = engine.sim.events_fired
+    guard_total = events * GUARDS_PER_EVENT * _guard_cost_s()
+    overhead = guard_total / runtime
+    assert overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-path guards cost {overhead:.1%} of runtime "
+        f"({events} events, {runtime * 1e3:.1f} ms run)")
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_disabled_lifetime_throughput(benchmark):
+    """Absolute speed of the default (telemetry=None) path."""
+    cfg = _config()
+    stats = benchmark(lambda: ReliabilitySimulation(cfg, seed=0).run())
+    assert stats.disk_failures > 0
+
+
+def test_enabled_lifetime_throughput(benchmark):
+    """Absolute speed with full telemetry (counters, spans, probes)."""
+    cfg = _config()
+
+    def run():
+        tele = Telemetry(TelemetryConfig())
+        ReliabilitySimulation(cfg, seed=0, telemetry=tele).run()
+        return tele.snapshot()
+
+    snap = benchmark(run)
+    assert snap["metrics"]["repro_disk_failures_total"]["value"] > 0

@@ -38,7 +38,8 @@ optional_step() {
 }
 
 step "invariant linter" python -m repro.analysis src
-step "sweep parity (serial == parallel)" python -m repro sweep-check --jobs 2
+step "sweep parity (serial == parallel, incl. telemetry snapshots)" \
+  python -m repro sweep-check --jobs 2
 optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
 optional_step "mypy" mypy python -m mypy
 step "fault-injection tests" python -m pytest tests/test_faults.py tests/test_fault_scenarios.py -q

@@ -5,16 +5,22 @@ Usage::
     python -m repro list
     python -m repro run figure3 --scale smoke --jobs 4
     python -m repro run all --scale small --out results/
+    python -m repro run figure3 --telemetry results/telemetry.jsonl
     python -m repro estimate --data-pb 2 --scheme 1/2 --runs 20 [--no-farm]
     python -m repro sensitivity --scheme 1/2 [--no-farm]
     python -m repro sweep-check --jobs 2
+    python -m repro telemetry-summary results/telemetry.jsonl
 
 ``run`` executes the named experiment(s) at the chosen scale and prints the
 regenerated table; ``estimate`` answers the library's core question — the
 probability of data loss for one configuration — ``sensitivity`` ranks
 which design knob moves it the most, and ``sweep-check`` asserts the sweep
-runner's determinism guarantee (parallel aggregates bit-identical to a
-serial run) on a small multi-point sweep.
+runner's determinism guarantee (parallel aggregates — and merged telemetry
+snapshots — bit-identical to a serial run) on a small multi-point sweep.
+``run --telemetry PATH`` enables the in-sim metrics subsystem
+(:mod:`repro.telemetry`) for every Monte-Carlo sweep in the invocation and
+appends one merged JSONL record per sweep point; ``telemetry-summary``
+renders such a file for humans.
 """
 
 from __future__ import annotations
@@ -65,9 +71,18 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     import dataclasses
+    import os
     scale = SCALES[args.scale] if args.scale else base.current_scale()
     if args.jobs is not None:
         scale = dataclasses.replace(scale, n_jobs=args.jobs)
+    if args.telemetry:
+        # One file per invocation: truncate, then let every sweep this
+        # process runs append its per-point records (the runner reads
+        # REPRO_TELEMETRY_PATH as its default sink).
+        tele_path = pathlib.Path(args.telemetry)
+        tele_path.parent.mkdir(parents=True, exist_ok=True)
+        tele_path.write_text("")
+        os.environ["REPRO_TELEMETRY_PATH"] = str(tele_path)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     out_dir = pathlib.Path(args.out) if args.out else None
@@ -87,6 +102,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 (out_dir / f"{result.experiment}.txt").write_text(
                     text + "\n")
         print(f"[{name}: {time.time() - start:.1f}s]", file=sys.stderr)
+    if args.telemetry:
+        print(f"[telemetry: {args.telemetry}]", file=sys.stderr)
     return 0
 
 
@@ -115,14 +132,17 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
 
     Runs a small multi-point sweep twice — serially and with worker
     processes — and requires every aggregate (losses, CI input, window
-    sums/max, Welford moments) to be *bit-identical*.  Also validates the
-    BENCH_sweep.json perf record the parallel run writes.
+    sums/max, Welford moments) to be *bit-identical*, and the merged
+    per-point telemetry snapshots to be *byte-identical* under canonical
+    JSON.  Also validates the BENCH_sweep.json perf record the parallel
+    run writes.
     """
     import json
     import tempfile
 
     from .reliability import shutdown_pool, sweep
     from .reliability.runner import BENCH_SCHEMA
+    from .telemetry import canonical_json
     from .units import TB
 
     tiny = SystemConfig(total_user_bytes=args.data_tb * TB,
@@ -133,17 +153,22 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         "slow-detect": tiny.with_(detection_latency=600.0),
     }
     serial = sweep(points, n_runs=args.runs, base_seed=args.seed,
-                   n_jobs=None, bench_path=None, sweep_name="sweep-check")
+                   n_jobs=None, bench_path=None, sweep_name="sweep-check",
+                   telemetry=True, telemetry_path="")
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         bench_path = tmp.name
     parallel = sweep(points, n_runs=args.runs, base_seed=args.seed,
                      n_jobs=args.jobs, bench_path=bench_path,
-                     sweep_name="sweep-check")
+                     sweep_name="sweep-check",
+                     telemetry=True, telemetry_path="")
     shutdown_pool()
 
     failures = []
     for label in points:
         s, p = serial[label], parallel[label]
+        if canonical_json(s.telemetry) != canonical_json(p.telemetry):
+            failures.append(f"{label}.telemetry: serial and parallel "
+                            f"merged snapshots are not byte-identical")
         checks = {
             "losses": (s.losses, p.losses),
             "p_loss": (s.p_loss, p.p_loss),
@@ -180,8 +205,24 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"sweep-check OK: {len(points)} points x {args.runs} runs, "
-          f"serial == parallel (jobs={args.jobs}), BENCH record valid "
+          f"serial == parallel (jobs={args.jobs}) incl. telemetry "
+          f"snapshots, BENCH record valid "
           f"({record['runs_per_s']:.1f} runs/s)")
+    return 0
+
+
+def cmd_telemetry_summary(args: argparse.Namespace) -> int:
+    """Render a ``repro.telemetry.v1`` JSONL file for humans."""
+    from .telemetry import read_jsonl, render_summary
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    records = read_jsonl(path)
+    if not records:
+        print(f"{path}: no telemetry records", file=sys.stderr)
+        return 1
+    print(render_summary(records))
     return 0
 
 
@@ -223,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Monte-Carlo worker processes (0 = all cores; "
                           "overrides REPRO_JOBS; results are bit-identical "
                           "to a serial run)")
+    run.add_argument("--telemetry", metavar="PATH", default=None,
+                     help="enable in-sim telemetry and append one merged "
+                          "JSONL record per sweep point to PATH "
+                          "(sets REPRO_TELEMETRY_PATH; render with "
+                          "'telemetry-summary')")
 
     est = sub.add_parser("estimate",
                          help="P(data loss) for one configuration")
@@ -256,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--seed", type=int, default=0)
     chk.add_argument("--data-tb", type=float, default=10.0,
                      help="system size for the check sweep (TB)")
+
+    tsum = sub.add_parser("telemetry-summary",
+                          help="render a telemetry JSONL file "
+                               "(written by 'run --telemetry')")
+    tsum.add_argument("path", help="repro.telemetry.v1 JSONL file")
     return parser
 
 
@@ -263,7 +314,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "estimate": cmd_estimate,
             "sensitivity": cmd_sensitivity,
-            "sweep-check": cmd_sweep_check}[args.command](args)
+            "sweep-check": cmd_sweep_check,
+            "telemetry-summary": cmd_telemetry_summary}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """AST-based invariant linter for the reproduction codebase.
 
-Ten rules in five families keep the simulator's correctness invariants
+Eleven rules in five families keep the simulator's correctness invariants
 machine-checked instead of convention-checked:
 
 **Determinism** — results must be a pure function of ``(config, seed)``:
@@ -10,7 +10,9 @@ machine-checked instead of convention-checked:
 * ``RPR003`` — no builtin ``hash()`` (process-salted; use
   ``stable_hash64``);
 * ``RPR004`` — no wall-clock reads in ``sim/``, ``core/``,
-  ``reliability/``, ``placement/``.
+  ``reliability/``, ``placement/``;
+* ``RPR011`` — the same ban extended to ``cluster/``, ``faults/`` and
+  ``telemetry/`` (metrics must be a pure function of simulated time).
 
 **Unit safety** — sizes in bytes, durations in seconds, bandwidths in
 bytes/second, exactly as the paper's arithmetic requires:
@@ -43,7 +45,7 @@ tree: tier-1 fails on any violation in ``src/``.
 """
 
 from .base import RULES, FileContext, Rule, Violation
-from .determinism import SIM_DIRS
+from .determinism import SIM_DIRS, WALL_CLOCK_GUARDED_DIRS
 from .discipline import PRINT_SINKS
 from .parameters import KNOWN_PARAMETER_DEFAULTS, PARAM_GUARDED_DIRS
 from .reporting import render_json, render_rule_list, render_text
@@ -63,6 +65,7 @@ __all__ = [
     "Rule",
     "SIM_DIRS",
     "Violation",
+    "WALL_CLOCK_GUARDED_DIRS",
     "iter_python_files",
     "lint_file",
     "lint_paths",

@@ -1,4 +1,4 @@
-"""Determinism rules (RPR001–RPR004).
+"""Determinism rules (RPR001–RPR004, RPR011).
 
 The Monte-Carlo results in this repository are only trustworthy because
 every stochastic draw is reproducible from ``(config, seed)``.  These rules
@@ -90,12 +90,24 @@ class BuiltinHashCall(Rule):
 #: Directories whose code runs under the simulation clock.
 SIM_DIRS = frozenset({"sim", "core", "reliability", "placement"})
 
+#: Directories the wall-clock ban extends to beyond :data:`SIM_DIRS` —
+#: the model layer and the telemetry subsystem, whose metrics must be a
+#: pure function of simulated time (``core`` appears for documentation;
+#: it is already in :data:`SIM_DIRS`, so RPR004 owns it).
+WALL_CLOCK_GUARDED_DIRS = frozenset({"core", "cluster", "faults",
+                                     "telemetry"})
+
 #: Dotted-call suffixes that read the wall clock.
 _WALL_CLOCK_CALLS = (
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
     "time.perf_counter", "time.perf_counter_ns", "time.process_time",
     "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
 )
+
+
+def _is_wall_clock_call(name: str) -> bool:
+    return any(name == c or name.endswith("." + c)
+               for c in _WALL_CLOCK_CALLS)
 
 
 @register
@@ -118,9 +130,39 @@ class WallClockInSimCode(Rule):
 
     def visit_Call(self, node: ast.Call) -> None:
         name = dotted_name(node.func)
-        if name is not None:
-            if any(name == c or name.endswith("." + c)
-                   for c in _WALL_CLOCK_CALLS):
-                self.report(node, f"wall-clock call {name}() in simulation "
-                                  "code; use the simulator's `now`")
+        if name is not None and _is_wall_clock_call(name):
+            self.report(node, f"wall-clock call {name}() in simulation "
+                              "code; use the simulator's `now`")
+        self.generic_visit(node)
+
+
+@register
+class WallClockInObservedCode(Rule):
+    """RPR011 — no wall-clock reads in model or telemetry code.
+
+    Extends RPR004's guarantee to ``core/``, ``cluster/``, ``faults/``
+    and ``telemetry/``: a metric, probe, or fault process stamped with
+    host time would break the bit-identical serial-vs-parallel snapshot
+    merge and couple observability output to the machine that ran the
+    sweep.  Timestamps belong on the *record* after a run completes
+    (``__main__``, benchmarks), never inside the observed code.
+
+    Directories :data:`SIM_DIRS` already guards (``core/`` is in both
+    sets) report under RPR004 only, so one call never fires two rules.
+    """
+
+    id = "RPR011"
+    summary = "wall-clock read in model/telemetry code; use sim time"
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return bool(WALL_CLOCK_GUARDED_DIRS & ctx.parts) \
+            and not (SIM_DIRS & ctx.parts)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and _is_wall_clock_call(name):
+            self.report(node, f"wall-clock call {name}() in model/"
+                              "telemetry code; metrics must be a pure "
+                              "function of simulated time")
         self.generic_visit(node)

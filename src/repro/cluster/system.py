@@ -38,6 +38,9 @@ class StorageSystem:
         #: scenario mode: drives (including spares and batches added later)
         #: never fail on their own; only injected failures occur.
         self.deterministic_failures = deterministic_failures
+        #: nullable observability handle; set by the recovery manager when
+        #: a run is telemetry-enabled (see repro.telemetry).
+        self.telemetry = None
         self.disks: list[Disk] = []
         self.groups: list[RedundancyGroup] = []
         #: disk id -> group ids that ever placed a block there (entries may
@@ -205,6 +208,8 @@ class StorageSystem:
             return None
         grp_id, rep_id = candidates[int(rng.integers(len(candidates)))]
         disk.add_latent_error(grp_id, rep_id, now)
+        if self.telemetry is not None:
+            self.telemetry.latent_injected.inc()
         return grp_id, rep_id
 
     def has_latent_error(self, disk_id: int, grp_id: int,
@@ -239,6 +244,8 @@ class StorageSystem:
         dropped = sum(len(e) for e in self._disk_groups) \
             - sum(len(e) for e in fresh)
         self._disk_groups = fresh
+        if self.telemetry is not None and dropped > 0:
+            self.telemetry.index_entries_compacted.inc(dropped)
         return dropped
 
     def add_spare(self, now: float) -> int:
@@ -250,6 +257,8 @@ class StorageSystem:
         """
         disk_id = self.n_disks
         self._new_disk(disk_id, now)
+        if self.telemetry is not None:
+            self.telemetry.spares_provisioned.inc()
         return disk_id
 
     def add_batch(self, count: int, now: float,
@@ -306,4 +315,6 @@ class StorageSystem:
                 group.disks[rep] = target
                 self.note_block_moved(group.grp_id, target)
                 moved += 1
+        if self.telemetry is not None and moved > 0:
+            self.telemetry.blocks_migrated.inc(moved)
         return moved

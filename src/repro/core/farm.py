@@ -26,6 +26,7 @@ from ..cluster.system import StorageSystem
 from ..cluster.workload import ConstantWorkload, DiurnalWorkload
 from ..redundancy.group import RedundancyGroup
 from ..sim.engine import Simulator
+from ..telemetry.handle import Telemetry
 from .policy import NoTargetError, PolicyConfig, TargetSelector
 from .recovery import RebuildJob, RecoveryManager
 
@@ -35,8 +36,9 @@ class FarmRecovery(RecoveryManager):
 
     def __init__(self, system: StorageSystem, sim: Simulator,
                  policy: PolicyConfig | None = None,
-                 replacement: BatchReplacementPolicy | None = None) -> None:
-        super().__init__(system, sim)
+                 replacement: BatchReplacementPolicy | None = None,
+                 telemetry: "Telemetry | None" = None) -> None:
+        super().__init__(system, sim, telemetry=telemetry)
         self.selector = TargetSelector(system, policy)
         cfg = system.config
         if replacement is None and cfg.replacement_threshold is not None:
@@ -89,6 +91,8 @@ class FarmRecovery(RecoveryManager):
                                          name="farm-rebuild")
         self._register(job)
         self.stats.rebuilds_started += 1
+        if self.telemetry is not None:
+            self.telemetry.rebuilds_started.inc()
         return True
 
     # -- RecoveryManager hooks -------------------------------------------- #
@@ -127,6 +131,8 @@ class FarmRecovery(RecoveryManager):
         new_ids = self.system.add_batch(count, now, weight=pol.weight)
         self._unreplaced_failures = 0
         self.stats.replacement_batches += 1
+        if self.telemetry is not None:
+            self.telemetry.replacement_batches.inc()
         # Schedule the new drives' (infant-mortality-prone) failures.
         for d in new_ids:
             t = self.system.failure_times[d]

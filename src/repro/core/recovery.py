@@ -33,6 +33,8 @@ from ..redundancy.group import RedundancyGroup
 from ..sim.engine import Simulator
 from ..sim.events import Event
 from ..sim.resources import SerialServer
+from ..telemetry.handle import Telemetry
+from ..telemetry.probes import ProbeSample
 from ..units import HOUR, MINUTE
 
 
@@ -129,11 +131,17 @@ class RecoveryManager(ABC):
     retry_base_s: float = MINUTE
     retry_cap_s: float = HOUR
 
-    def __init__(self, system: StorageSystem, sim: Simulator) -> None:
+    def __init__(self, system: StorageSystem, sim: Simulator,
+                 telemetry: Telemetry | None = None) -> None:
         self.system = system
         self.sim = sim
         self.config = system.config
         self.stats = RecoveryStats()
+        #: Nullable observability handle; every instrumentation site is a
+        #: single `is not None` test, so the disabled path stays free.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            system.telemetry = telemetry
         # Per-disk FCFS queues for recovery writes.
         self._servers: dict[int, SerialServer] = {}
         # In-flight indexes.
@@ -189,6 +197,9 @@ class RecoveryManager(ABC):
         if self.system.disks[disk_id].dead:
             return      # already failed/retired (stale event)
         self.stats.disk_failures += 1
+        tele = self.telemetry
+        if tele is not None:
+            tele.disk_failures.inc()
         affected = self.system.fail_disk(disk_id, now)
 
         # Jobs whose *target* just died: pick another target (paper §2.3,
@@ -199,6 +210,8 @@ class RecoveryManager(ABC):
             if job.group.lost:
                 continue
             self.stats.target_redirections += 1
+            if tele is not None:
+                tele.target_redirections.inc()
             self._reschedule(job, now)
 
         # Jobs that were *reading* from the dead disk but whose group still
@@ -207,6 +220,8 @@ class RecoveryManager(ABC):
             if job.cancelled or job.group.lost:
                 continue
             self.stats.source_redirections += 1
+            if tele is not None:
+                tele.source_redirections.inc()
             job.sources = tuple(s for s in job.sources if s != disk_id)
 
         # New block losses.
@@ -214,6 +229,8 @@ class RecoveryManager(ABC):
         for group, reps in affected:
             if group.lost and group.loss_time == now:
                 self.stats.record_loss(group, now)
+                if tele is not None:
+                    tele.group_lost(group.grp_id)
                 for job in list(self._jobs_by_group.get(group.grp_id, ())):
                     self._unregister(job)
                     job.cancel()
@@ -222,6 +239,9 @@ class RecoveryManager(ABC):
                 continue
             for rep in reps:
                 newly_lost.append((group, rep))
+                if tele is not None:
+                    tele.block_failed(group.grp_id, rep, now,
+                                      group.scheme.n)
         if newly_lost:
             self._schedule_rebuilds(disk_id, newly_lost, now)
         self._after_failure(disk_id, now)
@@ -236,6 +256,8 @@ class RecoveryManager(ABC):
             # Defensive: a redirect should already have happened.
             self._unregister(job)
             self.stats.target_redirections += 1
+            if self.telemetry is not None:
+                self.telemetry.target_redirections.inc()
             self._reschedule(job, now)
             return
         self._unregister(job)
@@ -247,6 +269,9 @@ class RecoveryManager(ABC):
         window = now - job.failed_at
         self.stats.window_total += window
         self.stats.window_max = max(self.stats.window_max, window)
+        if self.telemetry is not None:
+            self.telemetry.rebuilds_completed.inc()
+            self.telemetry.block_rebuilt(job.group.grp_id, job.rep_id, now)
 
     # -- deferred-rebuild retry queue ---------------------------------------- #
     @property
@@ -275,6 +300,8 @@ class RecoveryManager(ABC):
                                     failed_at=failed_at)
             self._deferred[key] = entry
             self.stats.rebuilds_deferred += 1
+            if self.telemetry is not None:
+                self.telemetry.rebuilds_deferred.inc()
             self._trace_marker("rebuild-deferred")
         self._arm_retry(key, entry)
 
@@ -297,6 +324,8 @@ class RecoveryManager(ABC):
             del self._deferred[key]     # resolved (or lost) in the meantime
             return
         self.stats.retries += 1
+        if self.telemetry is not None:
+            self.telemetry.rebuild_retries.inc()
         del self._deferred[key]
         if not self._try_start(group, entry.rep_id, entry.failed_at,
                                self.sim.now):
@@ -337,14 +366,22 @@ class RecoveryManager(ABC):
             disk.release(self.config.block_bytes)
         self.stats.latent_errors_discovered += 1
         self.stats.latent_window_total += now - corrupted_at
+        tele = self.telemetry
+        if tele is not None:
+            tele.latent_discovered.inc()
+            tele.latent_window_seconds.inc(now - corrupted_at)
         self._trace_marker("latent-discovered")
         if group.lost and group.loss_time == now:
             # The corrupt block defeated what redundancy remained.
             self.stats.record_loss(group, now)
+            if tele is not None:
+                tele.group_lost(grp_id)
             for job in list(self._jobs_by_group.get(grp_id, ())):
                 self._unregister(job)
                 job.cancel()
             return True
+        if tele is not None:
+            tele.block_failed(grp_id, rep_id, now, group.scheme.n)
         self._schedule_rebuilds(disk_id, [(group, rep_id)], now)
         return True
 
@@ -372,6 +409,9 @@ class RecoveryManager(ABC):
             return      # already offline or dead (stale event)
         self.system.take_offline(disk_id, now)
         self.stats.transient_outages += 1
+        tele = self.telemetry
+        if tele is not None:
+            tele.transient_outages.inc()
         self._trace_marker("disk-offline")
 
         for job in list(self._jobs_by_target.get(disk_id, ())):
@@ -380,6 +420,8 @@ class RecoveryManager(ABC):
             if job.group.lost:
                 continue
             self.stats.target_redirections += 1
+            if tele is not None:
+                tele.target_redirections.inc()
             self._reschedule(job, now)
 
         for job in list(self._jobs_by_source.get(disk_id, ())):
@@ -389,6 +431,8 @@ class RecoveryManager(ABC):
                       if self.system.disks[d].online]
             if len(online) >= job.group.scheme.m:
                 self.stats.source_redirections += 1
+                if tele is not None:
+                    tele.source_redirections.inc()
                 for s in job.sources:
                     self._jobs_by_source.get(s, set()).discard(job)
                 job.sources = tuple(online[:job.group.scheme.m])
@@ -434,6 +478,42 @@ class RecoveryManager(ABC):
         if len(online) < group.scheme.m:
             return ()
         return tuple(online[:group.scheme.m])
+
+    # -- telemetry probe ----------------------------------------------------- #
+    def telemetry_sample(self) -> ProbeSample:
+        """Read-only cluster observation for the periodic telemetry probe.
+
+        Per-disk recovery writes serialize on a :class:`SerialServer`, so
+        a disk's in-use recovery bandwidth is at most the configured cap
+        (``config.recovery_bandwidth``, the paper's 20%-of-80 MB/s rule);
+        the sample reports the cap for each busy disk, which is an exact
+        bound and — for non-straggler disks — the actual rate.
+        """
+        now = self.sim.now
+        cap = self.config.recovery_bandwidth
+        busy = 0
+        loads: list[int] = []
+        states: dict[str, int] = {}
+        for disk in self.system.disks:
+            state = disk.state.name.lower()
+            states[state] = states.get(state, 0) + 1
+            if not disk.online:
+                continue
+            srv = self._servers.get(disk.disk_id)
+            loads.append(srv.jobs_served if srv is not None else 0)
+            if srv is not None and srv.free_at > now:
+                busy += 1
+        degraded = sum(1 for g in self.system.groups
+                       if g.failed and not g.lost)
+        return ProbeSample(
+            bandwidth_in_use_bps=busy * cap,
+            disk_bandwidth_max_bps=cap if busy else 0.0,
+            bandwidth_cap_bps=cap,
+            disks_by_state=states,
+            degraded_groups=degraded,
+            deferred_rebuilds=len(self._deferred),
+            rebuild_load_max=float(max(loads, default=0)),
+            rebuild_load_mean=(sum(loads) / len(loads)) if loads else 0.0)
 
     # -- scheme-specific hooks ---------------------------------------------- #
     @abstractmethod

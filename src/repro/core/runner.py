@@ -15,6 +15,7 @@ from ..cluster.system import StorageSystem
 from ..config import SystemConfig
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
+from ..telemetry.handle import Telemetry
 from .farm import FarmRecovery
 from .policy import PolicyConfig
 from .recovery import RecoveryManager, RecoveryStats
@@ -36,25 +37,33 @@ class RunResult:
 
 
 def build_manager(system: StorageSystem, sim: Simulator,
-                  policy: PolicyConfig | None = None) -> RecoveryManager:
+                  policy: PolicyConfig | None = None,
+                  telemetry: Telemetry | None = None) -> RecoveryManager:
     """Instantiate the recovery manager selected by the config."""
     if system.config.use_farm:
-        return FarmRecovery(system, sim, policy=policy)
-    return TraditionalRecovery(system, sim)
+        return FarmRecovery(system, sim, policy=policy, telemetry=telemetry)
+    return TraditionalRecovery(system, sim, telemetry=telemetry)
 
 
 def simulate_run(config: SystemConfig, seed: int = 0,
                  keep_system: bool = False,
-                 policy: PolicyConfig | None = None) -> RunResult:
+                 policy: PolicyConfig | None = None,
+                 telemetry: Telemetry | None = None) -> RunResult:
     """Simulate one system for ``config.duration`` seconds.
 
     Deterministic in ``(config, seed)``.  Set ``keep_system`` to inspect
     final disk/group state (used by the Table 3 utilization study).
+    Passing a :class:`~repro.telemetry.Telemetry` handle arms the periodic
+    cluster-state probe and instruments the run; probes are read-only, so
+    the stats are unchanged by enabling them.
     """
     streams = RandomStreams(seed)
     system = StorageSystem(config, streams)
     sim = Simulator()
-    manager = build_manager(system, sim, policy=policy)
+    manager = build_manager(system, sim, policy=policy, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.attach_probes(sim, manager.telemetry_sample,
+                                until=config.duration)
 
     for disk_id, t in enumerate(system.failure_times):
         if t <= config.duration:

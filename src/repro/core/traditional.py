@@ -18,14 +18,16 @@ from __future__ import annotations
 from ..cluster.system import StorageSystem
 from ..redundancy.group import RedundancyGroup
 from ..sim.engine import Simulator
+from ..telemetry.handle import Telemetry
 from .recovery import RebuildJob, RecoveryManager
 
 
 class TraditionalRecovery(RecoveryManager):
     """Whole-disk rebuild onto a single dedicated spare."""
 
-    def __init__(self, system: StorageSystem, sim: Simulator) -> None:
-        super().__init__(system, sim)
+    def __init__(self, system: StorageSystem, sim: Simulator,
+                 telemetry: Telemetry | None = None) -> None:
+        super().__init__(system, sim, telemetry=telemetry)
         #: failed disk -> its spare (so late losses of the same disk's data
         #: keep queueing on the same spare).
         self._spare_for: dict[int, int] = {}
@@ -54,6 +56,8 @@ class TraditionalRecovery(RecoveryManager):
                                          name="raid-rebuild")
         self._register(job)
         self.stats.rebuilds_started += 1
+        if self.telemetry is not None:
+            self.telemetry.rebuilds_started.inc()
 
     def _spare_disk_for(self, failed_disk: int, group: RedundancyGroup,
                         now: float) -> int:

@@ -25,6 +25,7 @@ if TYPE_CHECKING:       # import cycle: core.recovery imports nothing from
     from ..core.recovery import RecoveryManager       # appear in the ctx.
     from ..sim.engine import Simulator
     from ..sim.rng import RandomStreams
+    from ..telemetry.handle import Telemetry
 
 
 @dataclass
@@ -51,6 +52,9 @@ class FaultContext:
     streams: "RandomStreams"
     horizon: float
     stats: FaultStats = field(default_factory=FaultStats)
+    #: nullable observability handle (usually ``manager.telemetry``);
+    #: injectors report through it when present.
+    telemetry: "Telemetry | None" = None
 
 
 class FaultInjector(ABC):

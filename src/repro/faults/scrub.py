@@ -56,8 +56,13 @@ class Scrubber(FaultInjector):
         else:
             return      # everything is dead; nothing to verify
         ctx.stats.scrubs += 1
+        tele = ctx.telemetry
+        if tele is not None:
+            tele.scrubs.inc()
         if not disk.online:
             return      # offline: unreadable now; its turn comes again
         for grp_id, rep_id in sorted(disk.latent_blocks):
             if ctx.manager.discover_latent(disk.disk_id, grp_id, rep_id):
                 ctx.stats.scrub_discoveries += 1
+                if tele is not None:
+                    tele.scrub_discoveries.inc()

@@ -12,7 +12,8 @@ from .scenarios import Injection, Scenario, ScenarioOutcome
 from .sensitivity import (SensitivityRow, elasticity, render_tornado,
                           tornado)
 from .simulation import ReliabilitySimulation
-from .stats import Proportion, bootstrap_mean, wilson_interval
+from .stats import (Proportion, bootstrap_mean, empty_proportion,
+                    wilson_interval)
 
 __all__ = [
     "ReliabilitySimulation",
@@ -21,7 +22,7 @@ __all__ = [
     "SweepRunner", "PointSpec", "PointOutcome", "StatsAggregate",
     "RunningMoments", "seed_schedule", "shutdown_pool",
     "default_bench_path",
-    "Proportion", "wilson_interval", "bootstrap_mean",
+    "Proportion", "wilson_interval", "empty_proportion", "bootstrap_mean",
     "p_loss", "p_loss_window_model", "WindowModel",
     "mean_window", "expected_disk_failures",
     "p_group_loss", "p_system_loss", "mttdl", "group_generator",

@@ -20,10 +20,11 @@ from pathlib import Path
 
 from ..config import SystemConfig
 from ..core.recovery import RecoveryStats
+from ..telemetry.handle import TelemetryConfig
 from .runner import (PointOutcome, PointSpec, StatsAggregate, SweepRunner,
                      default_bench_path)
 from .simulation import ReliabilitySimulation
-from .stats import Proportion, wilson_interval
+from .stats import Proportion, empty_proportion, wilson_interval
 
 
 @dataclass
@@ -42,8 +43,13 @@ class MonteCarloResult:
     replacement_batches_total: int = 0
     blocks_migrated_total: int = 0
     events_fired_total: int = 0
+    #: runs that raised and were dropped (``on_error="skip"``); the
+    #: estimate's trial count is ``n_runs - runs_failed``.
+    runs_failed: int = 0
     aggregate: StatsAggregate | None = field(repr=False, default=None)
     run_stats: list[RecoveryStats] = field(repr=False, default_factory=list)
+    #: merged telemetry snapshot (``None`` unless telemetry was enabled).
+    telemetry: dict | None = field(repr=False, default=None)
 
     @property
     def runs_with_redirection(self) -> int:
@@ -60,11 +66,17 @@ def run_seed(config: SystemConfig, seed: int) -> RecoveryStats:
 def _result_from(outcome: PointOutcome,
                  confidence: float) -> MonteCarloResult:
     agg = outcome.aggregate
+    # The estimate's trials are the runs that actually completed; with
+    # on_error="skip" that can legitimately be zero, where the Wilson
+    # interval is undefined and the uninformative [0, 1] stands in.
+    completed = agg.n_runs
+    p_loss = (wilson_interval(agg.losses, completed, confidence)
+              if completed > 0 else empty_proportion(confidence))
     return MonteCarloResult(
         config=outcome.config,
         n_runs=outcome.n_runs,
         losses=agg.losses,
-        p_loss=wilson_interval(agg.losses, outcome.n_runs, confidence),
+        p_loss=p_loss,
         groups_lost_total=agg.groups_lost,
         mean_window=agg.mean_window,
         max_window=agg.window_max,
@@ -73,15 +85,20 @@ def _result_from(outcome: PointOutcome,
         replacement_batches_total=agg.replacement_batches,
         blocks_migrated_total=agg.blocks_migrated,
         events_fired_total=agg.events_fired,
+        runs_failed=outcome.runs_failed,
         aggregate=agg,
         run_stats=outcome.run_stats,
+        telemetry=outcome.telemetry,
     )
 
 
 def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
                     base_seed: int = 0, confidence: float = 0.95,
                     n_jobs: int | None = None,
-                    keep_run_stats: bool = False) -> MonteCarloResult:
+                    keep_run_stats: bool = False,
+                    telemetry: TelemetryConfig | bool | None = None,
+                    telemetry_path: str | Path | None = None,
+                    on_error: str = "raise") -> MonteCarloResult:
     """Estimate P(data loss over the configured duration).
 
     Parameters
@@ -97,11 +114,21 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
     keep_run_stats:
         Retain the per-run :class:`RecoveryStats` list on the result
         (off by default; aggregates are streamed regardless).
+    telemetry:
+        A :class:`~repro.telemetry.handle.TelemetryConfig` (or ``True``
+        for defaults) records in-sim metrics; the merged snapshot lands
+        on ``result.telemetry`` and, when ``telemetry_path`` is given,
+        in a ``repro.telemetry.v1`` JSONL record.
+    on_error:
+        ``"skip"`` drops lifetimes that raise (counted on
+        ``result.runs_failed``) instead of propagating.
     """
-    runner = SweepRunner(n_jobs=n_jobs)
+    runner = SweepRunner(n_jobs=n_jobs, telemetry=telemetry,
+                         telemetry_path=telemetry_path)
     [outcome] = runner.run_points(
         [PointSpec("point", config)], n_runs, base_seed=base_seed,
-        keep_run_stats=keep_run_stats, sweep_name="estimate_p_loss")
+        keep_run_stats=keep_run_stats, sweep_name="estimate_p_loss",
+        on_error=on_error)
     return _result_from(outcome, confidence)
 
 
@@ -109,22 +136,29 @@ def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
           base_seed: int = 0, n_jobs: int | None = None,
           confidence: float = 0.95, keep_run_stats: bool = False,
           sweep_name: str = "sweep",
-          bench_path: str | Path | None | object = "auto"
-          ) -> dict[str, MonteCarloResult]:
+          bench_path: str | Path | None | object = "auto",
+          telemetry: TelemetryConfig | bool | None = None,
+          telemetry_path: str | Path | None = None,
+          on_error: str = "raise") -> dict[str, MonteCarloResult]:
     """Estimate P(loss) for a labelled family of configurations.
 
     All points run on one :class:`SweepRunner` (and hence one persistent
     worker pool) with every ``(point, run)`` lifetime submitted as an
     independent task.  A ``BENCH_sweep.json`` perf record is written per
     invocation unless ``bench_path=None`` (or ``REPRO_BENCH_PATH=""``).
+    With ``telemetry`` enabled each result carries the point's merged
+    telemetry snapshot; ``telemetry_path`` additionally appends one JSONL
+    record per point.
     """
     if bench_path == "auto":
         bench_path = default_bench_path()
-    runner = SweepRunner(n_jobs=n_jobs, bench_path=bench_path)
+    runner = SweepRunner(n_jobs=n_jobs, bench_path=bench_path,
+                         telemetry=telemetry,
+                         telemetry_path=telemetry_path)
     points = [PointSpec(label, cfg) for label, cfg in configs.items()]
     outcomes = runner.run_points(points, n_runs, base_seed=base_seed,
                                  keep_run_stats=keep_run_stats,
-                                 sweep_name=sweep_name)
+                                 sweep_name=sweep_name, on_error=on_error)
     return {o.label: _result_from(o, confidence) for o in outcomes}
 
 
@@ -134,12 +168,16 @@ def loss_probability_series(base: SystemConfig, param: str,
                             n_jobs: int | None = None,
                             keep_run_stats: bool = False,
                             sweep_name: str | None = None,
-                            bench_path: str | Path | None | object = "auto"
+                            bench_path: str | Path | None | object = "auto",
+                            telemetry: TelemetryConfig | bool | None = None,
+                            telemetry_path: str | Path | None = None,
+                            on_error: str = "raise"
                             ) -> list[tuple[object, MonteCarloResult]]:
     """Sweep one config field; returns (value, result) pairs in order."""
     labelled = {str(v): base.with_(**{param: v}) for v in values}
     results = sweep(labelled, n_runs=n_runs, base_seed=base_seed,
                     n_jobs=n_jobs, keep_run_stats=keep_run_stats,
                     sweep_name=sweep_name or f"series:{param}",
-                    bench_path=bench_path)
+                    bench_path=bench_path, telemetry=telemetry,
+                    telemetry_path=telemetry_path, on_error=on_error)
     return [(v, results[str(v)]) for v in values]

@@ -43,6 +43,9 @@ from typing import Any, Callable, Iterable, Sequence
 from ..config import SystemConfig
 from ..core.recovery import RecoveryStats
 from ..sim.rng import stable_hash64
+from ..telemetry.export import append_jsonl, default_telemetry_path
+from ..telemetry.handle import Telemetry, TelemetryConfig
+from ..telemetry.metrics import empty_snapshot, merge_into
 from .simulation import ReliabilitySimulation
 
 #: Injectable host-performance clocks (never simulated time; RPR004 keeps
@@ -200,16 +203,28 @@ class _LifetimeTask:
     index: int
     config: SystemConfig
     seed: int
+    #: telemetry config; ``None`` runs the lifetime unobserved.
+    telemetry: TelemetryConfig | None = None
 
 
 def _run_lifetime(task: _LifetimeTask
-                  ) -> tuple[int, int, RecoveryStats, int, float]:
-    """Execute one lifetime; returns (point, index, stats, events, secs)."""
+                  ) -> tuple[int, int, RecoveryStats, int, float,
+                             dict | None]:
+    """Execute one lifetime.
+
+    Returns ``(point, index, stats, events, secs, snapshot)`` where
+    ``snapshot`` is the run's telemetry snapshot (a plain dict, so it
+    pickles across the pool boundary) or ``None`` when unobserved.
+    """
     t0 = _WALL_CLOCK()
-    sim = ReliabilitySimulation(task.config, seed=task.seed)
+    telemetry = (Telemetry(task.telemetry)
+                 if task.telemetry is not None else None)
+    sim = ReliabilitySimulation(task.config, seed=task.seed,
+                                telemetry=telemetry)
     stats = sim.run()
+    snapshot = telemetry.snapshot() if telemetry is not None else None
     return (task.point, task.index, stats, sim.sim.events_fired,
-            _WALL_CLOCK() - t0)
+            _WALL_CLOCK() - t0, snapshot)
 
 
 # --------------------------------------------------------------------- #
@@ -263,6 +278,11 @@ class PointOutcome:
     run_stats: list[RecoveryStats] = field(repr=False, default_factory=list)
     #: Host seconds from sweep start until this point's last run folded.
     completed_at_s: float = 0.0
+    #: Runs that raised and were dropped (``on_error="skip"``).
+    runs_failed: int = 0
+    #: Merged telemetry snapshot over the point's completed runs, folded
+    #: in run-index order (``None`` when telemetry is disabled).
+    telemetry: dict | None = field(repr=False, default=None)
 
 
 class SweepRunner:
@@ -276,42 +296,76 @@ class SweepRunner:
     bench_path:
         Where to write the ``BENCH_sweep.json`` perf record after each
         :meth:`run_points` invocation; ``None`` disables the record.
+    telemetry:
+        A :class:`~repro.telemetry.handle.TelemetryConfig` (or ``True``
+        for the defaults) enables in-sim telemetry on every lifetime;
+        per-point snapshots are merged in run-index order onto
+        :attr:`PointOutcome.telemetry`, bit-identical however many
+        workers executed the runs.
+    telemetry_path:
+        Append one ``repro.telemetry.v1`` JSONL record per point after
+        each :meth:`run_points` invocation (implies ``telemetry=True``
+        when no config was given).  Defaults to ``REPRO_TELEMETRY_PATH``
+        when that is set (the CLI's ``--telemetry`` flag); pass ``""``
+        to disable explicitly.
     """
 
     def __init__(self, n_jobs: int | None = None,
-                 bench_path: str | Path | None = None) -> None:
+                 bench_path: str | Path | None = None,
+                 telemetry: TelemetryConfig | bool | None = None,
+                 telemetry_path: str | Path | None = None) -> None:
         self.n_jobs = n_jobs
         self.workers = resolve_workers(n_jobs)
         self.bench_path = Path(bench_path) if bench_path else None
+        if telemetry_path is None:
+            telemetry_path = default_telemetry_path()
+        self.telemetry_path = Path(telemetry_path) if telemetry_path \
+            else None
+        if telemetry is True or (telemetry is None
+                                 and self.telemetry_path is not None):
+            telemetry = TelemetryConfig()
+        self.telemetry: TelemetryConfig | None = telemetry or None
         self.last_record: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
     def run_points(self, points: Sequence[PointSpec], n_runs: int,
                    base_seed: int = 0, keep_run_stats: bool = False,
-                   sweep_name: str = "sweep") -> list[PointOutcome]:
+                   sweep_name: str = "sweep",
+                   on_error: str = "raise") -> list[PointOutcome]:
         """Run ``n_runs`` lifetimes for every point; aggregate streamingly.
 
         Every point uses the same ``base_seed`` (hence the same per-run
         seed schedule), exactly like back-to-back ``estimate_p_loss``
         calls; results come back in point order.
+
+        ``on_error="skip"`` drops a lifetime that raises (counted on
+        :attr:`PointOutcome.runs_failed`) instead of propagating; the
+        surviving runs still fold in run-index order, so the aggregate
+        stays order-stable.
         """
         if n_runs <= 0:
             raise ValueError("n_runs must be positive")
         if not points:
             raise ValueError("at least one sweep point is required")
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', "
+                             f"got {on_error!r}")
         t0 = _WALL_CLOCK()
         seeds = seed_schedule(base_seed, n_runs)
         outcomes = [PointOutcome(label=p.label, config=p.config,
                                  n_runs=n_runs, aggregate=StatsAggregate())
                     for p in points]
         if self.workers <= 1:
-            self._run_serial(points, seeds, outcomes, keep_run_stats, t0)
+            self._run_serial(points, seeds, outcomes, keep_run_stats, t0,
+                             on_error)
         else:
-            self._run_parallel(points, seeds, outcomes, keep_run_stats, t0)
+            self._run_parallel(points, seeds, outcomes, keep_run_stats, t0,
+                               on_error)
         wall = _WALL_CLOCK() - t0
         self.last_record = self._bench_record(sweep_name, outcomes, n_runs,
                                               wall)
         self._write_bench(self.last_record)
+        self._write_telemetry(sweep_name, outcomes)
         return outcomes
 
     def map_tasks(self, fn: Callable[[Any], Any],
@@ -324,44 +378,70 @@ class SweepRunner:
         return list(shared_pool(self.workers).map(fn, items))
 
     # ------------------------------------------------------------------ #
+    def _fold(self, outcome: PointOutcome, payload: tuple,
+              keep_run_stats: bool) -> None:
+        """Reduce one completed lifetime into its point's outcome."""
+        _, _, stats, events, secs, snapshot = payload
+        outcome.aggregate.fold(stats, events, secs)
+        if keep_run_stats:
+            outcome.run_stats.append(stats)
+        if snapshot is not None:
+            if outcome.telemetry is None:
+                outcome.telemetry = empty_snapshot()
+            merge_into(outcome.telemetry, snapshot)
+
     def _run_serial(self, points: Sequence[PointSpec], seeds: list[int],
                     outcomes: list[PointOutcome], keep_run_stats: bool,
-                    t0: float) -> None:
+                    t0: float, on_error: str) -> None:
         for p, point in enumerate(points):
             for i, seed in enumerate(seeds):
-                _, _, stats, events, secs = _run_lifetime(
-                    _LifetimeTask(p, i, point.config, seed))
-                outcomes[p].aggregate.fold(stats, events, secs)
-                if keep_run_stats:
-                    outcomes[p].run_stats.append(stats)
+                try:
+                    payload = _run_lifetime(
+                        _LifetimeTask(p, i, point.config, seed,
+                                      self.telemetry))
+                except Exception:
+                    if on_error != "skip":
+                        raise
+                    outcomes[p].runs_failed += 1
+                    continue
+                self._fold(outcomes[p], payload, keep_run_stats)
             outcomes[p].completed_at_s = _WALL_CLOCK() - t0
 
     def _run_parallel(self, points: Sequence[PointSpec], seeds: list[int],
                       outcomes: list[PointOutcome], keep_run_stats: bool,
-                      t0: float) -> None:
+                      t0: float, on_error: str) -> None:
         pool = shared_pool(self.workers)
-        futures: set[Future] = {
-            pool.submit(_run_lifetime, _LifetimeTask(p, i, point.config,
-                                                     seed))
+        futures: dict[Future, tuple[int, int]] = {
+            pool.submit(_run_lifetime,
+                        _LifetimeTask(p, i, point.config, seed,
+                                      self.telemetry)): (p, i)
             for p, point in enumerate(points)
             for i, seed in enumerate(seeds)}
         # Per-point reorder buffers: fold strictly in run-index order so
-        # float reductions are bit-identical to the serial path.
-        buffers: list[dict[int, tuple[RecoveryStats, int, float]]] = \
-            [{} for _ in points]
+        # float reductions (and telemetry merges) are bit-identical to
+        # the serial path.  ``None`` marks a run skipped after an error.
+        buffers: list[dict[int, tuple | None]] = [{} for _ in points]
         next_index = [0] * len(points)
         n_runs = len(seeds)
         while futures:
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
             for fut in done:
-                p, i, stats, events, secs = fut.result()
-                buffers[p][i] = (stats, events, secs)
+                p, i = futures.pop(fut)
+                try:
+                    buffers[p][i] = fut.result()
+                except Exception:
+                    if on_error != "skip":
+                        for pending in futures:
+                            pending.cancel()
+                        raise
+                    buffers[p][i] = None
             for p, buffer in enumerate(buffers):
                 while next_index[p] in buffer:
-                    stats, events, secs = buffer.pop(next_index[p])
-                    outcomes[p].aggregate.fold(stats, events, secs)
-                    if keep_run_stats:
-                        outcomes[p].run_stats.append(stats)
+                    payload = buffer.pop(next_index[p])
+                    if payload is None:
+                        outcomes[p].runs_failed += 1
+                    else:
+                        self._fold(outcomes[p], payload, keep_run_stats)
                     next_index[p] += 1
                     if next_index[p] == n_runs:
                         outcomes[p].completed_at_s = _WALL_CLOCK() - t0
@@ -389,6 +469,7 @@ class SweepRunner:
                 {
                     "label": o.label,
                     "n_runs": o.n_runs,
+                    "runs_failed": o.runs_failed,
                     "losses": o.aggregate.losses,
                     "events_fired": o.aggregate.events_fired,
                     "run_seconds_total": o.aggregate.run_seconds_total,
@@ -404,3 +485,15 @@ class SweepRunner:
         self.bench_path.parent.mkdir(parents=True, exist_ok=True)
         self.bench_path.write_text(json.dumps(record, indent=2) + "\n",
                                    encoding="utf-8")
+
+    def _write_telemetry(self, sweep_name: str,
+                         outcomes: list[PointOutcome]) -> None:
+        if self.telemetry_path is None:
+            return
+        for o in outcomes:
+            if o.telemetry is None:
+                continue
+            append_jsonl(self.telemetry_path, o.telemetry,
+                         sweep=sweep_name, point=o.label,
+                         n_runs=o.aggregate.n_runs,
+                         runs_failed=o.runs_failed)

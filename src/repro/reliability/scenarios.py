@@ -30,6 +30,7 @@ from ..faults.base import FaultContext, FaultInjector, FaultStats, arm_all
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import TraceRecorder
+from ..telemetry.handle import Telemetry
 
 
 @dataclass(frozen=True)
@@ -103,10 +104,12 @@ class Scenario:
     """
 
     def __init__(self, config: SystemConfig, seed: int = 0,
-                 policy: PolicyConfig | None = None) -> None:
+                 policy: PolicyConfig | None = None,
+                 telemetry: "Telemetry | None" = None) -> None:
         self.config = config
         self.seed = seed
         self.policy = policy
+        self.telemetry = telemetry
         self._injections: list[Injection] = []
         #: (time, disk, count) partner failures resolved once the system
         #: is built (partner identity depends on placement).
@@ -178,10 +181,15 @@ class Scenario:
 
         trace = TraceRecorder()
         sim = Simulator(trace=trace)
-        manager = build_manager(system, sim, policy=self.policy)
+        manager = build_manager(system, sim, policy=self.policy,
+                                telemetry=self.telemetry)
         end = horizon if horizon is not None else self.config.duration
+        if self.telemetry is not None:
+            self.telemetry.attach_probes(sim, manager.telemetry_sample,
+                                         until=end)
         ctx = FaultContext(system=system, sim=sim, manager=manager,
-                           streams=streams, horizon=end)
+                           streams=streams, horizon=end,
+                           telemetry=self.telemetry)
         arm_all(self._injectors, ctx)
 
         resolved: list[Injection] = list(self._injections)

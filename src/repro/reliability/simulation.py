@@ -33,6 +33,8 @@ from ..placement.random_placement import RandomPlacement
 from ..placement.rush import RushPlacement
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
+from ..telemetry.handle import Telemetry
+from ..telemetry.probes import ProbeSample
 
 #: Salt for the deterministic per-disk SMART detection coin.
 _SMART_SALT = 0x51AC
@@ -57,12 +59,18 @@ class _Job:
 class ReliabilitySimulation:
     """One system lifetime on the flat-array engine."""
 
-    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+    def __init__(self, config: SystemConfig, seed: int = 0,
+                 telemetry: Telemetry | None = None) -> None:
         self.cfg = config
         self.seed = seed
         self.streams = RandomStreams(seed)
         self.sim = Simulator()
         self.stats = RecoveryStats()
+        #: Nullable observability handle; the disabled path is one `is not
+        #: None` test per instrumentation site (pinned by the overhead
+        #: benchmark), and per-disk rebuild-load tracking is only
+        #: allocated when enabled.
+        self.telemetry = telemetry
 
         scheme = config.scheme
         from ..redundancy.composite import is_threshold_scheme
@@ -122,6 +130,10 @@ class ReliabilitySimulation:
         self.used_blocks = np.zeros(cap, dtype=np.int64)
         self.used_blocks[:self.N0] = counts
         self.deploy_time = np.zeros(cap)
+        #: completed rebuild writes per disk (imbalance probe); allocated
+        #: only when telemetry is enabled so the hot path stays untouched.
+        self._rebuild_writes = (np.zeros(cap, dtype=np.int64)
+                                if self.telemetry is not None else None)
         self.total_disks = self.N0
 
         rng = self.streams.get("disk-failures")
@@ -154,6 +166,8 @@ class ReliabilitySimulation:
         self.free_at = _extend(self.free_at, 0.0)
         self.used_blocks = _extend(self.used_blocks, 0)
         self.deploy_time = _extend(self.deploy_time, 0.0)
+        if self._rebuild_writes is not None:
+            self._rebuild_writes = _extend(self._rebuild_writes, 0)
         self._cap = new_cap
 
     def _new_disks(self, count: int, now: float) -> np.ndarray:
@@ -196,6 +210,9 @@ class ReliabilitySimulation:
         now = self.sim.now
         self.alive[disk] = False
         self.stats.disk_failures += 1
+        tele = self.telemetry
+        if tele is not None:
+            tele.disk_failures.inc()
 
         # Redirect in-flight rebuilds targeting the dead disk.
         for job in list(self._jobs_by_target.get(disk, ())):
@@ -203,6 +220,8 @@ class ReliabilitySimulation:
             if self.lost[job.g]:
                 continue
             self.stats.target_redirections += 1
+            if tele is not None:
+                tele.target_redirections.inc()
             self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
                               job.g, job.rep, job.failed_at, job.target,
                               name="redirect")
@@ -221,10 +240,14 @@ class ReliabilitySimulation:
                 self.stats.bytes_lost += self.cfg.group_user_bytes
                 if self.stats.first_loss_time is None:
                     self.stats.first_loss_time = now
+                if tele is not None:
+                    tele.group_lost(g)
                 for job in list(self._jobs_by_group.get(g, ())):
                     self._cancel(job)
             else:
                 losses.append((g, rep))
+                if tele is not None:
+                    tele.block_failed(g, rep, now, self.n)
 
         for g, rep in losses:
             self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
@@ -247,6 +270,8 @@ class ReliabilitySimulation:
         else:
             target = self._pick_spare_target(g, origin, now)
         if target is None:
+            if self.telemetry is not None:
+                self.telemetry.rebuilds_unplaced.inc()
             return      # system full: group stays degraded
         duration = self.workload.time_to_transfer(
             self.block_bytes, self.cfg.recovery_bandwidth, now)
@@ -264,6 +289,8 @@ class ReliabilitySimulation:
         # count, cancellation releases it.
         self.used_blocks[target] += 1
         self.stats.rebuilds_started += 1
+        if self.telemetry is not None:
+            self.telemetry.rebuilds_started.inc()
 
     def _admissible(self, d: int, g: int,
                     exclude: set[int] = frozenset()) -> bool:
@@ -325,12 +352,16 @@ class ReliabilitySimulation:
                 self.used_blocks[spare] >= self.capacity_blocks:
             spare = int(self._new_disks(1, now)[0])
             self._spare_for[origin] = spare
+            if self.telemetry is not None:
+                self.telemetry.spares_provisioned.inc()
         if (self.group_disks[g] == spare).any():
             over = self._spare_for.get(~origin, -1)
             if over < 0 or not self.alive[over] or \
                     not self._admissible(over, g):
                 over = int(self._new_disks(1, now)[0])
                 self._spare_for[~origin] = over
+                if self.telemetry is not None:
+                    self.telemetry.spares_provisioned.inc()
             return over
         return spare
 
@@ -356,6 +387,8 @@ class ReliabilitySimulation:
             # Defensive: redirection/exclusion should have caught this.
             self.used_blocks[job.target] -= 1    # release the reservation
             self.stats.target_redirections += 1
+            if self.telemetry is not None:
+                self.telemetry.target_redirections.inc()
             self.sim.schedule(self.cfg.detection_latency,
                               self._start_rebuild, job.g, job.rep,
                               job.failed_at, job.target, name="redirect")
@@ -369,6 +402,10 @@ class ReliabilitySimulation:
         window = now - job.failed_at
         self.stats.window_total += window
         self.stats.window_max = max(self.stats.window_max, window)
+        if self.telemetry is not None:
+            self.telemetry.rebuilds_completed.inc()
+            self.telemetry.block_rebuilt(job.g, job.rep, now)
+            self._rebuild_writes[job.target] += 1
 
     # ------------------------------------------------------------------ #
     # Replacement batches (Figure 7)
@@ -382,6 +419,8 @@ class ReliabilitySimulation:
         self._unreplaced = 0
         new_ids = self._new_disks(count, now)
         self.stats.replacement_batches += 1
+        if self.telemetry is not None:
+            self.telemetry.replacement_batches.inc()
         self._migrate(new_ids, now)
 
     def _migrate(self, new_ids: np.ndarray, now: float) -> None:
@@ -435,10 +474,43 @@ class ReliabilitySimulation:
         for r, c, t in zip(rows.tolist(), cols.tolist(), targets.tolist()):
             self._dynamic.setdefault(t, []).append((r, c))
         self.stats.blocks_migrated += rows.size
+        if self.telemetry is not None:
+            self.telemetry.blocks_migrated.inc(int(rows.size))
+
+    # ------------------------------------------------------------------ #
+    # Telemetry probe (read-only; never perturbs the failure process)
+    # ------------------------------------------------------------------ #
+    def _telemetry_sample(self) -> ProbeSample:
+        now = self.sim.now
+        total = self.total_disks
+        alive = self.alive[:total]
+        n_alive = int(alive.sum())
+        busy = int(np.count_nonzero(alive & (self.free_at[:total] > now)))
+        cap = self.cfg.recovery_bandwidth
+        degraded = int(np.count_nonzero((self.failed_count > 0)
+                                        & ~self.lost))
+        if self._rebuild_writes is not None and n_alive > 0:
+            loads = self._rebuild_writes[:total][alive]
+            load_max = float(loads.max())
+            load_mean = float(loads.mean())
+        else:
+            load_max = load_mean = 0.0
+        return ProbeSample(
+            bandwidth_in_use_bps=busy * cap,
+            disk_bandwidth_max_bps=cap if busy else 0.0,
+            bandwidth_cap_bps=cap,
+            disks_by_state={"online": n_alive, "failed": total - n_alive},
+            degraded_groups=degraded,
+            deferred_rebuilds=0,
+            rebuild_load_max=load_max,
+            rebuild_load_mean=load_mean)
 
     # ------------------------------------------------------------------ #
     def run(self) -> RecoveryStats:
         """Execute the full lifetime; returns the statistics."""
+        if self.telemetry is not None:
+            self.telemetry.attach_probes(self.sim, self._telemetry_sample,
+                                         until=self.duration)
         for d in range(self.N0):
             t = self.fail_time[d]
             if t <= self.duration:

@@ -56,6 +56,20 @@ def wilson_interval(successes: int, trials: int,
                       confidence=confidence)
 
 
+def empty_proportion(confidence: float = 0.95) -> Proportion:
+    """The degenerate estimate for zero completed trials.
+
+    :func:`wilson_interval` requires at least one trial; a Monte-Carlo
+    point whose every run failed (``on_error="skip"``) still needs a
+    well-formed :class:`Proportion`, and with no evidence the interval
+    is the whole unit line.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    return Proportion(successes=0, trials=0, estimate=0.0,
+                      lo=0.0, hi=1.0, confidence=confidence)
+
+
 def _erfinv(x: float) -> float:
     """Inverse error function (scipy wrapped to keep the import local)."""
     from scipy.special import erfinv

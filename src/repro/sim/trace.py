@@ -57,13 +57,19 @@ class TraceRecorder:
     prefixes: tuple[str, ...] = ()
     max_records: int | None = None
     records: list[TraceRecord] = field(default_factory=list)
+    #: records evicted from the ring buffer (``max_records`` overflow).
     dropped: int = 0
+    #: events rejected by the ``prefixes`` filter (never recorded at all,
+    #: so they don't count as ``dropped``); mirrors ``dropped`` so a
+    #: consumer can tell "never kept" from "kept then evicted".
+    filtered: int = 0
     sink: Callable[[TraceRecord], None] | None = None
 
     def __call__(self, event: Event) -> None:
         """The Simulator trace hook."""
         name = event.name or getattr(event.callback, "__name__", "?")
         if self.prefixes and not name.startswith(self.prefixes):
+            self.filtered += 1
             return
         record = TraceRecord(time=event.time, name=name, seq=event.seq)
         self.records.append(record)

@@ -1,0 +1,307 @@
+"""Deterministic, merge-able metric primitives.
+
+A :class:`MetricRegistry` holds :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` instruments keyed by ``name`` plus a sorted label set.
+Everything here is designed around one property the rest of the repository
+already guarantees for :class:`~repro.reliability.runner.StatsAggregate`:
+**bit-identical parallel aggregation**.  A registry snapshots to a plain
+dict (JSON-safe, picklable) and snapshots :func:`merge_into` one another;
+integer fields are order-free sums, float fields are folded by the sweep
+runner strictly in run-index order, so the merged snapshot of a parallel
+sweep is byte-identical to the serial one.
+
+Histograms use *fixed* bucket bounds (log-spaced via :func:`log_bounds`)
+chosen at construction from the config — never from the data — so any two
+snapshots of the same metric are mergeable by plain element-wise addition.
+
+No instrument reads the wall clock or draws randomness: telemetry observes
+simulated time only (lint rule RPR011 enforces this for the package).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Schema tag stamped on every snapshot and JSONL record.
+TELEMETRY_SCHEMA = "repro.telemetry.v1"
+
+
+def log_bounds(lo: float, hi: float, per_decade: int = 4) -> tuple[float, ...]:
+    """Fixed log-spaced histogram bucket upper bounds covering [lo, hi].
+
+    Returns ``per_decade`` bounds per power of ten starting at ``lo``,
+    extended until a bound reaches ``hi``.  The terminal +inf bucket is
+    implicit (histograms count overflows in their last slot).  Bounds are
+    a pure function of the arguments, so two histograms configured alike
+    are always mergeable.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    bounds: list[float] = []
+    i = 0
+    while True:
+        b = lo * 10.0 ** (i / per_decade)
+        bounds.append(b)
+        if b >= hi:
+            return tuple(bounds)
+        i += 1
+
+
+def _label_key(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Shared identity: name, help text, sorted labels."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.key = name + _label_key(self.labels)
+
+    def _base(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "help": self.help,
+                "labels": dict(self.labels)}
+
+
+class Counter(Metric):
+    """Monotonically increasing sum (int stays int, float stays float)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        d = self._base()
+        d["value"] = self.value
+        return d
+
+
+class Gauge(Metric):
+    """Point-in-time samples: last / min / max / sum / count."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        self.last: float = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+        self.total: float = 0.0
+        self.samples: int = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+        self.total += value
+        self.samples += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def to_dict(self) -> dict:
+        d = self._base()
+        d.update(last=self.last, min=self.vmin, max=self.vmax,
+                 sum=self.total, samples=self.samples)
+        return d
+
+
+class Histogram(Metric):
+    """Fixed-bound histogram with non-cumulative per-bucket counts.
+
+    ``counts[i]`` counts observations ``<= bounds[i]`` (exclusive of the
+    previous bound); ``counts[-1]`` is the +inf overflow bucket, so
+    ``len(counts) == len(bounds) + 1``.  Exporters derive the cumulative
+    Prometheus form; keeping raw counts makes merging element-wise.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float], help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be non-empty and ascending")
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Linear scan is fine: bucket lists are short and observation
+        # happens once per completed rebuild, not per event.
+        for i, b in enumerate(self.bounds):
+            if value <= b:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        d = self._base()
+        d.update(bounds=list(self.bounds), counts=list(self.counts),
+                 sum=self.total, count=self.count, min=self.vmin,
+                 max=self.vmax)
+        return d
+
+
+class MetricRegistry:
+    """Get-or-create store of instruments, snapshot-able to a plain dict."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: dict[str, str] | None, **kwargs) -> Metric:
+        key = name + _label_key(labels)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(f"{key} already registered as "
+                                f"{existing.kind}, not {cls.kind}")
+            return existing
+        metric = cls(name, help=help, labels=labels, **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: dict[str, str] | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, bounds: Sequence[float],
+                  help: str = "",
+                  labels: dict[str, str] | None = None) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help, labels,
+                                     bounds=bounds)
+        if metric.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(f"{metric.key} re-registered with different "
+                             f"bucket bounds")
+        return metric
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot, keys in sorted order (canonical layout)."""
+        return {"schema": TELEMETRY_SCHEMA,
+                "metrics": {key: self._metrics[key].to_dict()
+                            for key in sorted(self._metrics)}}
+
+
+# --------------------------------------------------------------------- #
+# Snapshot merging
+# --------------------------------------------------------------------- #
+def empty_snapshot() -> dict:
+    """A neutral element for :func:`merge_into` folds."""
+    return {"schema": TELEMETRY_SCHEMA, "metrics": {}}
+
+
+def _merged_min(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _merged_max(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def merge_into(acc: dict, snap: dict) -> dict:
+    """Fold snapshot ``snap`` into accumulator ``acc`` (mutates, returns it).
+
+    Integer fields (counts, samples) are order-free; float sums are exact
+    only for a *fixed* fold order — the sweep runner folds in run-index
+    order, which is what makes parallel merges byte-identical to serial.
+    A gauge's ``last`` after a merge is the last-folded run's value
+    (deterministic for the same reason).
+    """
+    for schema in (acc.get("schema"), snap.get("schema")):
+        if schema != TELEMETRY_SCHEMA:
+            raise ValueError(f"cannot merge snapshot with schema {schema!r}")
+    out = acc["metrics"]
+    for key, entry in snap["metrics"].items():
+        mine = out.get(key)
+        if mine is None:
+            out[key] = {k: (list(v) if isinstance(v, list) else
+                            dict(v) if isinstance(v, dict) else v)
+                        for k, v in entry.items()}
+            continue
+        if mine["kind"] != entry["kind"]:
+            raise ValueError(f"{key}: kind {mine['kind']} != "
+                             f"{entry['kind']}")
+        kind = entry["kind"]
+        if kind == "counter":
+            mine["value"] += entry["value"]
+        elif kind == "gauge":
+            mine["last"] = entry["last"]
+            mine["min"] = _merged_min(mine["min"], entry["min"])
+            mine["max"] = _merged_max(mine["max"], entry["max"])
+            mine["sum"] += entry["sum"]
+            mine["samples"] += entry["samples"]
+        elif kind == "histogram":
+            if mine["bounds"] != entry["bounds"]:
+                raise ValueError(f"{key}: mismatched histogram bounds")
+            mine["counts"] = [a + b for a, b in zip(mine["counts"],
+                                                    entry["counts"])]
+            mine["sum"] += entry["sum"]
+            mine["count"] += entry["count"]
+            mine["min"] = _merged_min(mine["min"], entry["min"])
+            mine["max"] = _merged_max(mine["max"], entry["max"])
+        else:
+            raise ValueError(f"{key}: unknown metric kind {kind!r}")
+    # Keep canonical (sorted) key order however merges interleaved.
+    acc["metrics"] = {k: out[k] for k in sorted(out)}
+    return acc
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Left fold of :func:`merge_into` over ``snapshots``, in order."""
+    acc = empty_snapshot()
+    for snap in snapshots:
+        merge_into(acc, snap)
+    return acc

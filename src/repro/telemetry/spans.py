@@ -1,0 +1,111 @@
+"""Sim-time span tracking: windows of vulnerability as distributions.
+
+A :class:`SpanTracker` follows each redundancy-group rebuild from the
+instant a block becomes unavailable to the instant its re-replication
+completes — the paper's *window of vulnerability* — and feeds the elapsed
+sim-time into per-group-size histograms (Figs. 3–5 as distributions, not
+just means).
+
+The tracker accumulates the exact float arithmetic the engines use for
+``RecoveryStats.window_total`` (``duration = now - begin``; ``sum +=
+duration`` in completion order), so its ``*_seconds_total`` counter equals
+the engine's window aggregate to float equality — asserted by
+``tests/test_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+from ..units import MONTH, SECOND
+from .metrics import Gauge, MetricRegistry, log_bounds
+
+#: Span keys are (grp_id, rep_id): one span per missing block replica.
+SpanKey = tuple[int, int]
+
+
+class SpanTracker:
+    """Open-span table feeding duration histograms bucketed by group size.
+
+    Parameters
+    ----------
+    registry:
+        The registry the derived metrics live in.
+    name:
+        Base metric name; the duration histogram is ``name`` itself
+        (labelled ``n=<group size>``), with ``<name>_sum_total``,
+        ``<name>_spans_started_total`` / ``_completed_total`` /
+        ``_aborted_total`` counters and an ``<name>_spans_open`` gauge
+        alongside.
+    bounds:
+        Histogram bucket upper bounds (fixed; see
+        :func:`~repro.telemetry.metrics.log_bounds`).
+    """
+
+    def __init__(self, registry: MetricRegistry, name: str,
+                 bounds: tuple[float, ...] | None = None,
+                 help: str = "") -> None:
+        self.registry = registry
+        self.name = name
+        self.bounds = (bounds if bounds is not None
+                       else log_bounds(SECOND, MONTH))
+        self.help = help
+        self._open: dict[SpanKey, tuple[float, int]] = {}
+        self.started = registry.counter(
+            f"{name}_spans_started_total",
+            help="spans opened (block failures observed)")
+        self.completed = registry.counter(
+            f"{name}_spans_completed_total",
+            help="spans closed by a completed re-replication")
+        self.aborted = registry.counter(
+            f"{name}_spans_aborted_total",
+            help="spans abandoned (group lost before re-replication)")
+        self.duration_sum = registry.counter(
+            f"{name}_sum_total",
+            help="sum of completed span durations (seconds); equals the "
+                 "engine's RecoveryStats.window_total")
+        self.open_gauge: Gauge = registry.gauge(
+            f"{name}_spans_open",
+            help="spans open at snapshot time (still-degraded blocks)")
+
+    # ------------------------------------------------------------------ #
+    def begin(self, key: SpanKey, now: float, group_size: int) -> None:
+        """Open a span: block ``key`` became unavailable at ``now``."""
+        if key in self._open:
+            return      # duplicate begin (defensive); keep the original
+        self._open[key] = (now, group_size)
+        self.started.inc()
+
+    def end(self, key: SpanKey, now: float) -> float | None:
+        """Close a span; returns its duration (None if never opened)."""
+        entry = self._open.pop(key, None)
+        if entry is None:
+            return None
+        begin, group_size = entry
+        duration = now - begin
+        self._histogram(group_size).observe(duration)
+        self.duration_sum.inc(duration)
+        self.completed.inc()
+        return duration
+
+    def abort(self, key: SpanKey) -> None:
+        """Drop a span without observing it (its group was lost)."""
+        if self._open.pop(key, None) is not None:
+            self.aborted.inc()
+
+    def abort_group(self, grp_id: int) -> None:
+        """Abort every open span of one group (on group loss)."""
+        for key in [k for k in self._open if k[0] == grp_id]:
+            self.abort(key)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def sync_open_gauge(self) -> None:
+        """Record the current open-span count (called at snapshot time)."""
+        self.open_gauge.set(len(self._open))
+
+    def _histogram(self, group_size: int):
+        return self.registry.histogram(self.name, self.bounds,
+                                       help=self.help,
+                                       labels={"n": str(group_size)})

@@ -1,0 +1,11 @@
+"""Fixture: RPR011 — wall-clock read in model code (violation on line 11).
+
+This file sits under a ``cluster/`` directory, so the scoped rule applies
+(and RPR004 does not — ``cluster`` is outside SIM_DIRS).
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -26,14 +26,15 @@ EXPECTED = {
     "rpr008_clock_assign.py": ("RPR008", 6),
     "core/rpr009_silent_except.py": ("RPR009", 7),
     "core/rpr010_hardcoded_param.py": ("RPR010", 5),
+    "cluster/rpr011_wall_clock.py": ("RPR011", 11),
 }
 
 
 class TestRegistry:
-    def test_ten_rules_with_unique_ids(self):
+    def test_eleven_rules_with_unique_ids(self):
         ids = [r.id for r in RULES]
-        assert len(ids) == len(set(ids)) == 10
-        assert sorted(ids) == [f"RPR{n:03d}" for n in range(1, 11)]
+        assert len(ids) == len(set(ids)) == 11
+        assert sorted(ids) == [f"RPR{n:03d}" for n in range(1, 12)]
 
     def test_every_rule_documented(self):
         for rule in RULES:
@@ -93,6 +94,19 @@ class TestRuleEdges:
     def test_wall_clock_inside_core_flagged(self):
         src = "import time\nt = time.time()\n"
         violations = lint_source(src, "core/harness.py")
+        assert [v.rule for v in violations] == ["RPR004"]
+
+    def test_wall_clock_in_telemetry_flagged_once_as_rpr011(self):
+        src = "import time\nt = time.time()\n"
+        for directory in ("telemetry", "cluster", "faults"):
+            violations = lint_source(src, f"{directory}/probes.py")
+            assert [v.rule for v in violations] == ["RPR011"], directory
+
+    def test_core_never_double_reports_wall_clock(self):
+        # core/ is in both RPR004's and RPR011's directory sets; exactly
+        # one violation (RPR004's) must fire for one call.
+        src = "import time\nt = time.time()\n"
+        violations = lint_source(src, "core/recovery.py")
         assert [v.rule for v in violations] == ["RPR004"]
 
     def test_print_allowed_in_main_and_trace(self):

@@ -3,12 +3,22 @@
 import pytest
 
 from repro.config import SystemConfig
+from repro.redundancy.composite import MirroredParity
 from repro.reliability import estimate_p_loss, loss_probability_series, sweep
+from repro.reliability.runner import shutdown_pool
 from repro.units import GB, TB
 
 
 def tiny():
     return SystemConfig(total_user_bytes=10 * TB, group_user_bytes=10 * GB)
+
+
+def unrunnable():
+    """A config the fast engine rejects (composite scheme) — every
+    lifetime raises ``NotImplementedError``, so ``on_error="skip"``
+    completes zero runs."""
+    return SystemConfig(total_user_bytes=10 * TB, group_user_bytes=10 * GB,
+                        scheme=MirroredParity(4))
 
 
 class TestEstimate:
@@ -54,6 +64,42 @@ class TestEstimate:
     def test_invalid_runs(self):
         with pytest.raises(ValueError):
             estimate_p_loss(tiny(), n_runs=0)
+
+
+class TestZeroCompletedRuns:
+    """Regression: a point whose runs all failed used to crash in
+    ``wilson_interval(0, 0)``; it now reports the uninformative [0, 1]
+    interval with ``trials == 0`` and counts the drops."""
+
+    def test_raise_is_the_default(self):
+        with pytest.raises(NotImplementedError, match="threshold-only"):
+            estimate_p_loss(unrunnable(), n_runs=2)
+
+    def test_skip_yields_empty_proportion_serial(self):
+        r = estimate_p_loss(unrunnable(), n_runs=4, on_error="skip")
+        assert r.runs_failed == 4
+        assert r.n_runs == 4
+        assert r.aggregate.n_runs == 0
+        assert r.p_loss.trials == 0 and r.p_loss.successes == 0
+        assert (r.p_loss.lo, r.p_loss.hi) == (0.0, 1.0)
+
+    def test_skip_yields_empty_proportion_parallel(self):
+        try:
+            r = estimate_p_loss(unrunnable(), n_runs=4, n_jobs=2,
+                                on_error="skip")
+        finally:
+            shutdown_pool()
+        assert r.runs_failed == 4
+        assert r.p_loss.trials == 0
+        assert (r.p_loss.lo, r.p_loss.hi) == (0.0, 1.0)
+
+    def test_mixed_sweep_only_bad_point_degrades(self):
+        res = sweep({"ok": tiny(), "bad": unrunnable()}, n_runs=3,
+                    on_error="skip", bench_path=None)
+        assert res["ok"].runs_failed == 0
+        assert res["ok"].p_loss.trials == 3
+        assert res["bad"].runs_failed == 3
+        assert res["bad"].p_loss.trials == 0
 
 
 class TestSweeps:

@@ -268,3 +268,58 @@ class TestPeriodicTimer:
         sim.every(1.0, out.append, "tick", until=3.5)
         sim.run(until=10.0)
         assert out == ["tick", "tick", "tick"]
+
+
+class TestPeriodicCadence:
+    """Pins the probe-cadence contract repro.telemetry relies on: a timer
+    at interval T over horizon H fires exactly floor(H / T) times (first
+    firing one interval from now; a firing exactly at the horizon is
+    included), and same-instant firings run in scheduling order."""
+
+    @pytest.mark.parametrize("horizon,interval", [
+        (100.0, 10.0),      # divides exactly: firing at the horizon counts
+        (100.0, 7.0),       # does not divide
+        (99.5, 10.0),       # fractional horizon
+        (10.0, 10.0),       # single firing, exactly at the horizon
+        (9.75, 10.0),       # horizon shorter than one interval: no firing
+        (512.0, 1.0),       # many firings, exact float accumulation
+    ])
+    def test_exactly_floor_horizon_over_interval_firings(
+            self, sim, horizon, interval):
+        timer = sim.every(interval, lambda: None, until=horizon)
+        sim.run(until=horizon)
+        assert timer.fired == math.floor(horizon / interval)
+
+    def test_until_truncates_but_horizon_equality_fires(self, sim):
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), until=30.0)
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_same_instant_timer_fires_in_schedule_order(self, sim):
+        order = []
+        sim.every(10.0, order.append, "timer", until=10.0)
+        sim.schedule_at(10.0, order.append, "event")
+        sim.run(until=10.0)
+        assert order == ["timer", "event"]
+
+    def test_same_instant_timer_armed_later_fires_later(self, sim):
+        order = []
+        sim.schedule_at(10.0, order.append, "event")
+        sim.every(10.0, order.append, "timer", until=10.0)
+        sim.run(until=10.0)
+        assert order == ["event", "timer"]
+
+    def test_read_only_timer_preserves_other_event_order(self):
+        def run(with_probe: bool) -> list[str]:
+            sim = Simulator()
+            order = []
+            if with_probe:
+                sim.every(1.0, lambda: None, until=50.0)
+            sim.schedule_at(10.0, order.append, "a")
+            sim.schedule_at(10.0, order.append, "b")
+            sim.schedule_at(25.0, order.append, "c")
+            sim.run(until=50.0)
+            return order
+
+        assert run(False) == run(True) == ["a", "b", "c"]

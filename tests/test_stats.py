@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.reliability import bootstrap_mean, wilson_interval
+from repro.reliability import bootstrap_mean, empty_proportion, wilson_interval
 
 
 class TestWilson:
@@ -64,6 +64,30 @@ class TestWilson:
 
     def test_str_rendering(self):
         assert "%" in str(wilson_interval(3, 10))
+
+
+class TestEmptyProportion:
+    """The zero-trial stand-in used when every run of a point failed."""
+
+    def test_uninformative_interval(self):
+        p = empty_proportion()
+        assert p.trials == 0 and p.successes == 0
+        assert p.estimate == 0.0
+        assert (p.lo, p.hi) == (0.0, 1.0)
+        assert p.confidence == 0.95
+
+    def test_confidence_carried_through(self):
+        assert empty_proportion(confidence=0.99).confidence == 0.99
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            empty_proportion(confidence=1.5)
+
+    def test_wilson_still_rejects_zero_trials(self):
+        # empty_proportion is the explicit opt-in; the estimator itself
+        # keeps refusing the undefined case.
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
 
 
 class TestBootstrap:

@@ -107,3 +107,37 @@ class TestFilteredHook:
         sim.schedule(2.0, lambda: None, name="late")
         sim.run()
         assert seen == ["late"]
+
+
+class TestFilteredCounter:
+    def test_prefix_misses_counted_not_recorded(self):
+        rec = TraceRecorder(prefixes=("keep",))
+        sim = Simulator(trace=rec)
+        sim.schedule(1.0, lambda: None, name="keep-a")
+        sim.schedule(2.0, lambda: None, name="toss-b")
+        sim.schedule(3.0, lambda: None, name="keep-c")
+        sim.run()
+        assert [r.name for r in rec.records] == ["keep-a", "keep-c"]
+        assert rec.filtered == 1
+        assert rec.dropped == 0
+
+    def test_no_prefixes_means_nothing_filtered(self):
+        rec = TraceRecorder()
+        sim = Simulator(trace=rec)
+        sim.schedule(1.0, lambda: None, name="anything")
+        sim.run()
+        assert rec.filtered == 0 and len(rec.records) == 1
+
+    def test_filtered_and_dropped_stay_disjoint_with_ring_buffer(self):
+        rec = TraceRecorder(prefixes=("keep",), max_records=2)
+        sim = Simulator(trace=rec)
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None, name=f"keep-{i}")
+            sim.schedule(float(i + 1) + 0.5, lambda: None, name=f"toss-{i}")
+        sim.run()
+        # 5 kept (3 then evicted by the cap), 5 rejected by the prefix
+        # filter; a rejected event never entered the ring buffer, so it
+        # must not also count as dropped.
+        assert [r.name for r in rec.records] == ["keep-3", "keep-4"]
+        assert rec.dropped == 3
+        assert rec.filtered == 5
