@@ -44,6 +44,9 @@ optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
 optional_step "mypy" mypy python -m mypy
 step "fault-injection tests" python -m pytest tests/test_faults.py tests/test_fault_scenarios.py -q
 step "tier-1 tests" python -m pytest -x -q
+step "statistical conformance (slow suites)" python -m pytest -q -m slow
+optional_step "coverage (pytest-cov, line floor 70% for src/repro)" pytest_cov \
+  python -m pytest -q --cov=src/repro --cov-report=term --cov-fail-under=70
 
 if [ $status -ne 0 ]; then
   echo "check.sh: FAILED"

@@ -6,6 +6,8 @@ Usage::
     python -m repro run figure3 --scale smoke --jobs 4
     python -m repro run all --scale small --out results/
     python -m repro run figure3 --telemetry results/telemetry.jsonl
+    python -m repro run figure5 --estimator is
+    python -m repro run rare
     python -m repro estimate --data-pb 2 --scheme 1/2 --runs 20 [--no-farm]
     python -m repro sensitivity --scheme 1/2 [--no-farm]
     python -m repro sweep-check --jobs 2
@@ -20,7 +22,9 @@ snapshots — bit-identical to a serial run) on a small multi-point sweep.
 ``run --telemetry PATH`` enables the in-sim metrics subsystem
 (:mod:`repro.telemetry`) for every Monte-Carlo sweep in the invocation and
 appends one merged JSONL record per sweep point; ``telemetry-summary``
-renders such a file for humans.
+renders such a file for humans.  ``run --estimator {naive,is,splitting}``
+switches the p_loss figures to a rare-event estimator, and ``run rare``
+compares all three at equal budget (:doc:`docs/RARE_EVENTS.md`).
 """
 
 from __future__ import annotations
@@ -33,31 +37,35 @@ import time
 from .config import SystemConfig
 from .experiments import SCALES, ablations, base
 from .experiments import (faults_sweep, figure3, figure4, figure5, figure7,
-                          figure8, mttdl_table, perf_table, redirection,
-                          table1, table3)
+                          figure8, mttdl_table, perf_table, rare_sweep,
+                          redirection, table1, table3)
 from .redundancy.schemes import RedundancyScheme
 from .reliability import estimate_p_loss, p_loss_window_model
 from .units import GB, PB
 
-#: Experiment registry: name -> callable(scale, base_seed) -> result(s).
+#: Experiment registry: name -> callable(scale, base_seed, estimator)
+#: -> result(s).  Only the p_loss figures honour ``estimator`` (see
+#: ``--estimator``); the rest ignore it.
 EXPERIMENTS = {
-    "table1": lambda s, seed: [table1.run(s, seed)],
-    "figure3": lambda s, seed: list(figure3.run_both_panels(s, seed)),
-    "figure4": lambda s, seed: [figure4.run(s, seed)],
-    "figure5": lambda s, seed: [figure5.run(s, seed)],
-    "table3": lambda s, seed: [table3.run(s, seed)],
-    "figure7": lambda s, seed: [figure7.run(s, seed)],
-    "figure8": lambda s, seed: [figure8.run(s, seed),
-                                figure8.run(s, seed, rate_multiplier=2.0)],
-    "redirection": lambda s, seed: [redirection.run(s, seed)],
-    "mttdl": lambda s, seed: [mttdl_table.run(s, seed)],
-    "faults": lambda s, seed: [faults_sweep.run(s, seed)],
-    "perf": lambda s, seed: [perf_table.run(s, seed)],
-    "ablations": lambda s, seed: [ablations.run_placement(s, seed),
-                                  ablations.run_policy(s, seed),
-                                  ablations.run_workload(s, seed),
-                                  ablations.run_bathtub(s, seed),
-                                  ablations.run_mixed_scheme(s, seed)],
+    "table1": lambda s, seed, est: [table1.run(s, seed)],
+    "figure3": lambda s, seed, est: list(figure3.run_both_panels(s, seed)),
+    "figure4": lambda s, seed, est: [figure4.run(s, seed)],
+    "figure5": lambda s, seed, est: [figure5.run(s, seed, estimator=est)],
+    "table3": lambda s, seed, est: [table3.run(s, seed)],
+    "figure7": lambda s, seed, est: [figure7.run(s, seed, estimator=est)],
+    "figure8": lambda s, seed, est: [
+        figure8.run(s, seed, estimator=est),
+        figure8.run(s, seed, rate_multiplier=2.0, estimator=est)],
+    "redirection": lambda s, seed, est: [redirection.run(s, seed)],
+    "mttdl": lambda s, seed, est: [mttdl_table.run(s, seed)],
+    "faults": lambda s, seed, est: [faults_sweep.run(s, seed)],
+    "perf": lambda s, seed, est: [perf_table.run(s, seed)],
+    "rare": lambda s, seed, est: [rare_sweep.run(s, seed)],
+    "ablations": lambda s, seed, est: [ablations.run_placement(s, seed),
+                                       ablations.run_policy(s, seed),
+                                       ablations.run_workload(s, seed),
+                                       ablations.run_bathtub(s, seed),
+                                       ablations.run_mixed_scheme(s, seed)],
 }
 
 
@@ -94,7 +102,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         start = time.time()
-        for result in EXPERIMENTS[name](scale, args.seed):
+        for result in EXPERIMENTS[name](scale, args.seed, args.estimator):
             text = result.render()
             print(text)
             print()
@@ -135,12 +143,16 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
     sums/max, Welford moments) to be *bit-identical*, and the merged
     per-point telemetry snapshots to be *byte-identical* under canonical
     JSON.  Also validates the BENCH_sweep.json perf record the parallel
-    run writes.
+    run writes.  A second, tilted pass repeats the check for *weighted*
+    runs: importance-sampled sweeps must fold their likelihood-ratio
+    weights through the same reorder buffers, so the weighted sums, ESS,
+    and CLT interval must also match bit-for-bit.
     """
     import json
     import tempfile
 
     from .reliability import shutdown_pool, sweep
+    from .reliability.rare import DEFAULT_TILT
     from .reliability.runner import BENCH_SCHEMA
     from .telemetry import canonical_json
     from .units import TB
@@ -199,6 +211,33 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         failures.append("BENCH per-point timings incomplete")
     pathlib.Path(bench_path).unlink(missing_ok=True)
 
+    # Weighted pass: same points under exponential tilting.  The LR
+    # weights ride on each RecoveryStats and fold through the identical
+    # reorder-buffer path, so every weighted sum is exact-sum mergeable
+    # and the parallel result must equal the serial one bit-for-bit.
+    serial_w = sweep(points, n_runs=args.runs, base_seed=args.seed,
+                     n_jobs=None, bench_path=None,
+                     sweep_name="sweep-check-tilted", tilt=DEFAULT_TILT)
+    parallel_w = sweep(points, n_runs=args.runs, base_seed=args.seed,
+                       n_jobs=args.jobs, bench_path=None,
+                       sweep_name="sweep-check-tilted", tilt=DEFAULT_TILT)
+    shutdown_pool()
+    for label in points:
+        s, p = serial_w[label], parallel_w[label]
+        sw, pw = s.aggregate.weighted, p.aggregate.weighted
+        checks = {
+            "tilted.p_loss": (s.p_loss, p.p_loss),
+            "tilted.losses": (s.losses, p.losses),
+            "tilted.w_sum": (sw.w_sum.value, pw.w_sum.value),
+            "tilted.w_sq_sum": (sw.w_sq_sum.value, pw.w_sq_sum.value),
+            "tilted.wx_sum": (sw.wx_sum.value, pw.wx_sum.value),
+            "tilted.wx_sq_sum": (sw.wx_sq_sum.value, pw.wx_sq_sum.value),
+            "tilted.ess": (sw.ess, pw.ess),
+        }
+        for field_name, (a, b) in checks.items():
+            if a != b:
+                failures.append(f"{label}.{field_name}: {a!r} != {b!r}")
+
     if failures:
         print("sweep-check FAILED:", file=sys.stderr)
         for f in failures:
@@ -206,8 +245,8 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         return 1
     print(f"sweep-check OK: {len(points)} points x {args.runs} runs, "
           f"serial == parallel (jobs={args.jobs}) incl. telemetry "
-          f"snapshots, BENCH record valid "
-          f"({record['runs_per_s']:.1f} runs/s)")
+          f"snapshots and weighted (tilted) aggregates, BENCH record "
+          f"valid ({record['runs_per_s']:.1f} runs/s)")
     return 0
 
 
@@ -269,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "JSONL record per sweep point to PATH "
                           "(sets REPRO_TELEMETRY_PATH; render with "
                           "'telemetry-summary')")
+    run.add_argument("--estimator", choices=list(base.ESTIMATORS),
+                     default="naive",
+                     help="p_loss estimator for figure5/7/8: naive MC, "
+                          "importance sampling (is), or multilevel "
+                          "splitting (see docs/RARE_EVENTS.md)")
 
     est = sub.add_parser("estimate",
                          help="P(data loss) for one configuration")

@@ -1,6 +1,6 @@
 """AST-based invariant linter for the reproduction codebase.
 
-Eleven rules in five families keep the simulator's correctness invariants
+Twelve rules in six families keep the simulator's correctness invariants
 machine-checked instead of convention-checked:
 
 **Determinism** — results must be a pure function of ``(config, seed)``:
@@ -38,6 +38,12 @@ the clock:
   ``SystemConfig``/``SmartMonitor`` default in ``core/``, ``cluster/``,
   ``reliability/``, ``disks/`` (definition sites are exempt).
 
+**Weight discipline** — importance-sampling weights have one home:
+
+* ``RPR012`` — no ad-hoc likelihood-ratio arithmetic in
+  ``experiments/``; weights fold through ``WeightedAggregate``
+  (``repro.reliability.stats``), never hand-rolled sums.
+
 Run it as ``python -m repro.analysis [paths]`` or via
 :func:`lint_paths`; suppress a single line with ``# repro: noqa`` or
 ``# repro: noqa RPRxxx``.  ``tests/test_static_analysis.py`` gates the
@@ -52,6 +58,7 @@ from .reporting import render_json, render_rule_list, render_text
 from .robustness import GUARDED_DIRS
 from .runner import iter_python_files, lint_file, lint_paths, lint_source
 from .units_rules import DEPRECATED_SUFFIXES, MAGIC_LITERALS
+from .weights import WEIGHT_ATTRS, WEIGHT_GUARDED_DIRS
 
 __all__ = [
     "DEPRECATED_SUFFIXES",
@@ -66,6 +73,8 @@ __all__ = [
     "SIM_DIRS",
     "Violation",
     "WALL_CLOCK_GUARDED_DIRS",
+    "WEIGHT_ATTRS",
+    "WEIGHT_GUARDED_DIRS",
     "iter_python_files",
     "lint_file",
     "lint_paths",

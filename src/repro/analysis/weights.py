@@ -1,0 +1,77 @@
+"""Weight-discipline rule (RPR012): no ad-hoc likelihood-ratio math.
+
+Importance-sampled runs (:mod:`repro.reliability.rare`) carry a
+likelihood ratio on ``RecoveryStats.log_weight``.  Combining those
+weights is deceptively easy to get wrong in driver code — a naive
+``sum(w * x) / sum(w)`` silently switches estimators (self-normalized,
+biased at small n, wrong CI), a plain ``sum`` accumulates float error
+that breaks the serial-vs-parallel bit-identity gate, and a stray
+``exp(log_weight)`` can overflow.  The sanctioned path is
+:class:`repro.reliability.stats.WeightedAggregate` (exact sums, validated
+weights), which the sweep runner folds for every run.
+
+Experiment drivers therefore must never touch per-run weights: reading
+``.log_weight``/``.weight`` or multiplying/dividing by anything
+weight-named in ``experiments/`` is flagged.  Estimator internals
+(``reliability/``) are exempt — that is where the one sanctioned
+implementation lives.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, Rule, register
+
+#: Attributes that expose a run's likelihood ratio.
+WEIGHT_ATTRS = frozenset({"log_weight", "weight"})
+
+#: Directories where per-run weights must not be combined by hand.
+WEIGHT_GUARDED_DIRS = frozenset({"experiments"})
+
+
+def _mentions_weight(node: ast.AST) -> bool:
+    """Whether an expression references anything weight-named."""
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and "weight" in n.id.lower():
+            return True
+        if isinstance(n, ast.Attribute) and "weight" in n.attr.lower():
+            return True
+    return False
+
+
+@register
+class AdHocWeightArithmetic(Rule):
+    """RPR012 — likelihood-ratio weights combined outside WeightedAggregate.
+
+    In ``experiments/``, reading a run's ``.log_weight``/``.weight`` or
+    multiplying, dividing or exponentiating anything weight-named
+    re-implements the weighted estimator by hand; use the
+    ``WeightedAggregate`` the sweep aggregate already carries
+    (``aggregate.weighted``) or the weighted intervals in
+    ``repro.reliability.stats`` instead.
+    """
+
+    id = "RPR012"
+    summary = ("ad-hoc likelihood-ratio weight arithmetic; use "
+               "WeightedAggregate")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return bool(ctx.parts & WEIGHT_GUARDED_DIRS)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in WEIGHT_ATTRS:
+            self.report(node, f"per-run '.{node.attr}' access in "
+                              f"experiment code; weights are folded by "
+                              f"WeightedAggregate (aggregate.weighted)")
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.Pow)) and (
+                _mentions_weight(node.left)
+                or _mentions_weight(node.right)):
+            self.report(node, "weight arithmetic in experiment code; "
+                              "combine likelihood-ratio weights through "
+                              "WeightedAggregate, not by hand")
+        self.generic_visit(node)

@@ -32,12 +32,18 @@ class StorageSystem:
 
     def __init__(self, config: SystemConfig, streams: RandomStreams,
                  placement: PlacementAlgorithm | None = None,
-                 deterministic_failures: bool = False) -> None:
+                 deterministic_failures: bool = False,
+                 failure_draw=None) -> None:
         self.config = config
         self.streams = streams
         #: scenario mode: drives (including spares and batches added later)
         #: never fail on their own; only injected failures occur.
         self.deterministic_failures = deterministic_failures
+        #: optional importance-sampling proposal implementing the
+        #: :class:`~repro.reliability.simulation.FailureDraw` protocol; it
+        #: consumes the same ``disk-failures`` stream draws as the plain
+        #: model and accumulates the likelihood ratio on ``log_weight``.
+        self.failure_draw = failure_draw
         #: nullable observability handle; set by the recovery manager when
         #: a run is telemetry-enabled (see repro.telemetry).
         self.telemetry = None
@@ -78,6 +84,10 @@ class StorageSystem:
                     spare_reserve_fraction=self.config.spare_reserve_fraction)
         if self.deterministic_failures:
             age = float("inf")
+        elif self.failure_draw is not None:
+            rng = self.streams.get("disk-failures")
+            age = float(self.failure_draw.sample(
+                rng, 1, horizon_age=self.config.duration - now)[0])
         else:
             rng = self.streams.get("disk-failures")
             age = float(self.config.vintage.failure_model.sample_failure_age(

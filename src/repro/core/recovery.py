@@ -25,6 +25,7 @@ rebuild-read discovery into an ordinary per-block rebuild).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -65,6 +66,17 @@ class RecoveryStats:
     latent_window_total: float = 0.0
     #: Transient outages processed (disk went offline and work redirected).
     transient_outages: int = 0
+    #: Log likelihood-ratio weight of this run under an importance-sampled
+    #: estimator (0.0 — i.e. weight 1 — for ordinary runs).  Weights are
+    #: only ever *applied* through
+    #: :class:`repro.reliability.stats.WeightedAggregate`; lint rule
+    #: RPR012 rejects ad-hoc weight arithmetic in experiment code.
+    log_weight: float = 0.0
+
+    @property
+    def weight(self) -> float:
+        """The run's likelihood-ratio weight, exp(log_weight)."""
+        return math.exp(self.log_weight)
 
     @property
     def any_loss(self) -> bool:

@@ -48,17 +48,20 @@ def build_manager(system: StorageSystem, sim: Simulator,
 def simulate_run(config: SystemConfig, seed: int = 0,
                  keep_system: bool = False,
                  policy: PolicyConfig | None = None,
-                 telemetry: Telemetry | None = None) -> RunResult:
+                 telemetry: Telemetry | None = None,
+                 failure_draw=None) -> RunResult:
     """Simulate one system for ``config.duration`` seconds.
 
     Deterministic in ``(config, seed)``.  Set ``keep_system`` to inspect
     final disk/group state (used by the Table 3 utilization study).
     Passing a :class:`~repro.telemetry.Telemetry` handle arms the periodic
     cluster-state probe and instruments the run; probes are read-only, so
-    the stats are unchanged by enabling them.
+    the stats are unchanged by enabling them.  ``failure_draw`` installs
+    an importance-sampling proposal (see :mod:`repro.reliability.rare`);
+    the run's likelihood ratio lands on ``stats.log_weight``.
     """
     streams = RandomStreams(seed)
-    system = StorageSystem(config, streams)
+    system = StorageSystem(config, streams, failure_draw=failure_draw)
     sim = Simulator()
     manager = build_manager(system, sim, policy=policy, telemetry=telemetry)
     if telemetry is not None:
@@ -70,5 +73,7 @@ def simulate_run(config: SystemConfig, seed: int = 0,
             sim.schedule_at(t, manager.on_disk_failure, disk_id,
                             name="disk-failure")
     sim.run(until=config.duration)
+    if failure_draw is not None:
+        manager.stats.log_weight = failure_draw.log_weight
     return RunResult(config=config, seed=seed, stats=manager.stats,
                      system=system if keep_system else None)

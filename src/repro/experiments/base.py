@@ -48,6 +48,38 @@ SCALES: dict[str, Scale] = {
     "paper": Scale("paper", n_runs=100, data_factor=1.0, n_jobs=None),
 }
 
+#: Estimators the p_loss figure drivers accept (``--estimator`` on the
+#: CLI).  ``naive`` counts losing lifetimes; ``is`` importance-samples
+#: with the default hazard tilt; ``splitting`` runs fixed-effort
+#: multilevel splitting (see :mod:`repro.reliability.rare` and
+#: ``docs/RARE_EVENTS.md``).
+ESTIMATORS: tuple[str, ...] = ("naive", "is", "splitting")
+
+
+def run_p_loss_sweep(points: dict[str, SystemConfig], estimator: str,
+                     n_runs: int, base_seed: int, n_jobs: int | None,
+                     sweep_name: str) -> dict[str, Any]:
+    """Dispatch a labelled p_loss sweep to the selected estimator.
+
+    Always returns ``{label: MonteCarloResult}`` so figure drivers render
+    identically whichever estimator produced the numbers.
+    """
+    from ..reliability.montecarlo import sweep
+    if estimator == "naive":
+        return sweep(points, n_runs=n_runs, base_seed=base_seed,
+                     n_jobs=n_jobs, sweep_name=sweep_name)
+    if estimator == "is":
+        from ..reliability.rare import DEFAULT_TILT
+        return sweep(points, n_runs=n_runs, base_seed=base_seed,
+                     n_jobs=n_jobs, sweep_name=sweep_name,
+                     tilt=DEFAULT_TILT)
+    if estimator == "splitting":
+        from ..reliability.rare import sweep_splitting
+        return sweep_splitting(points, n_runs=n_runs, base_seed=base_seed,
+                               n_jobs=n_jobs)
+    raise ValueError(
+        f"unknown estimator {estimator!r}; expected one of {ESTIMATORS}")
+
 
 def current_scale() -> Scale:
     """The scale selected by ``REPRO_SCALE`` (default: small).

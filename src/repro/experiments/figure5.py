@@ -12,9 +12,8 @@ effect with FARM, whose windows are already short.
 from __future__ import annotations
 
 from ..config import SystemConfig
-from ..reliability.montecarlo import sweep
 from ..units import GB, MB
-from .base import ExperimentResult, Scale, current_scale
+from .base import ExperimentResult, Scale, current_scale, run_p_loss_sweep
 from .report import render_proportion
 
 #: Recovery bandwidths swept (bytes/s; the paper's axis is MB/s).
@@ -24,8 +23,8 @@ GROUP_SIZES_BYTES = (10 * GB, 50 * GB)
 
 def run(scale: Scale | None = None, base_seed: int = 0,
         bandwidths_bps: tuple[float, ...] | None = None,
-        group_sizes_bytes: tuple[float, ...] | None = None
-        ) -> ExperimentResult:
+        group_sizes_bytes: tuple[float, ...] | None = None,
+        estimator: str = "naive") -> ExperimentResult:
     scale = scale or current_scale()
     bws = bandwidths_bps or BANDWIDTHS_BPS
     sizes = group_sizes_bytes or GROUP_SIZES_BYTES
@@ -46,8 +45,9 @@ def run(scale: Scale | None = None, base_seed: int = 0,
             for bw in bws:
                 points[f"{farm}|{size / GB:g}|{bw / MB:g}"] = \
                     base.with_(recovery_bandwidth_bps=bw)
-    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
-                    n_jobs=scale.n_jobs, sweep_name="figure5")
+    results = run_p_loss_sweep(points, estimator, n_runs=scale.n_runs,
+                               base_seed=base_seed, n_jobs=scale.n_jobs,
+                               sweep_name="figure5")
     for farm in (True, False):
         for size in sizes:
             for bw in bws:

@@ -12,16 +12,16 @@ frequency does not significantly affect reliability.
 from __future__ import annotations
 
 from ..config import SystemConfig
-from ..reliability.montecarlo import sweep
 from ..units import GB
-from .base import ExperimentResult, Scale, current_scale
+from .base import ExperimentResult, Scale, current_scale, run_p_loss_sweep
 from .report import render_proportion
 
 THRESHOLDS = (0.02, 0.04, 0.06, 0.08)
 
 
 def run(scale: Scale | None = None, base_seed: int = 0,
-        thresholds: tuple[float, ...] | None = None) -> ExperimentResult:
+        thresholds: tuple[float, ...] | None = None,
+        estimator: str = "naive") -> ExperimentResult:
     scale = scale or current_scale()
     ths = thresholds or THRESHOLDS
     base = scale.size_config(SystemConfig(group_user_bytes=10 * GB))
@@ -35,8 +35,9 @@ def run(scale: Scale | None = None, base_seed: int = 0,
     )
     points = {f"{th:g}": base.with_(replacement_threshold=th)
               for th in ths}
-    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
-                    n_jobs=scale.n_jobs, sweep_name="figure7")
+    results = run_p_loss_sweep(points, estimator, n_runs=scale.n_runs,
+                               base_seed=base_seed, n_jobs=scale.n_jobs,
+                               sweep_name="figure7")
     for th in ths:
         mc = results[f"{th:g}"]
         result.add(

@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from ..config import SystemConfig
 from ..redundancy.schemes import PAPER_SCHEMES, RedundancyScheme
-from ..reliability.montecarlo import sweep
 from ..units import GB, PB
-from .base import ExperimentResult, Scale, current_scale
+from .base import ExperimentResult, Scale, current_scale, run_p_loss_sweep
 from .report import render_proportion
 
 #: Total user capacities swept (bytes; the paper's axis is PB).
@@ -27,8 +26,8 @@ CAPACITIES_BYTES = (0.1 * PB, 0.5 * PB, 1 * PB, 2 * PB, 5 * PB)
 def run(scale: Scale | None = None, base_seed: int = 0,
         rate_multiplier: float = 1.0,
         capacities_bytes: tuple[float, ...] | None = None,
-        schemes: tuple[RedundancyScheme, ...] | None = None
-        ) -> ExperimentResult:
+        schemes: tuple[RedundancyScheme, ...] | None = None,
+        estimator: str = "naive") -> ExperimentResult:
     scale = scale or current_scale()
     caps = capacities_bytes or CAPACITIES_BYTES
     schs = schemes or PAPER_SCHEMES
@@ -49,8 +48,9 @@ def run(scale: Scale | None = None, base_seed: int = 0,
                   total_user_bytes=cap * scale.data_factor,
                   group_user_bytes=10 * GB, scheme=scheme, vintage=vintage)
               for scheme in schs for cap in caps}
-    results = sweep(points, n_runs=scale.n_runs, base_seed=base_seed,
-                    n_jobs=scale.n_jobs, sweep_name=f"figure8{panel}")
+    results = run_p_loss_sweep(points, estimator, n_runs=scale.n_runs,
+                               base_seed=base_seed, n_jobs=scale.n_jobs,
+                               sweep_name=f"figure8{panel}")
     for scheme in schs:
         for cap in caps:
             mc = results[f"{scheme.name}|{cap / PB:g}"]

@@ -43,5 +43,13 @@ def pct(x: float) -> str:
 
 
 def render_proportion(p: Proportion) -> str:
-    """Short 'est [lo, hi]' rendering of a Proportion."""
-    return f"{100 * p.estimate:.2f} [{100 * p.lo:.2f},{100 * p.hi:.2f}]"
+    """Short 'est [lo, hi]' rendering of a Proportion.
+
+    A zero-hit estimate (positive budget, no observed losses) carries the
+    'rule of three' upper bound so the table says how little the zero
+    actually proves.
+    """
+    base = f"{100 * p.estimate:.2f} [{100 * p.lo:.2f},{100 * p.hi:.2f}]"
+    if p.zero_hit:
+        base += f" 0-hit p<={100 * p.rule_of_three_upper:.3g}"
+    return base

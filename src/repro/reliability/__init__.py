@@ -5,6 +5,8 @@ from .analytic import (WindowModel, expected_disk_failures, mean_window,
 from .markov import group_generator, mttdl, p_group_loss, p_system_loss
 from .montecarlo import (MonteCarloResult, estimate_p_loss,
                          loss_probability_series, run_seed, sweep)
+from .rare import (SplittingResult, TiltedFailureDraw, estimate_p_loss_is,
+                   splitting_p_loss, sweep_splitting)
 from .runner import (PointOutcome, PointSpec, RunningMoments,
                      StatsAggregate, SweepRunner, default_bench_path,
                      seed_schedule, shutdown_pool)
@@ -12,7 +14,9 @@ from .scenarios import Injection, Scenario, ScenarioOutcome
 from .sensitivity import (SensitivityRow, elasticity, render_tornado,
                           tornado)
 from .simulation import ReliabilitySimulation
-from .stats import (Proportion, bootstrap_mean, empty_proportion,
+from .stats import (ExactSum, Proportion, WeightedAggregate,
+                    bootstrap_mean, empty_proportion,
+                    weighted_clt_interval, weighted_wilson_interval,
                     wilson_interval)
 
 __all__ = [
@@ -23,6 +27,10 @@ __all__ = [
     "RunningMoments", "seed_schedule", "shutdown_pool",
     "default_bench_path",
     "Proportion", "wilson_interval", "empty_proportion", "bootstrap_mean",
+    "ExactSum", "WeightedAggregate",
+    "weighted_clt_interval", "weighted_wilson_interval",
+    "TiltedFailureDraw", "SplittingResult", "estimate_p_loss_is",
+    "splitting_p_loss", "sweep_splitting",
     "p_loss", "p_loss_window_model", "WindowModel",
     "mean_window", "expected_disk_failures",
     "p_group_loss", "p_system_loss", "mttdl", "group_generator",

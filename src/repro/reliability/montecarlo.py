@@ -24,7 +24,8 @@ from ..telemetry.handle import TelemetryConfig
 from .runner import (PointOutcome, PointSpec, StatsAggregate, SweepRunner,
                      default_bench_path)
 from .simulation import ReliabilitySimulation
-from .stats import Proportion, empty_proportion, wilson_interval
+from .stats import (Proportion, empty_proportion, weighted_clt_interval,
+                    wilson_interval)
 
 
 @dataclass
@@ -50,12 +51,28 @@ class MonteCarloResult:
     run_stats: list[RecoveryStats] = field(repr=False, default_factory=list)
     #: merged telemetry snapshot (``None`` unless telemetry was enabled).
     telemetry: dict | None = field(repr=False, default=None)
+    #: importance-sampling tilt the runs used (0.0 = naive MC; nonzero
+    #: means ``p_loss`` is the weighted CLT interval of the unbiased
+    #: likelihood-ratio estimator).
+    tilt: float = 0.0
 
     @property
     def runs_with_redirection(self) -> int:
         if self.aggregate is not None:
             return self.aggregate.runs_with_redirection
         return sum(1 for s in self.run_stats if s.target_redirections > 0)
+
+    @property
+    def ess(self) -> float:
+        """Effective sample size of the (possibly weighted) estimate."""
+        if self.aggregate is not None:
+            return self.aggregate.weighted.ess
+        return float(self.n_runs - self.runs_failed)
+
+    @property
+    def zero_hit(self) -> bool:
+        """True when no completed run observed a loss (see Proportion)."""
+        return self.p_loss.zero_hit
 
 
 def run_seed(config: SystemConfig, seed: int) -> RecoveryStats:
@@ -70,8 +87,14 @@ def _result_from(outcome: PointOutcome,
     # on_error="skip" that can legitimately be zero, where the Wilson
     # interval is undefined and the uninformative [0, 1] stands in.
     completed = agg.n_runs
-    p_loss = (wilson_interval(agg.losses, completed, confidence)
-              if completed > 0 else empty_proportion(confidence))
+    if completed == 0:
+        p_loss = empty_proportion(confidence)
+    elif outcome.tilt != 0.0:
+        # Importance-sampled runs: the unbiased weighted estimator with
+        # its CLT interval (weights folded through WeightedAggregate).
+        p_loss = weighted_clt_interval(agg.weighted, confidence)
+    else:
+        p_loss = wilson_interval(agg.losses, completed, confidence)
     return MonteCarloResult(
         config=outcome.config,
         n_runs=outcome.n_runs,
@@ -89,6 +112,7 @@ def _result_from(outcome: PointOutcome,
         aggregate=agg,
         run_stats=outcome.run_stats,
         telemetry=outcome.telemetry,
+        tilt=outcome.tilt,
     )
 
 
@@ -98,7 +122,8 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
                     keep_run_stats: bool = False,
                     telemetry: TelemetryConfig | bool | None = None,
                     telemetry_path: str | Path | None = None,
-                    on_error: str = "raise") -> MonteCarloResult:
+                    on_error: str = "raise",
+                    tilt: float = 0.0) -> MonteCarloResult:
     """Estimate P(data loss over the configured duration).
 
     Parameters
@@ -122,13 +147,19 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
     on_error:
         ``"skip"`` drops lifetimes that raise (counted on
         ``result.runs_failed``) instead of propagating.
+    tilt:
+        Importance-sampling hazard log-multiplier: failure rates are
+        scaled by ``exp(tilt)`` and every run carries its likelihood
+        ratio, making loss more frequent under the proposal without
+        biasing the (weighted) estimate.  0.0 is exactly the naive
+        estimator (see :mod:`repro.reliability.rare`).
     """
     runner = SweepRunner(n_jobs=n_jobs, telemetry=telemetry,
                          telemetry_path=telemetry_path)
     [outcome] = runner.run_points(
-        [PointSpec("point", config)], n_runs, base_seed=base_seed,
-        keep_run_stats=keep_run_stats, sweep_name="estimate_p_loss",
-        on_error=on_error)
+        [PointSpec("point", config, tilt=tilt)], n_runs,
+        base_seed=base_seed, keep_run_stats=keep_run_stats,
+        sweep_name="estimate_p_loss", on_error=on_error)
     return _result_from(outcome, confidence)
 
 
@@ -139,7 +170,8 @@ def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
           bench_path: str | Path | None | object = "auto",
           telemetry: TelemetryConfig | bool | None = None,
           telemetry_path: str | Path | None = None,
-          on_error: str = "raise") -> dict[str, MonteCarloResult]:
+          on_error: str = "raise",
+          tilt: float = 0.0) -> dict[str, MonteCarloResult]:
     """Estimate P(loss) for a labelled family of configurations.
 
     All points run on one :class:`SweepRunner` (and hence one persistent
@@ -155,7 +187,8 @@ def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
     runner = SweepRunner(n_jobs=n_jobs, bench_path=bench_path,
                          telemetry=telemetry,
                          telemetry_path=telemetry_path)
-    points = [PointSpec(label, cfg) for label, cfg in configs.items()]
+    points = [PointSpec(label, cfg, tilt=tilt)
+              for label, cfg in configs.items()]
     outcomes = runner.run_points(points, n_runs, base_seed=base_seed,
                                  keep_run_stats=keep_run_stats,
                                  sweep_name=sweep_name, on_error=on_error)
@@ -171,7 +204,8 @@ def loss_probability_series(base: SystemConfig, param: str,
                             bench_path: str | Path | None | object = "auto",
                             telemetry: TelemetryConfig | bool | None = None,
                             telemetry_path: str | Path | None = None,
-                            on_error: str = "raise"
+                            on_error: str = "raise",
+                            tilt: float = 0.0
                             ) -> list[tuple[object, MonteCarloResult]]:
     """Sweep one config field; returns (value, result) pairs in order."""
     labelled = {str(v): base.with_(**{param: v}) for v in values}
@@ -179,5 +213,6 @@ def loss_probability_series(base: SystemConfig, param: str,
                     n_jobs=n_jobs, keep_run_stats=keep_run_stats,
                     sweep_name=sweep_name or f"series:{param}",
                     bench_path=bench_path, telemetry=telemetry,
-                    telemetry_path=telemetry_path, on_error=on_error)
+                    telemetry_path=telemetry_path, on_error=on_error,
+                    tilt=tilt)
     return [(v, results[str(v)]) for v in values]

@@ -32,6 +32,7 @@ tests can substitute a fake clock.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
@@ -47,6 +48,7 @@ from ..telemetry.export import append_jsonl, default_telemetry_path
 from ..telemetry.handle import Telemetry, TelemetryConfig
 from ..telemetry.metrics import empty_snapshot, merge_into
 from .simulation import ReliabilitySimulation
+from .stats import WeightedAggregate
 
 #: Injectable host-performance clocks (never simulated time; RPR004 keeps
 #: direct wall-clock *calls* out of simulation logic, and these aliases
@@ -155,12 +157,19 @@ class StatsAggregate:
     run_seconds_total: float = 0.0
     window_moments: RunningMoments = field(default_factory=RunningMoments)
     failure_moments: RunningMoments = field(default_factory=RunningMoments)
+    #: Weighted loss reduction: every run folds its likelihood-ratio
+    #: weight ``exp(stats.log_weight)`` (1.0 for ordinary runs) here, the
+    #: one sanctioned weight-combination point (lint rule RPR012).  Exact
+    #: sums inside make it chunking-insensitive, so serial and parallel
+    #: sweeps agree bit for bit even under importance sampling.
+    weighted: WeightedAggregate = field(default_factory=WeightedAggregate)
 
     def fold(self, stats: RecoveryStats, events_fired: int = 0,
              run_seconds: float = 0.0) -> None:
         """Reduce one lifetime's stats into the aggregate."""
         self.n_runs += 1
         self.losses += 1 if stats.any_loss else 0
+        self.weighted.add(math.exp(stats.log_weight), stats.any_loss)
         self.groups_lost += stats.groups_lost
         self.bytes_lost += stats.bytes_lost
         self.disk_failures += stats.disk_failures
@@ -205,6 +214,8 @@ class _LifetimeTask:
     seed: int
     #: telemetry config; ``None`` runs the lifetime unobserved.
     telemetry: TelemetryConfig | None = None
+    #: hazard log-multiplier for importance sampling (0.0 = untilted).
+    tilt: float = 0.0
 
 
 def _run_lifetime(task: _LifetimeTask
@@ -219,8 +230,14 @@ def _run_lifetime(task: _LifetimeTask
     t0 = _WALL_CLOCK()
     telemetry = (Telemetry(task.telemetry)
                  if task.telemetry is not None else None)
+    failure_draw = None
+    if task.tilt != 0.0:
+        from .rare import TiltedFailureDraw
+        failure_draw = TiltedFailureDraw(
+            task.config.vintage.failure_model, task.tilt)
     sim = ReliabilitySimulation(task.config, seed=task.seed,
-                                telemetry=telemetry)
+                                telemetry=telemetry,
+                                failure_draw=failure_draw)
     stats = sim.run()
     snapshot = telemetry.snapshot() if telemetry is not None else None
     return (task.point, task.index, stats, sim.sim.events_fired,
@@ -265,6 +282,8 @@ class PointSpec:
 
     label: str
     config: SystemConfig
+    #: importance-sampling hazard tilt for this point (0.0 = naive MC).
+    tilt: float = 0.0
 
 
 @dataclass
@@ -283,6 +302,8 @@ class PointOutcome:
     #: Merged telemetry snapshot over the point's completed runs, folded
     #: in run-index order (``None`` when telemetry is disabled).
     telemetry: dict | None = field(repr=False, default=None)
+    #: the tilt the point ran under (0.0 = naive MC).
+    tilt: float = 0.0
 
 
 class SweepRunner:
@@ -353,7 +374,8 @@ class SweepRunner:
         t0 = _WALL_CLOCK()
         seeds = seed_schedule(base_seed, n_runs)
         outcomes = [PointOutcome(label=p.label, config=p.config,
-                                 n_runs=n_runs, aggregate=StatsAggregate())
+                                 n_runs=n_runs, aggregate=StatsAggregate(),
+                                 tilt=p.tilt)
                     for p in points]
         if self.workers <= 1:
             self._run_serial(points, seeds, outcomes, keep_run_stats, t0,
@@ -398,7 +420,7 @@ class SweepRunner:
                 try:
                     payload = _run_lifetime(
                         _LifetimeTask(p, i, point.config, seed,
-                                      self.telemetry))
+                                      self.telemetry, point.tilt))
                 except Exception:
                     if on_error != "skip":
                         raise
@@ -414,7 +436,7 @@ class SweepRunner:
         futures: dict[Future, tuple[int, int]] = {
             pool.submit(_run_lifetime,
                         _LifetimeTask(p, i, point.config, seed,
-                                      self.telemetry)): (p, i)
+                                      self.telemetry, point.tilt)): (p, i)
             for p, point in enumerate(points)
             for i, seed in enumerate(seeds)}
         # Per-point reorder buffers: fold strictly in run-index order so
@@ -470,6 +492,8 @@ class SweepRunner:
                     "label": o.label,
                     "n_runs": o.n_runs,
                     "runs_failed": o.runs_failed,
+                    "tilt": o.tilt,
+                    "ess": o.aggregate.weighted.ess,
                     "losses": o.aggregate.losses,
                     "events_fired": o.aggregate.events_fired,
                     "run_seconds_total": o.aggregate.run_seconds_total,

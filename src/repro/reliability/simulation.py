@@ -20,8 +20,8 @@ Mechanics per run:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Protocol
 
 import numpy as np
 
@@ -56,11 +56,72 @@ class _Job:
     cancelled: bool
 
 
+class FailureDraw(Protocol):
+    """Replacement sampler for disk failure ages (importance sampling).
+
+    Implementations draw from a *proposal* distribution while consuming
+    the same uniforms from the caller's stream as the reference model
+    would, and accumulate the run's log likelihood-ratio on
+    :attr:`log_weight`.  ``horizon_age`` is the drive age at which the
+    simulation horizon censors the draw (a failure past it never fires),
+    so the ratio can be taken on the censored statistic — much lower
+    weight variance than the raw density ratio.
+    """
+
+    log_weight: float
+
+    def sample(self, rng: np.random.Generator, size: int,
+               current_age: np.ndarray | float = 0.0,
+               horizon_age: float = float("inf")) -> np.ndarray:
+        """Draw ``size`` failure ages; account their likelihood ratio."""
+        ...
+
+
+@dataclass
+class SplitState:
+    """A picklable snapshot of a trajectory at a splitting level.
+
+    Captured by :meth:`ReliabilitySimulation.run_to_level` the moment the
+    count of concurrently degraded groups first reaches the level (or a
+    loss occurs — an absorbing hit for every later level).  The failure
+    times of still-alive drives are deliberately *not* part of the state:
+    given (deploy time, alive) the failure process is Markov, so a
+    restored clone redraws them from the conditional residual-life
+    distribution — that redraw is what makes clones diverge.
+    """
+
+    seed: int                   # root seed of the ancestor trajectory
+    now: float
+    lost_hit: bool              # captured at a loss (absorbing success)
+    level: int | None           # the level this capture was armed with
+    total_disks: int
+    alive: np.ndarray
+    free_at: np.ndarray
+    used_blocks: np.ndarray
+    deploy_time: np.ndarray
+    group_disks: np.ndarray
+    failed_count: np.ndarray
+    lost: np.ndarray
+    degraded: int
+    dynamic: dict[int, list[tuple[int, int]]]
+    spare_for: dict[int, int]
+    unreplaced: int
+    groups_lost_ids: list[int]
+    stats: RecoveryStats
+    #: in-flight rebuilds: (g, rep, target, failed_at, completion_time)
+    jobs: list[tuple[int, int, int, float, float]] = field(
+        default_factory=list)
+    #: pending detect/redirect events: (due, g, rep, failed_at, origin)
+    detects: list[tuple[float, int, int, float, int]] = field(
+        default_factory=list)
+
+
 class ReliabilitySimulation:
     """One system lifetime on the flat-array engine."""
 
     def __init__(self, config: SystemConfig, seed: int = 0,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 failure_draw: FailureDraw | None = None) -> None:
         self.cfg = config
         self.seed = seed
         self.streams = RandomStreams(seed)
@@ -71,6 +132,17 @@ class ReliabilitySimulation:
         #: benchmark), and per-disk rebuild-load tracking is only
         #: allocated when enabled.
         self.telemetry = telemetry
+        #: Nullable importance-sampling hook: when set, disk failure ages
+        #: come from its proposal distribution (same uniforms, same
+        #: stream) and the run's likelihood ratio lands on
+        #: ``stats.log_weight`` when the run ends.
+        self.failure_draw = failure_draw
+        #: count of groups currently degraded (>=1 failed block, not
+        #: lost) — the multilevel-splitting level variable.
+        self._degraded = 0
+        self._split_level: int | None = None
+        self._split_state: SplitState | None = None
+        self._restored = False
 
         scheme = config.scheme
         from ..redundancy.composite import is_threshold_scheme
@@ -137,8 +209,8 @@ class ReliabilitySimulation:
         self.total_disks = self.N0
 
         rng = self.streams.get("disk-failures")
-        self.fail_time[:self.N0] = \
-            cfg.vintage.failure_model.sample_failure_age(rng, self.N0)
+        self.fail_time[:self.N0] = self._sample_failure_ages(
+            rng, self.N0, horizon_age=self.duration)
 
         # Bookkeeping for recovery and replacement.
         self._jobs_by_target: dict[int, set[_Job]] = {}
@@ -147,6 +219,14 @@ class ReliabilitySimulation:
         self._unreplaced = 0
         self._target_rng = self.streams.get("targets")
         self.groups_lost_ids: list[int] = []
+
+    def _sample_failure_ages(self, rng: np.random.Generator, size: int,
+                             horizon_age: float) -> np.ndarray:
+        """Failure ages for a batch of age-0 drives (hook-aware)."""
+        if self.failure_draw is not None:
+            return self.failure_draw.sample(rng, size,
+                                            horizon_age=horizon_age)
+        return self.cfg.vintage.failure_model.sample_failure_age(rng, size)
 
     # ------------------------------------------------------------------ #
     # Disk-array growth (spares, batches)
@@ -178,7 +258,8 @@ class ReliabilitySimulation:
         self.alive[ids] = True
         self.deploy_time[ids] = now
         rng = self.streams.get("disk-failures")
-        ages = self.cfg.vintage.failure_model.sample_failure_age(rng, count)
+        ages = self._sample_failure_ages(
+            rng, count, horizon_age=self.duration - now)
         self.fail_time[ids] = now + ages
         for d, t in zip(ids, self.fail_time[ids]):
             if t <= self.duration:
@@ -235,6 +316,8 @@ class ReliabilitySimulation:
             self.failed_count[g] += 1
             if self.failed_count[g] > self.tol:
                 self.lost[g] = True
+                if self.failed_count[g] > 1:
+                    self._degraded -= 1    # was counted while degraded
                 self.groups_lost_ids.append(g)
                 self.stats.groups_lost += 1
                 self.stats.bytes_lost += self.cfg.group_user_bytes
@@ -245,6 +328,8 @@ class ReliabilitySimulation:
                 for job in list(self._jobs_by_group.get(g, ())):
                     self._cancel(job)
             else:
+                if self.failed_count[g] == 1:
+                    self._degraded += 1
                 losses.append((g, rep))
                 if tele is not None:
                     tele.block_failed(g, rep, now, self.n)
@@ -253,6 +338,16 @@ class ReliabilitySimulation:
             self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
                               g, rep, now, disk, name="detect")
         self._maybe_replace(now)
+        # Multilevel splitting: capture the trajectory the first time it
+        # reaches the armed level (or loses data — an absorbing hit for
+        # every later level), *after* this failure's detect events and
+        # replacement handling are scheduled, so the snapshot is a
+        # consistent instant of the process.
+        if self._split_level is not None and self._split_state is None \
+                and (self._degraded >= self._split_level
+                     or self.stats.groups_lost > 0):
+            self._split_state = self._capture_split()
+            self.sim.clear()
 
     # ------------------------------------------------------------------ #
     # Rebuild scheduling
@@ -396,6 +491,8 @@ class ReliabilitySimulation:
         now = self.sim.now
         self.group_disks[job.g, job.rep] = job.target
         self.failed_count[job.g] -= 1
+        if self.failed_count[job.g] == 0:
+            self._degraded -= 1
         # used_blocks[target] was already incremented at reservation time.
         self._dynamic.setdefault(job.target, []).append((job.g, job.rep))
         self.stats.rebuilds_completed += 1
@@ -506,15 +603,161 @@ class ReliabilitySimulation:
             rebuild_load_mean=load_mean)
 
     # ------------------------------------------------------------------ #
-    def run(self) -> RecoveryStats:
-        """Execute the full lifetime; returns the statistics."""
-        if self.telemetry is not None:
-            self.telemetry.attach_probes(self.sim, self._telemetry_sample,
-                                         until=self.duration)
+    def _schedule_initial_failures(self) -> None:
         for d in range(self.N0):
             t = self.fail_time[d]
             if t <= self.duration:
                 self.sim.schedule_at(float(t), self._on_disk_failure, d,
                                      name="disk-failure")
+
+    def run(self) -> RecoveryStats:
+        """Execute the full lifetime; returns the statistics."""
+        if self.telemetry is not None:
+            self.telemetry.attach_probes(self.sim, self._telemetry_sample,
+                                         until=self.duration)
+        if not self._restored:
+            self._schedule_initial_failures()
         self.sim.run(until=self.duration)
+        if self.failure_draw is not None:
+            self.stats.log_weight = self.failure_draw.log_weight
         return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Multilevel splitting support (see repro.reliability.rare)
+    # ------------------------------------------------------------------ #
+    def run_to_level(self, level: int) -> SplitState | None:
+        """Run until ``level`` concurrently degraded groups (or a loss).
+
+        Returns the captured :class:`SplitState` at the first crossing —
+        with ``lost_hit=True`` when the stop was a data loss — or ``None``
+        when the horizon was reached first (the run's stats are then
+        complete).  Works both on a fresh trajectory and on a clone
+        restored with :meth:`from_split_state`.
+        """
+        if level < 1:
+            raise ValueError("splitting level must be >= 1")
+        if self.telemetry is not None:
+            raise ValueError("splitting stages do not support telemetry; "
+                             "probe timers cannot be captured/restored")
+        self._split_level = level
+        self._split_state = None
+        if not self._restored:
+            self._schedule_initial_failures()
+        self.sim.run(until=self.duration)
+        return self._split_state
+
+    def _capture_split(self) -> SplitState:
+        total = self.total_disks
+        jobs: list[tuple[int, int, int, float, float]] = []
+        seen: set[int] = set()
+        for group_jobs in self._jobs_by_group.values():
+            for job in group_jobs:
+                if job.cancelled or id(job) in seen:
+                    continue
+                seen.add(id(job))
+                jobs.append((job.g, job.rep, job.target, job.failed_at,
+                             float(job.event.time)))
+        jobs.sort()
+        detects = sorted(
+            (float(ev.time), int(ev.args[0]), int(ev.args[1]),
+             float(ev.args[2]), int(ev.args[3]))
+            for ev in self.sim.pending()
+            if ev.name in ("detect", "redirect"))
+        return SplitState(
+            seed=self.seed,
+            now=float(self.sim.now),
+            lost_hit=self.stats.groups_lost > 0,
+            level=self._split_level,
+            total_disks=total,
+            alive=self.alive[:total].copy(),
+            free_at=self.free_at[:total].copy(),
+            used_blocks=self.used_blocks[:total].copy(),
+            deploy_time=self.deploy_time[:total].copy(),
+            group_disks=self.group_disks.copy(),
+            failed_count=self.failed_count.copy(),
+            lost=self.lost.copy(),
+            degraded=self._degraded,
+            dynamic={d: list(v) for d, v in self._dynamic.items()},
+            spare_for=dict(self._spare_for),
+            unreplaced=self._unreplaced,
+            groups_lost_ids=list(self.groups_lost_ids),
+            stats=replace(self.stats),
+            jobs=jobs,
+            detects=detects)
+
+    @classmethod
+    def from_split_state(cls, config: SystemConfig, state: SplitState,
+                         clone_seed: int) -> "ReliabilitySimulation":
+        """Rebuild a simulation from a captured splitting state.
+
+        Placement, the static block index, and the per-disk SMART coins
+        are reconstructed from the ancestor's root seed (they are part of
+        the trajectory's identity); all *future* randomness — conditional
+        failure-time redraws, target probes, migration — comes from
+        ``clone_seed`` streams, with the redraw on the dedicated
+        ``rare-clone-failures`` stream.
+        """
+        sim = cls(config, seed=state.seed)
+        sim._apply_split(state, clone_seed)
+        return sim
+
+    def _apply_split(self, state: SplitState, clone_seed: int) -> None:
+        self.sim = Simulator(start_time=state.now)
+        need = state.total_disks
+        if need > self._cap:
+            self._grow(need - self.total_disks)
+        self.total_disks = need
+        self.alive[:] = False
+        self.alive[:need] = state.alive
+        self.fail_time[:] = np.inf
+        self.free_at[:] = 0.0
+        self.free_at[:need] = state.free_at
+        self.used_blocks[:] = 0
+        self.used_blocks[:need] = state.used_blocks
+        self.deploy_time[:] = 0.0
+        self.deploy_time[:need] = state.deploy_time
+        self.group_disks = state.group_disks.copy()
+        self.failed_count = state.failed_count.copy()
+        self.lost = state.lost.copy()
+        self._degraded = state.degraded
+        self._dynamic = {d: list(v) for d, v in state.dynamic.items()}
+        self._spare_for = dict(state.spare_for)
+        self._unreplaced = state.unreplaced
+        self.groups_lost_ids = list(state.groups_lost_ids)
+        self.stats = replace(state.stats)
+        self._restored = True
+
+        # Future randomness comes from the clone's stream set; the root
+        # seed (placement, SMART coins) stays the ancestor's.
+        self.streams = RandomStreams(clone_seed)
+        self._target_rng = self.streams.get("targets")
+
+        # Markov regeneration: redraw every live drive's failure time from
+        # the residual-life distribution given its current age.
+        idx = np.flatnonzero(self.alive[:need])
+        if idx.size:
+            ages_now = np.maximum(0.0, state.now - self.deploy_time[idx])
+            redraw = self.cfg.vintage.failure_model.sample_failure_age(
+                self.streams.rare("clone-failures"), idx.size,
+                current_age=ages_now)
+            self.fail_time[idx] = self.deploy_time[idx] + redraw
+            for d in idx:
+                t = self.fail_time[d]
+                if t <= self.duration:
+                    self.sim.schedule_at(float(t), self._on_disk_failure,
+                                         int(d), name="disk-failure")
+
+        # Recreate in-flight rebuilds (reservations are already inside the
+        # captured used_blocks) and pending detect/redirect events.
+        self._jobs_by_target = {}
+        self._jobs_by_group = {}
+        for g, rep, target, failed_at, completion in state.jobs:
+            job = _Job(g=g, rep=rep, target=target, failed_at=failed_at,
+                       event=None, cancelled=False)
+            job.event = self.sim.schedule_at(completion, self._complete,
+                                             job, name="rebuild")
+            self._jobs_by_target.setdefault(target, set()).add(job)
+            self._jobs_by_group.setdefault(g, set()).add(job)
+        for due, g, rep, failed_at, origin in state.detects:
+            self.sim.schedule_at(due, self._start_rebuild, g, rep,
+                                 failed_at, origin, name="detect")

@@ -4,12 +4,21 @@ Probability of data loss is a Bernoulli proportion over runs; we report it
 with Wilson score intervals (well-behaved near 0 and 1, where reliability
 estimates live) and provide a bootstrap helper for non-Bernoulli outputs
 (e.g. mean windows of vulnerability).
+
+The weighted half of this module supports the rare-event estimators in
+:mod:`repro.reliability.rare`: importance-sampled runs carry a
+likelihood-ratio weight, and :class:`WeightedAggregate` is the one
+sanctioned place those weights are combined (lint rule RPR012 rejects
+ad-hoc weight arithmetic in experiment code).  Its sums are *exact*
+(Shewchuk partials), so folding runs in any chunking — serial, the sweep
+runner's reorder buffers, a merge of per-worker partials — produces
+bit-identical aggregates.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,10 +34,48 @@ class Proportion:
     hi: float
     confidence: float
 
+    @property
+    def zero_hit(self) -> bool:
+        """True when a positive budget observed no successes at all.
+
+        A (0, upper) interval from ``k = 0`` looks reassuring but mostly
+        measures budget inadequacy; callers should surface
+        :attr:`rule_of_three_upper` alongside it.
+        """
+        return self.trials > 0 and self.successes == 0
+
+    @property
+    def rule_of_three_upper(self) -> float:
+        """'Rule of three' 95% upper bound for a zero-hit estimate.
+
+        With n trials and no successes, p <= 3/n at ~95% confidence —
+        the standard budget-adequacy yardstick for rare events.
+        """
+        if self.trials <= 0:
+            return 1.0
+        return min(1.0, 3.0 / self.trials)
+
     def __str__(self) -> str:
-        return (f"{100 * self.estimate:.2f}% "
+        base = (f"{100 * self.estimate:.2f}% "
                 f"[{100 * self.lo:.2f}, {100 * self.hi:.2f}] "
                 f"({self.successes}/{self.trials})")
+        if self.zero_hit:
+            base += (f" zero-hit: p<={100 * self.rule_of_three_upper:.3g}%"
+                     f" (rule of 3)")
+        return base
+
+
+def _wilson_bounds(p: float, n_eff: float, z: float) -> tuple[float, float]:
+    """Wilson score bounds for proportion ``p`` over ``n_eff`` trials.
+
+    ``n_eff`` may be fractional (the weighted interval passes an
+    effective sample size).
+    """
+    denom = 1.0 + z * z / n_eff
+    center = (p + z * z / (2 * n_eff)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1 - p) / n_eff + z * z / (4 * n_eff * n_eff))
+    return center - half, center + half
 
 
 def wilson_interval(successes: int, trials: int,
@@ -43,16 +90,13 @@ def wilson_interval(successes: int, trials: int,
     # two-sided normal quantile
     z = math.sqrt(2.0) * _erfinv(confidence)
     p = successes / trials
-    denom = 1.0 + z * z / trials
-    center = (p + z * z / (2 * trials)) / denom
-    half = (z / denom) * math.sqrt(
-        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    lo, hi = _wilson_bounds(p, trials, z)
     # Clamp to [0, 1] and to the estimate itself: at k = 0 (or k = n) the
     # exact bound coincides with p, and rounding can push it past it by
     # ~1 ulp, yielding lo > estimate (or hi < estimate).
     return Proportion(successes=successes, trials=trials, estimate=p,
-                      lo=min(p, max(0.0, center - half)),
-                      hi=max(p, min(1.0, center + half)),
+                      lo=min(p, max(0.0, lo)),
+                      hi=max(p, min(1.0, hi)),
                       confidence=confidence)
 
 
@@ -74,6 +118,181 @@ def _erfinv(x: float) -> float:
     """Inverse error function (scipy wrapped to keep the import local)."""
     from scipy.special import erfinv
     return float(erfinv(x))
+
+
+# --------------------------------------------------------------------- #
+# Weighted (importance-sampled) estimates
+# --------------------------------------------------------------------- #
+class ExactSum:
+    """Error-free float accumulator (Shewchuk partials, as in math.fsum).
+
+    The partials list represents the running sum *exactly*, so adding the
+    same multiset of values in any order — or merging two accumulators
+    built from disjoint chunks — yields the same :attr:`value` to the
+    last bit.  This is what lets weighted sweep aggregates stay
+    bit-identical across serial, parallel, and re-chunked execution
+    without relying on the runner's fold order.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._partials: list[float] = [float(value)] if value else []
+
+    def add(self, x: float) -> None:
+        """Accumulate ``x`` exactly (two-sum cascade over the partials)."""
+        x = float(x)
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulator in (exact, order-insensitive)."""
+        for p in other._partials:
+            self.add(p)
+
+    @property
+    def value(self) -> float:
+        """The correctly-rounded float value of the exact sum."""
+        return math.fsum(self._partials)
+
+    def __repr__(self) -> str:
+        return f"ExactSum({self.value!r})"
+
+
+@dataclass
+class WeightedAggregate:
+    """Streaming reduction of weighted Bernoulli outcomes.
+
+    One entry per Monte-Carlo run: a strictly positive likelihood-ratio
+    weight ``w`` and a hit indicator ``x`` (data loss).  All four sums are
+    :class:`ExactSum`, so :meth:`add`/:meth:`merge` commute exactly and
+    any chunking of the runs reproduces the same aggregate bit for bit —
+    the property the sweep runner's serial-vs-parallel parity gate
+    asserts, and the Hypothesis suite fuzzes.
+
+    With every weight equal to 1 the unnormalized estimate degenerates to
+    the naive proportion ``hits / n`` exactly and ``ess == n``.
+    """
+
+    n: int = 0
+    hits: int = 0
+    w_sum: ExactSum = field(default_factory=ExactSum)
+    w_sq_sum: ExactSum = field(default_factory=ExactSum)
+    wx_sum: ExactSum = field(default_factory=ExactSum)
+    wx_sq_sum: ExactSum = field(default_factory=ExactSum)
+
+    def add(self, weight: float, hit: bool) -> None:
+        """Fold one run's (weight, loss-indicator) pair in."""
+        w = float(weight)
+        if not math.isfinite(w) or w <= 0.0:
+            raise ValueError(
+                f"likelihood-ratio weights must be finite and strictly "
+                f"positive, got {weight!r}")
+        self.n += 1
+        self.w_sum.add(w)
+        self.w_sq_sum.add(w * w)
+        if hit:
+            self.hits += 1
+            self.wx_sum.add(w)
+            self.wx_sq_sum.add(w * w)
+
+    def merge(self, other: "WeightedAggregate") -> None:
+        """Fold another aggregate in (exact, order-insensitive)."""
+        self.n += other.n
+        self.hits += other.hits
+        self.w_sum.merge(other.w_sum)
+        self.w_sq_sum.merge(other.w_sq_sum)
+        self.wx_sum.merge(other.wx_sum)
+        self.wx_sq_sum.merge(other.wx_sq_sum)
+
+    @property
+    def estimate(self) -> float:
+        """Unbiased (unnormalized) IS estimate: (1/n) sum w_i x_i."""
+        if self.n == 0:
+            return 0.0
+        return self.wx_sum.value / self.n
+
+    @property
+    def estimate_normalized(self) -> float:
+        """Self-normalized estimate: sum w_i x_i / sum w_i."""
+        if self.n == 0:
+            return 0.0
+        return self.wx_sum.value / self.w_sum.value
+
+    @property
+    def mean_weight(self) -> float:
+        """Average weight (1.0 under zero tilt; a diagnostic otherwise)."""
+        if self.n == 0:
+            return 0.0
+        return self.w_sum.value / self.n
+
+    @property
+    def ess(self) -> float:
+        """Kish effective sample size: (sum w)^2 / sum w^2, in [1, n]."""
+        if self.n == 0:
+            return 0.0
+        sw = self.w_sum.value
+        return sw * sw / self.w_sq_sum.value
+
+
+def weighted_clt_interval(agg: WeightedAggregate,
+                          confidence: float = 0.95) -> Proportion:
+    """CLT interval for the unbiased IS estimate (1/n) sum w_i x_i.
+
+    The standard error comes from the sample variance of the per-run
+    products ``y_i = w_i x_i``; with all weights 1 this is the usual
+    normal-approximation binomial interval.  ``successes`` counts *hit
+    runs* (so :attr:`Proportion.zero_hit` keeps its meaning under IS).
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if agg.n == 0:
+        return empty_proportion(confidence)
+    n = agg.n
+    p = agg.estimate
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    if n > 1:
+        s2 = max(0.0, (agg.wx_sq_sum.value - n * p * p) / (n - 1))
+    else:
+        s2 = 0.0
+    half = z * math.sqrt(s2 / n)
+    return Proportion(successes=agg.hits, trials=n, estimate=p,
+                      lo=min(p, max(0.0, p - half)),
+                      hi=max(p, min(1.0, p + half)),
+                      confidence=confidence)
+
+
+def weighted_wilson_interval(agg: WeightedAggregate,
+                             confidence: float = 0.95) -> Proportion:
+    """Wilson interval for the self-normalized estimate at ESS trials.
+
+    The self-normalized estimate is a proportion of the weight mass, so
+    the Wilson score applies with the effective sample size standing in
+    for the trial count; with unit weights this is exactly
+    :func:`wilson_interval`.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if agg.n == 0:
+        return empty_proportion(confidence)
+    p = min(1.0, max(0.0, agg.estimate_normalized))
+    n_eff = agg.ess
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    lo, hi = _wilson_bounds(p, n_eff, z)
+    return Proportion(successes=agg.hits, trials=agg.n, estimate=p,
+                      lo=min(p, max(0.0, lo)),
+                      hi=max(p, min(1.0, hi)),
+                      confidence=confidence)
 
 
 def bootstrap_mean(values: np.ndarray, confidence: float = 0.95,

@@ -31,6 +31,25 @@ def stable_hash64(*parts: object) -> int:
     return int.from_bytes(h.digest(), "little")
 
 
+#: Stream kinds reserved for the rare-event estimators
+#: (:mod:`repro.reliability.rare`).  ``split-resample`` drives the
+#: multilevel-splitting state resampling; ``clone-failures`` draws the
+#: conditional residual failure times of a restored splitting clone.  The
+#: family is a closed registry so golden-regression tests can pin every
+#: member; importance sampling deliberately has no entry here — the
+#: tilted draw consumes the ordinary ``disk-failures`` stream so that a
+#: zero tilt reproduces the unweighted trajectories bit for bit.
+RARE_STREAM_KINDS: tuple[str, ...] = ("split-resample", "clone-failures")
+
+
+def rare_stream_name(kind: str) -> str:
+    """The stream name for a rare-event stream ``kind`` (validated)."""
+    if kind not in RARE_STREAM_KINDS:
+        raise ValueError(f"unknown rare stream kind {kind!r}; expected "
+                         f"one of {RARE_STREAM_KINDS}")
+    return f"rare-{kind}"
+
+
 class RandomStreams:
     """Factory of independent named ``numpy.random.Generator`` streams."""
 
@@ -47,6 +66,16 @@ class RandomStreams:
             gen = np.random.Generator(np.random.PCG64(ss))
             self._cache[name] = gen
         return gen
+
+    def rare(self, kind: str) -> np.random.Generator:
+        """A stream of the rare-event family (see :data:`RARE_STREAM_KINDS`).
+
+        Dedicated streams keep the estimators' own randomness (state
+        resampling, clone redraws) isolated from the simulation's
+        component streams, so enabling an accelerated estimator never
+        perturbs an ordinary run with the same seed.
+        """
+        return self.get(rare_stream_name(kind))
 
     def fresh(self, name: str) -> np.random.Generator:
         """Return a new generator for ``name``, resetting any cached state."""

@@ -188,10 +188,17 @@ def render_summary(records: list[dict]) -> str:
             entry = metrics.get(name)
             return entry[field] if entry is not None else 0
 
+        lost = val('repro_groups_lost_total')
         out.append(f"  disk failures {val('repro_disk_failures_total')}, "
                    f"rebuilds {val('repro_rebuilds_completed_total')}/"
                    f"{val('repro_rebuilds_started_total')} completed, "
-                   f"groups lost {val('repro_groups_lost_total')}")
+                   f"groups lost {lost}")
+        if n_runs and not lost:
+            # Zero observed losses mostly measures budget, not safety:
+            # surface the rule-of-three bound next to the zero.
+            bound = min(1.0, 3.0 / n_runs)
+            out.append(f"  zero-hit: no losses in {n_runs} runs; "
+                       f"p_loss <= {bound:.3g} (rule of 3)")
         completed = val(
             "repro_window_of_vulnerability_seconds_spans_completed_total")
         span_sum = val("repro_window_of_vulnerability_seconds_sum_total")

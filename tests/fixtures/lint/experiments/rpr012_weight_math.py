@@ -1,0 +1,5 @@
+"""Lint fixture: exactly one RPR012 (ad-hoc weight use) on line 5."""
+
+
+def total_weight(run_stats):
+    return sum(r.log_weight for r in run_stats)

@@ -121,6 +121,30 @@ class TestSmartParity:
         assert obj.disk_failures == fast.disk_failures
 
 
+@pytest.mark.parametrize("seed", [0, 123])
+def test_tilted_failure_streams_agree(seed):
+    """Importance sampling tilts both engines identically.
+
+    Both engines invert the same 'disk-failures' uniforms through the
+    same scaled hazard, so tilted failure counts match exactly; the
+    log-weights accumulate the same terms in a different order, so they
+    agree to float tolerance rather than bit-for-bit.
+    """
+    import math
+
+    from repro.reliability.rare import TiltedFailureDraw
+
+    c = cfg()
+    tilt = math.log(3.0)
+    d_obj = TiltedFailureDraw(c.vintage.failure_model, tilt)
+    d_fast = TiltedFailureDraw(c.vintage.failure_model, tilt)
+    obj = simulate_run(c, seed=seed, failure_draw=d_obj).stats
+    fast = ReliabilitySimulation(c, seed=seed, failure_draw=d_fast).run()
+    assert obj.disk_failures == fast.disk_failures
+    assert obj.log_weight == pytest.approx(fast.log_weight, rel=1e-12)
+    assert obj.log_weight != 0.0
+
+
 def test_traditional_spare_counts_agree():
     c = cfg(use_farm=False)
     obj = simulate_run(c, seed=5)

@@ -9,11 +9,14 @@ If a change is intentional (e.g. a fixed bug changes trajectories),
 re-pin by updating the constants and say so in the commit message.
 """
 
+import math
+
 from repro.config import SystemConfig
 from repro.core import simulate_run
 from repro.placement import RandomPlacement, RushPlacement
 from repro.reliability import ReliabilitySimulation
 from repro.sim import stable_hash64
+from repro.sim.rng import RandomStreams
 from repro.units import GB, TB
 
 # (disk_failures, rebuilds_started, rebuilds_completed, groups_lost)
@@ -22,6 +25,17 @@ PIN_OBJECT = (7, 280, 280, 0)
 PIN_RUSH = [31, 613, 813]
 PIN_RANDOM = [556, 379, 284]
 PIN_HASH = 5037368365621519589
+
+# Rare-event machinery: first uniform from each dedicated rare-* stream,
+# and one tilted trajectory (tilt = ln 3) on the same config/seed as the
+# untilted pins above.  Weighted golden values follow the same re-pin
+# policy (docs/RARE_EVENTS.md): update only for intentional changes.
+PIN_RARE_STREAMS = {
+    "split-resample": 0.4148786529196775,
+    "clone-failures": 0.9201607633499662,
+}
+PIN_TILTED_FAST = (28, 1290, 1290, 0)
+PIN_TILTED_LOG_WEIGHT = -10.469417395163475
 
 
 def cfg():
@@ -57,3 +71,41 @@ class TestPins:
     def test_engines_share_failure_stream(self):
         """The two pins above share disk_failures == 7: same RNG streams."""
         assert PIN_FAST[0] == PIN_OBJECT[0]
+
+    def test_rare_stream_pins(self):
+        """The rare-* streams are a separate, pinned RNG family.
+
+        These streams feed only the rare-event estimators; pinning their
+        first draws guarantees adding one never perturbs — and is never
+        perturbed by — the ordinary simulation streams.
+        """
+        for kind, expected in PIN_RARE_STREAMS.items():
+            assert float(RandomStreams(123).rare(kind).random()) == expected
+
+    def test_tilted_trajectory_pin(self):
+        """One importance-sampled trajectory, pinned with its LR weight.
+
+        The tilted run consumes the same 'disk-failures' uniforms as the
+        untilted pin, inverted through the scaled hazard — so this pin
+        breaks if either the tilting transform or the base stream moves.
+        """
+        from repro.reliability.rare import TiltedFailureDraw
+        draw = TiltedFailureDraw(cfg().vintage.failure_model, math.log(3.0))
+        stats = ReliabilitySimulation(cfg(), seed=123,
+                                      failure_draw=draw).run()
+        snapshot = (stats.disk_failures, stats.rebuilds_started,
+                    stats.rebuilds_completed, stats.groups_lost)
+        assert snapshot == PIN_TILTED_FAST, (
+            f"tilted trajectory changed: {snapshot}")
+        assert stats.log_weight == PIN_TILTED_LOG_WEIGHT
+
+    def test_zero_tilt_reproduces_untilted_pin(self):
+        """tilt = 0 must be *exactly* the naive run (same golden pin)."""
+        from repro.reliability.rare import TiltedFailureDraw
+        draw = TiltedFailureDraw(cfg().vintage.failure_model, 0.0)
+        stats = ReliabilitySimulation(cfg(), seed=123,
+                                      failure_draw=draw).run()
+        snapshot = (stats.disk_failures, stats.rebuilds_started,
+                    stats.rebuilds_completed, stats.groups_lost)
+        assert snapshot == PIN_FAST
+        assert stats.log_weight == 0.0

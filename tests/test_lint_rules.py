@@ -27,14 +27,15 @@ EXPECTED = {
     "core/rpr009_silent_except.py": ("RPR009", 7),
     "core/rpr010_hardcoded_param.py": ("RPR010", 5),
     "cluster/rpr011_wall_clock.py": ("RPR011", 11),
+    "experiments/rpr012_weight_math.py": ("RPR012", 5),
 }
 
 
 class TestRegistry:
-    def test_eleven_rules_with_unique_ids(self):
+    def test_twelve_rules_with_unique_ids(self):
         ids = [r.id for r in RULES]
-        assert len(ids) == len(set(ids)) == 11
-        assert sorted(ids) == [f"RPR{n:03d}" for n in range(1, 12)]
+        assert len(ids) == len(set(ids)) == 12
+        assert sorted(ids) == [f"RPR{n:03d}" for n in range(1, 13)]
 
     def test_every_rule_documented(self):
         for rule in RULES:
@@ -166,6 +167,24 @@ class TestRuleEdges:
     def test_unrelated_float_not_flagged(self):
         src = "half = 0.5\n"
         assert lint_source(src, "reliability/simulation.py") == []
+
+    def test_weight_attr_outside_experiments_is_fine(self):
+        src = "w = stats.log_weight\n"
+        assert lint_source(src, "reliability/rare.py") == []
+
+    def test_weight_attr_in_experiments_flagged(self):
+        src = "w = stats.log_weight\n"
+        violations = lint_source(src, "experiments/figure7.py")
+        assert [v.rule for v in violations] == ["RPR012"]
+
+    def test_weight_multiplication_in_experiments_flagged(self):
+        src = "p = weights * hits\n"
+        violations = lint_source(src, "experiments/figure7.py")
+        assert [v.rule for v in violations] == ["RPR012"]
+
+    def test_unweighted_arithmetic_in_experiments_is_fine(self):
+        src = "p = losses / runs\n"
+        assert lint_source(src, "experiments/figure7.py") == []
 
     def test_accounted_swallow_not_flagged(self):
         src = ("def g(self):\n    try:\n        return f()\n"

@@ -1,10 +1,15 @@
 """Tests for reliability statistics (repro.reliability.stats)."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.reliability import bootstrap_mean, empty_proportion, wilson_interval
+from repro.reliability.stats import (ExactSum, WeightedAggregate,
+                                     weighted_clt_interval,
+                                     weighted_wilson_interval)
 
 
 class TestWilson:
@@ -88,6 +93,139 @@ class TestEmptyProportion:
         # keeps refusing the undefined case.
         with pytest.raises(ValueError):
             wilson_interval(0, 0)
+
+
+class TestZeroHit:
+    """Rule-of-three reporting for zero-loss budgets."""
+
+    def test_zero_hit_flag_and_bound(self):
+        p = wilson_interval(0, 200)
+        assert p.zero_hit
+        assert p.rule_of_three_upper == pytest.approx(3.0 / 200)
+        assert "rule of 3" in str(p)
+
+    def test_not_zero_hit_with_successes(self):
+        p = wilson_interval(3, 200)
+        assert not p.zero_hit
+        assert "rule of 3" not in str(p)
+
+    def test_empty_proportion_is_not_zero_hit(self):
+        # No trials at all is "no evidence", not a zero-hit budget.
+        assert not empty_proportion().zero_hit
+        assert empty_proportion().rule_of_three_upper == 1.0
+
+    def test_bound_clamped_to_one(self):
+        assert wilson_interval(0, 2).rule_of_three_upper == 1.0
+
+
+# Strategies for the weighted-aggregate property suite: weights spanning
+# ~30 orders of magnitude (likelihood ratios do), hits arbitrary.
+_weights = st.floats(min_value=1e-15, max_value=1e15,
+                     allow_nan=False, allow_infinity=False)
+_runs = st.lists(st.tuples(_weights, st.booleans()), min_size=1,
+                 max_size=60)
+
+
+def _fold(runs):
+    agg = WeightedAggregate()
+    for w, x in runs:
+        agg.add(w, x)
+    return agg
+
+
+class TestWeightedAggregate:
+    def test_unit_weights_degenerate_to_naive(self):
+        agg = _fold([(1.0, True)] * 3 + [(1.0, False)] * 7)
+        assert agg.estimate == 3 / 10
+        assert agg.estimate_normalized == 3 / 10
+        assert agg.ess == 10.0
+        assert agg.mean_weight == 1.0
+
+    def test_unit_weight_intervals_match_counts(self):
+        agg = _fold([(1.0, True)] * 5 + [(1.0, False)] * 5)
+        w = weighted_wilson_interval(agg)
+        plain = wilson_interval(5, 10)
+        assert (w.lo, w.hi) == pytest.approx((plain.lo, plain.hi))
+        clt = weighted_clt_interval(agg)
+        assert clt.lo <= clt.estimate == 0.5 <= clt.hi
+
+    def test_rejects_bad_weights(self):
+        agg = WeightedAggregate()
+        for bad in (0.0, -1.0, math.nan, math.inf):
+            with pytest.raises(ValueError):
+                agg.add(bad, True)
+        assert agg.n == 0
+
+    def test_empty_aggregate(self):
+        agg = WeightedAggregate()
+        assert agg.estimate == 0.0 and agg.ess == 0.0
+        assert weighted_clt_interval(agg).trials == 0
+
+    @given(_runs, st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_fold_order_and_chunking_insensitive(self, runs, rnd):
+        """Any shuffle + chunking + merge is bit-identical to serial.
+
+        This is the property the sweep runner's parallel reorder buffers
+        rely on: ExactSum makes add/merge commute to float *equality*,
+        not approximation.
+        """
+        serial = _fold(runs)
+
+        shuffled = list(runs)
+        rnd.shuffle(shuffled)
+        chunks = []
+        i = 0
+        while i < len(shuffled):
+            size = rnd.randint(1, len(shuffled) - i)
+            chunks.append(shuffled[i:i + size])
+            i += size
+        merged = WeightedAggregate()
+        for chunk in chunks:
+            merged.merge(_fold(chunk))
+
+        assert merged.n == serial.n and merged.hits == serial.hits
+        assert merged.w_sum.value == serial.w_sum.value
+        assert merged.w_sq_sum.value == serial.w_sq_sum.value
+        assert merged.wx_sum.value == serial.wx_sum.value
+        assert merged.wx_sq_sum.value == serial.wx_sq_sum.value
+        assert merged.estimate == serial.estimate
+        assert merged.ess == serial.ess
+
+    @given(_runs)
+    @settings(max_examples=100)
+    def test_ess_bounds(self, runs):
+        """Kish ESS lies in [1, n] for any positive weights."""
+        agg = _fold(runs)
+        assert 1.0 <= agg.ess <= agg.n * (1 + 1e-12)
+
+    @given(st.lists(_weights, min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_equal_weights_maximize_ess(self, ws):
+        agg = WeightedAggregate()
+        for _ in ws:
+            agg.add(ws[0], False)
+        assert agg.ess == pytest.approx(len(ws))
+
+
+class TestExactSum:
+    def test_cancellation_exact(self):
+        s = ExactSum()
+        for x in (1e16, 1.0, -1e16):
+            s.add(x)
+        assert s.value == 1.0
+
+    @given(st.lists(st.floats(min_value=-1e12, max_value=1e12,
+                              allow_nan=False), min_size=1, max_size=50),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_matches_fsum_any_order(self, xs, rnd):
+        shuffled = list(xs)
+        rnd.shuffle(shuffled)
+        s = ExactSum()
+        for x in shuffled:
+            s.add(x)
+        assert s.value == math.fsum(xs)
 
 
 class TestBootstrap:
