@@ -37,7 +37,8 @@ optional_step() {
   fi
 }
 
-step "invariant linter" python -m repro.analysis src
+step "invariant analyzer (per-file + whole-program, incremental)" \
+  python -m repro.analysis --strict --timing src
 step "sweep parity (serial == parallel, incl. telemetry snapshots)" \
   python -m repro sweep-check --jobs 2
 optional_step "ruff" ruff python -m ruff check src tests examples benchmarks

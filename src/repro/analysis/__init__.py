@@ -1,73 +1,59 @@
-"""AST-based invariant linter for the reproduction codebase.
+"""Static analyzer for the reproduction codebase.
 
-Twelve rules in six families keep the simulator's correctness invariants
-machine-checked instead of convention-checked:
+Two layers keep the simulator's correctness invariants machine-checked
+instead of convention-checked:
 
-**Determinism** — results must be a pure function of ``(config, seed)``:
+* **Per-file rules** (``RPR001``–``RPR012``, in :data:`RULES`): AST
+  visitors over one module — determinism, unit hygiene, simulation
+  discipline, robustness, parameterization, weight discipline.
+* **Whole-program rules** (``RPR101``–``RPR104``, in
+  :data:`PROJECT_RULES`): checks over the aggregated project facts —
+  unit flow across calls and fields, RNG stream ownership, fast/process
+  engine parity for every ``SystemConfig`` field, and dead or shadowed
+  config knobs.
 
-* ``RPR001`` — no stdlib ``random`` (use named ``RandomStreams``);
-* ``RPR002`` — no seedless ``np.random.default_rng()``;
-* ``RPR003`` — no builtin ``hash()`` (process-salted; use
-  ``stable_hash64``);
-* ``RPR004`` — no wall-clock reads in ``sim/``, ``core/``,
-  ``reliability/``, ``placement/``;
-* ``RPR011`` — the same ban extended to ``cluster/``, ``faults/`` and
-  ``telemetry/`` (metrics must be a pure function of simulated time).
-
-**Unit safety** — sizes in bytes, durations in seconds, bandwidths in
-bytes/second, exactly as the paper's arithmetic requires:
-
-* ``RPR005`` — unit-valued magic literals must be ``units.*`` constants;
-* ``RPR006`` — public parameters use base-unit suffixes
-  (``_bytes``/``_s``/``_bps``), not ``_gb``/``_ms``/``_mbps``.
-
-**Simulation discipline** — library code stays silent and never writes
-the clock:
-
-* ``RPR007`` — no ``print()`` outside ``__main__.py``/``trace.py``;
-* ``RPR008`` — no assignment to ``.now``/``._now`` outside the engine.
-
-**Robustness** — failures must be visible, never silently swallowed:
-
-* ``RPR009`` — no ``except`` that only passes/returns in ``core/`` and
-  ``cluster/``; count it, trace it, defer it, or propagate it.
-
-**Parameterization** — knobs are read from the config, never restated:
-
-* ``RPR010`` — no bare numeric literal equal to a known
-  ``SystemConfig``/``SmartMonitor`` default in ``core/``, ``cluster/``,
-  ``reliability/``, ``disks/`` (definition sites are exempt).
-
-**Weight discipline** — importance-sampling weights have one home:
-
-* ``RPR012`` — no ad-hoc likelihood-ratio arithmetic in
-  ``experiments/``; weights fold through ``WeightedAggregate``
-  (``repro.reliability.stats``), never hand-rolled sums.
-
-Run it as ``python -m repro.analysis [paths]`` or via
-:func:`lint_paths`; suppress a single line with ``# repro: noqa`` or
-``# repro: noqa RPRxxx``.  ``tests/test_static_analysis.py`` gates the
-tree: tier-1 fails on any violation in ``src/``.
+The full rule catalog, the baseline workflow, and the SARIF output
+format are documented in ``docs/ANALYSIS.md``.  Run the analyzer as
+``python -m repro.analysis [--strict] [paths]``; suppress a single line
+with ``# repro: noqa`` or ``# repro: noqa RPRxxx``.
+``tests/test_static_analysis.py`` gates the tree: tier-1 fails on any
+violation in ``src/``.
 """
 
 from .base import RULES, FileContext, Rule, Violation
+from .baseline import (apply_baseline, load_baseline, render_baseline,
+                       violation_fingerprint)
+from .cache import AnalysisCache, analyzer_fingerprint, source_digest
+from .callgraph import ProjectGraph, build_graph
 from .determinism import SIM_DIRS, WALL_CLOCK_GUARDED_DIRS
 from .discipline import PRINT_SINKS
 from .parameters import KNOWN_PARAMETER_DEFAULTS, PARAM_GUARDED_DIRS
-from .reporting import render_json, render_rule_list, render_text
+from .project import (PROJECT_RULES, AnalysisError, AnalysisResult,
+                      ProjectRuleInfo, analyze_paths,
+                      restrict_to_changed)
+from .reporting import (render_json, render_rule_list, render_sarif,
+                        render_text)
 from .robustness import GUARDED_DIRS
 from .runner import iter_python_files, lint_file, lint_paths, lint_source
+from .symbols import ModuleFacts, collect_facts, module_name_for
 from .units_rules import DEPRECATED_SUFFIXES, MAGIC_LITERALS
 from .weights import WEIGHT_ATTRS, WEIGHT_GUARDED_DIRS
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisError",
+    "AnalysisResult",
     "DEPRECATED_SUFFIXES",
     "FileContext",
     "GUARDED_DIRS",
     "KNOWN_PARAMETER_DEFAULTS",
     "MAGIC_LITERALS",
+    "ModuleFacts",
     "PARAM_GUARDED_DIRS",
     "PRINT_SINKS",
+    "PROJECT_RULES",
+    "ProjectGraph",
+    "ProjectRuleInfo",
     "RULES",
     "Rule",
     "SIM_DIRS",
@@ -75,11 +61,23 @@ __all__ = [
     "WALL_CLOCK_GUARDED_DIRS",
     "WEIGHT_ATTRS",
     "WEIGHT_GUARDED_DIRS",
+    "analyze_paths",
+    "analyzer_fingerprint",
+    "apply_baseline",
+    "build_graph",
+    "collect_facts",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "module_name_for",
+    "render_baseline",
     "render_json",
     "render_rule_list",
+    "render_sarif",
     "render_text",
+    "restrict_to_changed",
+    "source_digest",
+    "violation_fingerprint",
 ]

@@ -1,0 +1,69 @@
+"""Baseline files: accepted findings carried across analyzer upgrades.
+
+Turning on a new whole-program rule over an existing tree can surface
+findings that are understood but not yet fixed.  A *baseline* freezes
+those: ``--write-baseline`` records a fingerprint per current finding,
+and later runs with ``--baseline`` report only findings whose
+fingerprint is absent from the file — i.e. only regressions.
+
+Fingerprints are deliberately line-independent (path, rule, message
+only), so reflowing a file or adding imports above a known finding does
+not resurrect it; changing the finding's *content* does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import Violation
+
+_FINGERPRINT_SIZE = 8
+
+
+def violation_fingerprint(violation: Violation) -> str:
+    """Stable, line-independent identity of one finding."""
+    key = "|".join((Path(violation.path).as_posix(), violation.rule,
+                    violation.message))
+    return hashlib.blake2b(key.encode("utf-8"),
+                           digest_size=_FINGERPRINT_SIZE).hexdigest()
+
+
+def render_baseline(violations: Sequence[Violation]) -> str:
+    """Baseline file text: one ``fingerprint  path: rule message`` line.
+
+    Everything after the fingerprint token is a human-readable comment;
+    only the first token on each line is read back.
+    """
+    lines = ["# repro-analysis baseline: accepted findings "
+             "(regenerate with --write-baseline)"]
+    for v in sorted(violations):
+        lines.append(f"{violation_fingerprint(v)}  "
+                     f"{Path(v.path).as_posix()}: {v.rule} {v.message}")
+    return "\n".join(lines) + "\n"
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Fingerprints accepted by the baseline file at ``path``."""
+    fingerprints: set[str] = set()
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        fingerprints.add(stripped.split()[0])
+    return frozenset(fingerprints)
+
+
+def apply_baseline(violations: Iterable[Violation],
+                   accepted: frozenset[str]
+                   ) -> tuple[list[Violation], int]:
+    """Split findings into (fresh, number suppressed by the baseline)."""
+    fresh: list[Violation] = []
+    matched = 0
+    for v in violations:
+        if violation_fingerprint(v) in accepted:
+            matched += 1
+        else:
+            fresh.append(v)
+    return fresh, matched

@@ -1,0 +1,99 @@
+"""Content-hash incremental cache for the whole-program analyzer.
+
+Per-file work — the local RPR001–012 lint and the :class:`ModuleFacts`
+collection — depends only on one file's bytes, so it memoizes perfectly:
+the cache key is a digest of the file's content, and the cached value is
+the facts dict plus the local violations.  The whole-program *check*
+pass is cheap (pure dict traversal) and always runs fresh over the
+aggregated facts, which is what makes warm and cold runs emit identical
+findings by construction.
+
+The cache lives in one JSON document under ``.repro-analysis-cache/``
+and is fingerprinted with a digest of the analyzer's own sources: edit
+any rule and every entry invalidates at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+#: Default cache directory, relative to the invocation cwd.
+CACHE_DIR_NAME = ".repro-analysis-cache"
+
+_CACHE_FILE = "cache.json"
+_DIGEST_SIZE = 16
+
+
+def source_digest(source: str) -> str:
+    """Content hash of one module's source text."""
+    return hashlib.blake2b(source.encode("utf-8"),
+                           digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def analyzer_fingerprint() -> str:
+    """Digest of the analyzer package's own sources.
+
+    Stored in the cache header; a mismatch discards every entry, so a
+    rule edit can never serve stale facts or stale violations.
+    """
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """One-file JSON cache: path -> {digest, facts, violations}."""
+
+    def __init__(self, directory: str | Path = CACHE_DIR_NAME,
+                 fingerprint: str | None = None) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint or analyzer_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self._files: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        return self.directory / _CACHE_FILE
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) \
+                or data.get("fingerprint") != self.fingerprint:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def lookup(self, key: str, digest: str) -> dict[str, Any] | None:
+        """The cached entry for ``key`` at ``digest``, if still valid."""
+        entry = self._files.get(key)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, key: str, digest: str,
+              facts: dict[str, Any] | None,
+              violations: list[dict[str, Any]]) -> None:
+        self._files[key] = {"digest": digest, "facts": facts,
+                            "violations": violations}
+
+    def save(self) -> None:
+        """Write the cache atomically (rename over the old file)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"fingerprint": self.fingerprint, "files": self._files}
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path)

@@ -1,11 +1,7 @@
 """Determinism rules (RPR001–RPR004, RPR011).
 
-The Monte-Carlo results in this repository are only trustworthy because
-every stochastic draw is reproducible from ``(config, seed)``.  These rules
-reject the common ways nondeterminism sneaks into simulation code: the
-stdlib ``random`` module (global, unseeded state), seedless numpy
-generators, Python's per-process-salted ``hash``, and wall-clock reads
-inside simulation logic.
+Reject the common ways nondeterminism sneaks into simulation code; the
+rationale for each rule is catalogued in ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -17,13 +13,7 @@ from .base import FileContext, Rule, dotted_name, register
 
 @register
 class StdlibRandomImport(Rule):
-    """RPR001 — the stdlib ``random`` module is banned in ``src/``.
-
-    ``random`` draws from hidden, process-global state and its seeding is
-    not stream-isolated, so a draw anywhere perturbs every later draw.
-    All randomness must come from named streams:
-    ``repro.sim.rng.RandomStreams(seed).get("component")``.
-    """
+    """RPR001 — the stdlib ``random`` module is banned in ``src/``."""
 
     id = "RPR001"
     summary = "stdlib `random` import; use repro.sim.rng.RandomStreams"
@@ -46,12 +36,7 @@ class StdlibRandomImport(Rule):
 
 @register
 class SeedlessDefaultRng(Rule):
-    """RPR002 — ``np.random.default_rng()`` without a seed is banned.
-
-    An argless ``default_rng()`` seeds from OS entropy, so two runs of the
-    same experiment disagree.  Pass an explicit seed, or better, take a
-    generator from ``RandomStreams``.
-    """
+    """RPR002 — ``np.random.default_rng()`` without a seed is banned."""
 
     id = "RPR002"
     summary = "seedless np.random.default_rng(); pass a seed or use " \
@@ -69,13 +54,7 @@ class SeedlessDefaultRng(Rule):
 
 @register
 class BuiltinHashCall(Rule):
-    """RPR003 — builtin ``hash()`` is banned.
-
-    Python salts string hashing per process (PYTHONHASHSEED), so builtin
-    ``hash`` values differ between runs and across worker processes —
-    poison for placement and stream derivation.  Use
-    ``repro.sim.rng.stable_hash64`` instead.
-    """
+    """RPR003 — builtin ``hash()`` is banned (process-salted)."""
 
     id = "RPR003"
     summary = "builtin hash() is process-salted; use stable_hash64"
@@ -112,14 +91,7 @@ def _is_wall_clock_call(name: str) -> bool:
 
 @register
 class WallClockInSimCode(Rule):
-    """RPR004 — no wall-clock reads inside simulation code.
-
-    Files under ``sim/``, ``core/``, ``reliability/`` and ``placement/``
-    model *simulated* time; mixing in ``time.time()`` or
-    ``datetime.now()`` couples results to the host machine.  Simulation
-    logic must use the engine clock (``sim.now``); timing harnesses belong
-    in ``__main__`` or the benchmark suite.
-    """
+    """RPR004 — no wall-clock reads inside simulation code."""
 
     id = "RPR004"
     summary = "wall-clock read in simulation code; use the engine clock"
@@ -139,13 +111,6 @@ class WallClockInSimCode(Rule):
 @register
 class WallClockInObservedCode(Rule):
     """RPR011 — no wall-clock reads in model or telemetry code.
-
-    Extends RPR004's guarantee to ``core/``, ``cluster/``, ``faults/``
-    and ``telemetry/``: a metric, probe, or fault process stamped with
-    host time would break the bit-identical serial-vs-parallel snapshot
-    merge and couple observability output to the machine that ran the
-    sweep.  Timestamps belong on the *record* after a run completes
-    (``__main__``, benchmarks), never inside the observed code.
 
     Directories :data:`SIM_DIRS` already guards (``core/`` is in both
     sets) report under RPR004 only, so one call never fires two rules.

@@ -1,9 +1,7 @@
 """Simulation-discipline rules (RPR007–RPR008).
 
-Library modules must stay silent and must never write the simulation
-clock: output goes through returned strings, :class:`TraceRecorder`
-sinks, or the CLI in ``__main__.py``, and time only advances when the
-engine pops an event.
+Library modules stay silent and never write the simulation clock;
+rationale in ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -18,13 +16,7 @@ PRINT_SINKS = frozenset({"__main__.py", "trace.py"})
 
 @register
 class PrintInLibraryCode(Rule):
-    """RPR007 — no ``print()`` in library modules.
-
-    Experiments and simulators are imported by tests, notebooks and
-    benchmark harnesses; stray stdout corrupts captured results and JSONL
-    traces.  Return strings, use a :class:`TraceRecorder` sink, or print
-    from ``__main__.py`` (and ``trace.py``'s explicit writers) only.
-    """
+    """RPR007 — no ``print()`` in library modules."""
 
     id = "RPR007"
     summary = "print() in library module; return text or use a trace sink"
@@ -42,13 +34,7 @@ class PrintInLibraryCode(Rule):
 
 @register
 class AssignsSimulationClock(Rule):
-    """RPR008 — nothing may assign to the simulation clock.
-
-    ``Simulator.now`` is a read-only view of ``_now``; event handlers that
-    set ``engine.now`` (or reach into ``engine._now``) break the total
-    event order and desynchronize every scheduled callback.  Only the
-    engine itself (``sim/engine.py``) advances the clock.
-    """
+    """RPR008 — nothing may assign to the simulation clock."""
 
     id = "RPR008"
     summary = "assignment to a simulation clock attribute (`.now`/`._now`)"

@@ -1,18 +1,9 @@
 """Parameterization rule (RPR010): no shadow copies of config defaults.
 
-The SMART-veto bug this rule exists to prevent: the fast engine once
-hard-coded ``0.4`` and a 7-day horizon instead of reading
-``SystemConfig.smart_detection_probability`` /
-``smart_warning_horizon``, so sweeping those knobs silently changed only
-the object engine.  Any bare literal that *equals* a known
-``SystemConfig``/``SmartMonitor`` default inside engine code is almost
-certainly such a shadow copy — the value should be plumbed from the
-config instead.
-
 Definition sites stay legal: a dataclass field default (``x: float =
 0.4``) or a function-parameter default (``def f(p=0.4)``) *is* the
-parameter, not a copy of it.  Everything else — comparisons, arithmetic,
-plain assignments — is flagged.
+parameter, not a copy of it.  Rationale in ``docs/ANALYSIS.md``; the
+whole-program generalization by *name* is RPR104.
 """
 
 from __future__ import annotations
@@ -39,16 +30,7 @@ PARAM_GUARDED_DIRS = frozenset({"core", "cluster", "reliability", "disks"})
 
 @register
 class HardcodedParameterDefault(Rule):
-    """RPR010 — bare numeric literal shadows a configurable parameter.
-
-    In ``core/``, ``cluster/``, ``reliability/`` and ``disks/``, a float
-    literal equal to a known ``SystemConfig``/``SmartMonitor`` default
-    (0.4, 0.01, 0.04, 30.0) must be read from the config object, not
-    restated inline: a restated copy ignores the knob and desynchronizes
-    the engines.  Dataclass-field and parameter *defaults* are exempt
-    (they define the knob); so is anything carrying
-    ``# repro: noqa RPR010``.
-    """
+    """RPR010 — bare numeric literal shadows a configurable parameter."""
 
     id = "RPR010"
     summary = "bare copy of a config parameter default; plumb it instead"

@@ -1,11 +1,7 @@
 """Robustness rule (RPR009): no silent exception swallows in recovery.
 
-The original FARM engine silently dropped a rebuild when target selection
-failed — the group stayed degraded with nothing in the stats or the trace
-to show for it.  That class of bug is now structurally forbidden in the
-recovery-critical packages: an ``except`` handler must either account for
-the event (a stats/trace/defer call, a raise) or convert it into a value
-its caller must handle; it may not simply ``pass``/``return``.
+An ``except`` handler in the recovery-critical packages must account for
+the event or propagate it; rationale in ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -24,17 +20,7 @@ ACCOUNTING_TOKENS = ("stats", "trace", "record", "defer", "log", "warn",
 
 @register
 class SilentExceptionSwallow(Rule):
-    """RPR009 — no silent exception swallows in ``core/``/``cluster/``.
-
-    An ``except`` whose body only passes, continues, or returns nothing —
-    with no stats/trace/defer accounting call and no raise — makes a
-    failure invisible: the simulated system degrades but neither
-    :class:`~repro.core.recovery.RecoveryStats` nor the event trace shows
-    it (the bug RPR009 exists to prevent regressed at
-    ``core/farm.py``, where ``NoTargetError`` once ate rebuilds).  Count
-    it, trace it, defer it, re-raise it, or return a value the caller
-    must act on.
-    """
+    """RPR009 — no silent exception swallows in ``core/``/``cluster/``."""
 
     id = "RPR009"
     summary = ("silent exception swallow in recovery code; count, trace, "

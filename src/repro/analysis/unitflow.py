@@ -1,0 +1,292 @@
+"""RPR101 — whole-program unit-flow checking.
+
+Dimensions are exponent vectors over (bytes, seconds): ``bytes`` is
+``(1, 0)``, ``seconds`` ``(0, 1)``, bandwidth ``(1, -1)``.  The collector
+(:mod:`.symbols`) infers a dimension wherever the repo's base-unit
+conventions declare one — ``*_bytes``/``*_s``/``*_bps`` names and
+``units.*`` constants — and records symbolic constraint records for
+every addition, comparison, assignment, and call argument that touches a
+dimensioned expression.  This module resolves those constraints against a
+*global* environment (function return dimensions, dataclass field
+dimensions, property bodies — fixpoint-iterated across modules) and
+flags the contradictions: ``x_s = y_bytes``, ``a_bytes + b_s``,
+``f(duration_s=capacity_bytes)``.
+
+The checker is deliberately conservative: a constraint is only flagged
+when *both* sides resolve to known, different, non-dimensionless
+dimensions, so untyped code stays silent instead of noisy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .base import Violation
+from .callgraph import ProjectGraph
+from .symbols import DIMENSIONLESS, ModuleFacts, name_dim
+
+RULE_ID = "RPR101"
+RULE_SUMMARY = ("unit-flow mismatch: expression mixes bytes/seconds/"
+                "bytes-per-second dimensions")
+
+Dim = tuple[int, int]
+
+#: How many environment-refinement sweeps to run.  Return dimensions can
+#: depend on other functions' return dimensions; chains longer than this
+#: stay unresolved (and therefore unflagged), never wrong.
+_FIXPOINT_ROUNDS = 4
+
+#: Cap on how many same-named definitions the unique-name fallback will
+#: reconcile; names more popular than this are treated as unresolvable.
+_MAX_HOMONYMS = 6
+
+
+def format_dim(dim: Dim) -> str:
+    named = {(1, 0): "bytes", (0, 1): "seconds",
+             (1, -1): "bytes/second", (-1, 1): "seconds/byte"}
+    label = named.get(dim)
+    if label is not None:
+        return label
+    return f"bytes^{dim[0]}*seconds^{dim[1]}"
+
+
+class UnitEnv:
+    """Global dimension environment resolved over all module facts."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        #: ``module:qualname`` -> return dimension (or None).
+        self.returns: dict[str, Dim | None] = {}
+        #: attribute / property name -> dimension, when every definition
+        #: in the project agrees (ambiguous names resolve to None).
+        self.attr_dims: dict[str, Dim | None] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------- #
+    def _build(self) -> None:
+        # Attribute dims from annotated class fields (suffix convention).
+        for facts in self.graph.modules.values():
+            for cls in facts.classes.values():
+                for fname in cls.fields:
+                    dim = name_dim(fname)
+                    if dim is None:
+                        continue
+                    self._merge_attr(fname, dim)
+        for _round in range(_FIXPOINT_ROUNDS):
+            changed = False
+            for mod_name, facts in self.graph.modules.items():
+                for qual, fn in facts.functions.items():
+                    key = f"{mod_name}:{qual}"
+                    if self.returns.get(key) is not None:
+                        continue
+                    dim = self._return_dim(facts, fn.return_terms)
+                    if dim is not None:
+                        self.returns[key] = dim
+                        changed = True
+            # Property dims become attribute dims for `obj.prop` reads.
+            for mod_name, facts in self.graph.modules.items():
+                for cname, cls in facts.classes.items():
+                    for prop in cls.properties:
+                        key = f"{mod_name}:{cname}.{prop}"
+                        dim = self.returns.get(key)
+                        if dim is not None:
+                            if self._merge_attr(prop, dim):
+                                changed = True
+            if not changed:
+                break
+
+    def _merge_attr(self, name: str, dim: Dim) -> bool:
+        if name not in self.attr_dims:
+            self.attr_dims[name] = dim
+            return True
+        if self.attr_dims[name] != dim:
+            self.attr_dims[name] = None     # ambiguous across project
+        return False
+
+    def _return_dim(self, facts: ModuleFacts,
+                    terms: list[dict[str, Any]]) -> Dim | None:
+        if not terms:
+            return None
+        dims = {self.resolve(facts, t) for t in terms}
+        dims.discard(None)
+        if len(dims) == 1:
+            return dims.pop()
+        return None
+
+    # -- term resolution ----------------------------------------------- #
+    def resolve(self, facts: ModuleFacts,
+                term: Mapping[str, Any] | None) -> Dim | None:
+        if term is None:
+            return None
+        kind = term.get("k")
+        if kind == "dim":
+            e = term["e"]
+            return (int(e[0]), int(e[1]))
+        if kind == "attr":
+            return self.attr_dims.get(term["n"])
+        if kind == "call":
+            return self._call_dim(facts, term["n"])
+        if kind == "op":
+            if term.get("partial"):
+                return None
+            left = self.resolve(facts, term.get("l"))
+            right = self.resolve(facts, term.get("r"))
+            if left is None or right is None:
+                return None
+            if term["op"] == "mul":
+                return (left[0] + right[0], left[1] + right[1])
+            return (left[0] - right[0], left[1] - right[1])
+        return None
+
+    def _call_dim(self, facts: ModuleFacts, dotted: str) -> Dim | None:
+        tail = dotted.rsplit(".", 1)[-1]
+        # Convention first: a callable named `*_bytes`/`*_s`/`*_bps`
+        # returns that dimension.
+        dim = name_dim(tail)
+        if dim is not None:
+            return dim
+        resolved = self.graph.resolve_dotted(facts.module, dotted)
+        if resolved is not None and resolved.kind == "function":
+            return self.returns.get(resolved.key)
+        return self._homonym_return(tail)
+
+    def _homonym_return(self, simple: str) -> Dim | None:
+        defs = self.graph.functions_by_name.get(simple, ())
+        if not defs or len(defs) > _MAX_HOMONYMS:
+            return None
+        dims = {self.returns.get(f"{mod}:{qual}") for mod, qual in defs}
+        if len(dims) == 1:
+            return dims.pop()
+        return None
+
+    # -- callee parameter lookup --------------------------------------- #
+    def param_dim(self, facts: ModuleFacts, dotted: str,
+                  param: str | None, pos: int | None) -> Dim | None:
+        """Dimension of the parameter a call argument lands on."""
+        if param is not None:
+            # Keyword arguments name the parameter directly; if the name
+            # itself carries a suffix, no resolution is needed.
+            direct = name_dim(param)
+            if direct is not None:
+                return direct
+        name = self._callee_param_name(facts, dotted, param, pos)
+        if name is None:
+            return None
+        return name_dim(name)
+
+    def _callee_param_name(self, facts: ModuleFacts, dotted: str,
+                           param: str | None,
+                           pos: int | None) -> str | None:
+        resolved = self.graph.resolve_dotted(facts.module, dotted)
+        if resolved is not None:
+            target = self.graph.modules.get(resolved.module)
+            if target is None:
+                return None
+            if resolved.kind == "function":
+                fn = target.functions.get(resolved.qualname)
+                if fn is None:
+                    return None
+                if param is not None:
+                    return param if param in fn.params else None
+                if pos is not None and pos < len(fn.params):
+                    return fn.params[pos]
+                return None
+            if resolved.kind == "class":
+                cls = target.classes.get(resolved.qualname)
+                init = target.functions.get(f"{resolved.qualname}."
+                                            "__init__")
+                if init is not None:
+                    if param is not None:
+                        return param if param in init.params else None
+                    if pos is not None and pos < len(init.params):
+                        return init.params[pos]
+                    return None
+                if cls is not None:
+                    # dataclass: fields are the constructor signature.
+                    fields = list(cls.fields)
+                    if param is not None:
+                        return param if param in cls.fields else None
+                    if pos is not None and pos < len(fields):
+                        return fields[pos]
+                return None
+            return None
+        # Unique-name fallback for unresolvable method calls: use the
+        # parameter only when every same-named definition agrees.
+        tail = dotted.rsplit(".", 1)[-1]
+        defs = self.graph.functions_by_name.get(tail, ())
+        if not defs or len(defs) > _MAX_HOMONYMS:
+            return None
+        names: set[str | None] = set()
+        for mod, qual in defs:
+            fn = self.graph.modules[mod].functions.get(qual)
+            if fn is None:
+                return None
+            if param is not None:
+                names.add(param if param in fn.params else None)
+            elif pos is not None and pos < len(fn.params):
+                names.add(fn.params[pos])
+            else:
+                names.add(None)
+        if len(names) == 1:
+            return names.pop()
+        return None
+
+
+def check_units(graph: ProjectGraph) -> list[Violation]:
+    """Run RPR101 over every collected constraint; sorted output."""
+    env = UnitEnv(graph)
+    violations: list[Violation] = []
+    for facts in graph.modules.values():
+        for record in facts.unit_constraints:
+            v = _check_record(env, facts, record)
+            if v is not None and not facts.suppressed(v.line, RULE_ID):
+                violations.append(v)
+    return sorted(violations)
+
+
+def _conflicting(a: Dim | None, b: Dim | None) -> bool:
+    return (a is not None and b is not None and a != b
+            and a != DIMENSIONLESS and b != DIMENSIONLESS)
+
+
+def _check_record(env: UnitEnv, facts: ModuleFacts,
+                  record: Mapping[str, Any]) -> Violation | None:
+    kind = record["kind"]
+    if kind == "binop":
+        left = env.resolve(facts, record["l"])
+        right = env.resolve(facts, record["r"])
+        if _conflicting(left, right):
+            what = ("comparison between" if record["op"] == "cmp"
+                    else "addition of")
+            return Violation(
+                path=facts.path, line=record["line"], col=record["col"],
+                rule=RULE_ID,
+                message=f"{what} {format_dim(left)} and "
+                        f"{format_dim(right)} quantities")
+    elif kind == "assign":
+        tdim = (int(record["tdim"][0]), int(record["tdim"][1]))
+        vdim = env.resolve(facts, record["v"])
+        if _conflicting(tdim, vdim):
+            return Violation(
+                path=facts.path, line=record["line"], col=record["col"],
+                rule=RULE_ID,
+                message=f"`{record['target']}` declares "
+                        f"{format_dim(tdim)} but is assigned a "
+                        f"{format_dim(vdim)} value")
+    elif kind == "callarg":
+        vdim = env.resolve(facts, record["v"])
+        if vdim is None or vdim == DIMENSIONLESS:
+            return None
+        pdim = env.param_dim(facts, record["callee"],
+                             record.get("param"), record.get("pos"))
+        if _conflicting(pdim, vdim):
+            label = record.get("param")
+            where = (f"parameter `{label}`" if label
+                     else f"argument {record.get('pos')}")
+            return Violation(
+                path=facts.path, line=record["line"], col=record["col"],
+                rule=RULE_ID,
+                message=f"{format_dim(vdim)} value passed to "
+                        f"{format_dim(pdim)} {where} of "
+                        f"`{record['callee']}`")
+    return None

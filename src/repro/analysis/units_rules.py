@@ -1,10 +1,7 @@
 """Unit-safety rules (RPR005–RPR006).
 
-The paper's arithmetic is exact only in SI base units (1 GB / 16 MB/s =
-62.5 s).  These rules keep sizes, durations and bandwidths in bytes,
-seconds, and bytes/second throughout: magic literals must be spelled with
-:mod:`repro.units` constants, and public parameters must carry base-unit
-suffixes rather than ambiguous scaled ones.
+Keep sizes, durations and bandwidths in SI base units (bytes, seconds,
+bytes/second); rationale in ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -30,13 +27,7 @@ MAGIC_LITERALS: dict[float, str] = {
 
 @register
 class MagicUnitLiteral(Rule):
-    """RPR005 — unit-valued magic literals must use ``repro.units``.
-
-    A bare ``3600`` or ``1e9`` hides whether a quantity is seconds or
-    bytes and invites decimal-vs-binary mistakes; ``units.HOUR`` and
-    ``units.GB`` carry the intent and keep the paper's arithmetic exact.
-    ``repro/units.py`` itself is exempt (it defines the constants).
-    """
+    """RPR005 — unit-valued magic literals must use ``repro.units``."""
 
     id = "RPR005"
     summary = "magic unit literal; spell it with repro.units constants"
@@ -68,16 +59,7 @@ for _s in ("_kbps", "_mbps", "_gbps"):
 
 @register
 class NonBaseUnitParameter(Rule):
-    """RPR006 — public function parameters use base-unit suffixes.
-
-    Sizes are bytes (``_bytes``), durations seconds (``_s``), bandwidths
-    bytes/second (``_bps``/``_bw``).  A parameter named ``group_gb`` or
-    ``latency_ms`` forces every call site to remember a scale factor;
-    instead take base units and let callers write ``10 * units.GB``.
-    Parameters of underscore-private functions are exempt, as is any
-    name suppressed with ``# repro: noqa RPR006`` (e.g. ``x_min`` meaning
-    "minimum").
-    """
+    """RPR006 — public function parameters use base-unit suffixes."""
 
     id = "RPR006"
     summary = "scaled-unit parameter suffix; use _bytes/_s/_bps base units"

@@ -1,20 +1,8 @@
 """Weight-discipline rule (RPR012): no ad-hoc likelihood-ratio math.
 
-Importance-sampled runs (:mod:`repro.reliability.rare`) carry a
-likelihood ratio on ``RecoveryStats.log_weight``.  Combining those
-weights is deceptively easy to get wrong in driver code — a naive
-``sum(w * x) / sum(w)`` silently switches estimators (self-normalized,
-biased at small n, wrong CI), a plain ``sum`` accumulates float error
-that breaks the serial-vs-parallel bit-identity gate, and a stray
-``exp(log_weight)`` can overflow.  The sanctioned path is
-:class:`repro.reliability.stats.WeightedAggregate` (exact sums, validated
-weights), which the sweep runner folds for every run.
-
-Experiment drivers therefore must never touch per-run weights: reading
-``.log_weight``/``.weight`` or multiplying/dividing by anything
-weight-named in ``experiments/`` is flagged.  Estimator internals
-(``reliability/``) are exempt — that is where the one sanctioned
-implementation lives.
+Experiment drivers must not touch per-run importance weights; the one
+sanctioned combiner is ``reliability.stats.WeightedAggregate``.
+Rationale in ``docs/ANALYSIS.md`` and ``docs/RARE_EVENTS.md``.
 """
 
 from __future__ import annotations
@@ -42,15 +30,7 @@ def _mentions_weight(node: ast.AST) -> bool:
 
 @register
 class AdHocWeightArithmetic(Rule):
-    """RPR012 — likelihood-ratio weights combined outside WeightedAggregate.
-
-    In ``experiments/``, reading a run's ``.log_weight``/``.weight`` or
-    multiplying, dividing or exponentiating anything weight-named
-    re-implements the weighted estimator by hand; use the
-    ``WeightedAggregate`` the sweep aggregate already carries
-    (``aggregate.weighted``) or the weighted intervals in
-    ``repro.reliability.stats`` instead.
-    """
+    """RPR012 — weights combined outside WeightedAggregate."""
 
     id = "RPR012"
     summary = ("ad-hoc likelihood-ratio weight arithmetic; use "

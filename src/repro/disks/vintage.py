@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..units import MB, TB, YEAR
+from ..units import MB, SECOND, TB, YEAR
 from .failure import BathtubFailureModel
 
 
@@ -26,7 +26,7 @@ class DiskVintage:
 
     name: str = "paper-2004-extrapolated"
     capacity_bytes: float = 1 * TB
-    bandwidth_bps: float = 80 * MB
+    bandwidth_bps: float = 80 * MB / SECOND
     recovery_bandwidth_fraction: float = 0.20
     eodl_seconds: float = 6 * YEAR
     weight: float = 1.0

@@ -1,0 +1,8 @@
+"""RPR101 negative: the byte quantity lands on a byte-suffixed name."""
+
+from .metrics import disk_capacity
+
+
+def rebuild_bytes():
+    size_bytes = disk_capacity()
+    return size_bytes

@@ -1,0 +1,7 @@
+"""RPR101 fixture: helper whose return dimension is inferred (bytes)."""
+
+CAPACITY_BYTES = 1000.0 * 4096.0
+
+
+def disk_capacity():
+    return CAPACITY_BYTES

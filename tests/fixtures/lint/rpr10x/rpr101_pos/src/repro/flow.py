@@ -1,0 +1,8 @@
+"""RPR101 positive: a bytes-valued call assigned to a seconds name."""
+
+from .metrics import disk_capacity
+
+
+def rebuild_deadline():
+    wait_s = disk_capacity()
+    return wait_s

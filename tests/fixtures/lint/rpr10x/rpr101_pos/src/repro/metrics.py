@@ -1,0 +1,8 @@
+"""RPR101 fixture: helper whose return dimension is inferred (bytes)."""
+
+CAPACITY_BYTES = 1000.0 * 4096.0
+
+
+def disk_capacity():
+    """No unit suffix on the name: the dimension comes from the body."""
+    return CAPACITY_BYTES

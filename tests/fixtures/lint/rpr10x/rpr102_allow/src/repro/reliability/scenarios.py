@@ -1,0 +1,5 @@
+"""RPR102 allowlisted: scripted replay of the latent-injector stream."""
+
+
+def scripted_latents(streams):
+    return streams.get("faults-latent")

@@ -1,0 +1,5 @@
+"""RPR102 negative: the owning subsystem consumes its own stream."""
+
+
+def draw_resample(streams):
+    return streams.rare("split-resample")

@@ -1,0 +1,9 @@
+"""RPR102 positive: a rare-* stream drawn outside its subsystem.
+
+``rare-split-resample`` belongs to ``repro.reliability.rare``; drawing
+it from experiment code would perturb the estimator's resampling.
+"""
+
+
+def draw_resample(streams):
+    return streams.rare("split-resample")

@@ -1,0 +1,6 @@
+"""RPR103 negative: every config field is read by both engines."""
+
+
+class SystemConfig:
+    detection_s: float
+    rebuild_bw_bps: float

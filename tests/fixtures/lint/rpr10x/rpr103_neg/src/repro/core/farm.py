@@ -1,0 +1,5 @@
+"""Process engine stand-in: reads both config fields."""
+
+
+def run_process(config):
+    return (config.detection_s, config.rebuild_bw_bps)

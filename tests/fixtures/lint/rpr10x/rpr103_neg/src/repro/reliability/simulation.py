@@ -1,0 +1,5 @@
+"""Fast engine stand-in: reads both config fields."""
+
+
+def run_fast(config):
+    return (config.detection_s, config.rebuild_bw_bps)

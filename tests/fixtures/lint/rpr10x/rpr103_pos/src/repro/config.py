@@ -1,0 +1,6 @@
+"""RPR103 positive: one config field is wired into only one engine."""
+
+
+class SystemConfig:
+    detection_s: float
+    rebuild_bw_bps: float

@@ -1,0 +1,5 @@
+"""Process engine stand-in: never reads ``rebuild_bw_bps``."""
+
+
+def run_process(config):
+    return config.detection_s

@@ -1,0 +1,6 @@
+"""RPR104 negative: every field read, nothing re-defaulted."""
+
+
+class SystemConfig:
+    duration_s: float
+    orphan_knob: float

@@ -1,0 +1,6 @@
+"""RPR104 positive: ``orphan_knob`` is deliberately never read."""
+
+
+class SystemConfig:
+    duration_s: float
+    orphan_knob: float

@@ -1,0 +1,10 @@
+"""Shadow re-defaults: a parameter and a dataclass field both restate
+the config field ``duration_s`` with their own literal default."""
+
+
+class LocalTuning:
+    duration_s: float = 60.0
+
+
+def run_process(config, duration_s: float = 60.0):
+    return (config.duration_s, duration_s)

@@ -1,9 +1,15 @@
-"""Tier-1 gate: the invariant linter must pass on ``src/``.
+"""Tier-1 gate: the analyzer must pass on ``src/``.
 
 This is the enforcement point for the repository's determinism,
-unit-safety, and simulation-discipline invariants (rules RPR001–RPR008,
-see ``docs/DEVELOPMENT.md``): any violation in the library tree fails the
-test suite, with the offending ``file:line`` in the assertion message.
+unit-safety, and simulation-discipline invariants (per-file rules
+RPR001–RPR012 and whole-program rules RPR101–RPR104, see
+``docs/ANALYSIS.md``): any violation in the library tree fails the test
+suite, with the offending ``file:line`` in the assertion message.
+
+The ``rpr10x`` fixture trees prove each whole-program rule catches a
+seeded cross-module violation — including a deliberately unread
+``SystemConfig`` field and an out-of-subsystem ``rare-*`` stream read —
+and stays silent on the corresponding clean and allowlisted variants.
 """
 
 import json
@@ -12,11 +18,18 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.analysis import lint_paths, render_text
+from repro.analysis import analyze_paths, lint_paths, render_text
+from repro.analysis.configflow import ParityPolicy, check_engine_parity
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+RPR10X = FIXTURES / "rpr10x"
+
+
+def _analyze_tree(name: str):
+    tree = RPR10X / name / "src"
+    return analyze_paths([tree], roots=[tree])
 
 
 class TestSrcTreeIsClean:
@@ -24,21 +37,93 @@ class TestSrcTreeIsClean:
         violations = lint_paths([SRC])
         assert violations == [], (
             "static-analysis violations in src/ "
-            "(see docs/DEVELOPMENT.md for the rules):\n"
+            "(see docs/ANALYSIS.md for the rules):\n"
             + render_text(violations))
 
+    def test_no_whole_program_violations_in_src(self):
+        result = analyze_paths([SRC])
+        assert result.errors == [], [e.format() for e in result.errors]
+        assert result.violations == [], (
+            "whole-program analysis violations in src/ "
+            "(see docs/ANALYSIS.md for the rules):\n"
+            + render_text(result.violations))
 
-def _run_cli(*args: str) -> subprocess.CompletedProcess:
+
+class TestWholeProgramFixtures:
+    def test_rpr101_catches_cross_module_unit_mismatch(self):
+        result = _analyze_tree("rpr101_pos")
+        assert [v.rule for v in result.violations] == ["RPR101"]
+        v = result.violations[0]
+        assert v.path.endswith("flow.py")
+        assert "seconds" in v.message and "bytes" in v.message
+
+    def test_rpr101_negative_and_noqa_trees_are_clean(self):
+        assert _analyze_tree("rpr101_neg").violations == []
+        assert _analyze_tree("rpr101_noqa").violations == []
+
+    def test_rpr102_catches_out_of_subsystem_rare_stream_read(self):
+        result = _analyze_tree("rpr102_pos")
+        assert [v.rule for v in result.violations] == ["RPR102"]
+        v = result.violations[0]
+        assert v.path.endswith("sweep.py")
+        assert "rare-split-resample" in v.message
+        assert "repro.reliability.rare" in v.message
+
+    def test_rpr102_owner_and_allowlisted_consumers_are_clean(self):
+        assert _analyze_tree("rpr102_neg").violations == []
+        assert _analyze_tree("rpr102_allow").violations == []
+
+    def test_rpr103_catches_engine_parity_drift(self):
+        result = _analyze_tree("rpr103_pos")
+        assert [v.rule for v in result.violations] == ["RPR103"]
+        v = result.violations[0]
+        assert v.path.endswith("config.py")
+        assert "rebuild_bw_bps" in v.message
+        assert "process (object)" in v.message
+
+    def test_rpr103_negative_tree_is_clean(self):
+        assert _analyze_tree("rpr103_neg").violations == []
+
+    def test_rpr103_single_engine_allowlist_suppresses(self):
+        result = _analyze_tree("rpr103_pos")
+        policy = ParityPolicy(single_engine_fields={
+            "rebuild_bw_bps": "fixture: fast-engine-only by design"})
+        assert check_engine_parity(result.graph, policy) == []
+
+    def test_rpr104_catches_unread_field_and_shadow_defaults(self):
+        result = _analyze_tree("rpr104_pos")
+        found = sorted((v.rule, Path(v.path).name)
+                       for v in result.violations)
+        assert found == [("RPR104", "config.py"),
+                         ("RPR104", "farm.py"),
+                         ("RPR104", "farm.py")]
+        messages = " ".join(v.message for v in result.violations)
+        assert "orphan_knob" in messages        # the unread config field
+        assert "duration_s=60.0" in messages    # the parameter shadow
+        assert "LocalTuning.duration_s" in messages
+
+    def test_rpr104_negative_tree_is_clean(self):
+        assert _analyze_tree("rpr104_neg").violations == []
+
+
+def _run_cli(*args: str, cwd: Path = REPO_ROOT
+             ) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, "-m", "repro.analysis", *args],
-        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+        capture_output=True, text=True, env=env, cwd=cwd)
+
 
 class TestCli:
     def test_clean_tree_exits_zero(self):
         proc = _run_cli(str(SRC))
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_strict_clean_tree_exits_zero(self):
+        proc = _run_cli("--strict", "--no-cache", "--timing", str(SRC))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "collect" in proc.stderr     # --timing report
 
     def test_violations_exit_nonzero_with_rule_and_location(self):
         proc = _run_cli(str(FIXTURES))
@@ -53,8 +138,44 @@ class TestCli:
         assert doc["total"] == len(doc["violations"]) > 0
         assert doc["counts"]["RPR001"] == 1
 
+    def test_sarif_format_is_parseable(self):
+        tree = RPR10X / "rpr101_pos" / "src"
+        proc = _run_cli("--strict", "--no-cache", "--format", "sarif",
+                        str(tree))
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analysis"
+        assert [r["ruleId"] for r in run["results"]] == ["RPR101"]
+        region = run["results"][0]["locations"][0][
+            "physicalLocation"]["region"]
+        assert region["startLine"] == 7
+
+    def test_baseline_roundtrip_suppresses_known_findings(self, tmp_path):
+        tree = RPR10X / "rpr101_pos" / "src"
+        baseline = tmp_path / "baseline.txt"
+        wrote = _run_cli("--strict", "--no-cache",
+                         "--write-baseline", str(baseline), str(tree))
+        assert wrote.returncode == 0, wrote.stderr
+        replay = _run_cli("--strict", "--no-cache",
+                          "--baseline", str(baseline), str(tree))
+        assert replay.returncode == 0, replay.stdout + replay.stderr
+
+    def test_internal_error_exits_two_naming_the_file(self, tmp_path):
+        bomb = tmp_path / "bomb.py"
+        bomb.write_text("x = " + "+".join(["1"] * 30000) + "\n",
+                        encoding="utf-8")
+        proc = _run_cli("--no-cache", str(tmp_path))
+        assert proc.returncode == 2
+        assert "internal analyzer error" in proc.stderr
+        assert "bomb.py" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
     def test_list_rules_mentions_every_rule(self):
         proc = _run_cli("--list-rules")
         assert proc.returncode == 0
         for n in range(1, 9):
             assert f"RPR00{n}" in proc.stdout
+        for n in (101, 102, 103, 104):
+            assert f"RPR{n}" in proc.stdout
