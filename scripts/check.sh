@@ -41,6 +41,8 @@ step "invariant analyzer (per-file + whole-program, incremental)" \
   python -m repro.analysis --strict --timing src
 step "sweep parity (serial == parallel, incl. telemetry snapshots)" \
   python -m repro sweep-check --jobs 2
+step "topology experiment (smoke)" \
+  env REPRO_SCALE=smoke python -m repro run topology
 optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
 optional_step "mypy" mypy python -m mypy
 step "fault-injection tests" python -m pytest tests/test_faults.py tests/test_fault_scenarios.py -q

@@ -38,7 +38,7 @@ from .config import SystemConfig
 from .experiments import SCALES, ablations, base
 from .experiments import (faults_sweep, figure3, figure4, figure5, figure7,
                           figure8, mttdl_table, perf_table, rare_sweep,
-                          redirection, table1, table3)
+                          redirection, table1, table3, topology_sweep)
 from .redundancy.schemes import RedundancyScheme
 from .reliability import estimate_p_loss, p_loss_window_model
 from .units import GB, PB
@@ -61,6 +61,7 @@ EXPERIMENTS = {
     "faults": lambda s, seed, est: [faults_sweep.run(s, seed)],
     "perf": lambda s, seed, est: [perf_table.run(s, seed)],
     "rare": lambda s, seed, est: [rare_sweep.run(s, seed)],
+    "topology": lambda s, seed, est: [topology_sweep.run(s, seed)],
     "ablations": lambda s, seed, est: [ablations.run_placement(s, seed),
                                        ablations.run_policy(s, seed),
                                        ablations.run_workload(s, seed),
@@ -163,6 +164,11 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         "farm": tiny,
         "traditional": tiny.with_(use_farm=False),
         "slow-detect": tiny.with_(detection_latency=600.0),
+        # Non-flat topology with the domain cap active: the fast engine's
+        # constraint/deferral paths must also be serial/parallel
+        # bit-identical.
+        "topology": tiny.with_(racks=4, machines_per_rack=2,
+                               max_chunks_per_domain=1),
     }
     serial = sweep(points, n_runs=args.runs, base_seed=args.seed,
                    n_jobs=None, bench_path=None, sweep_name="sweep-check",

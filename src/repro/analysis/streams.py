@@ -78,6 +78,12 @@ REPRO_STREAM_POLICY = StreamPolicy(
         "migration": ("repro.reliability.simulation", "repro.core.farm"),
         "smart": ("repro.cluster.system",),
         "table3-sample": ("repro.experiments.table3",),
+        # Failure-domain injectors (golden-pinned streams; the faults-
+        # prefix rule would cover them, the exact entries make the
+        # ownership greppable next to their pins).
+        "faults-domain-bursts": ("repro.faults",),
+        "faults-domain-outages": ("repro.faults",),
+        "faults-domain-stragglers": ("repro.faults",),
     },
     prefix_owners={
         "faults-": ("repro.faults",),

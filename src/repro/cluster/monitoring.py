@@ -58,13 +58,18 @@ class HeartbeatMonitor:
         values trade latency for robustness against transient noise.
     on_detect:
         Callback ``(disk_id, detected_at)`` fired at detection time.
+    telemetry:
+        Optional :class:`~repro.telemetry.handle.Telemetry` handle: each
+        detection's latency is observed into the fixed-bound
+        ``repro_detection_latency_seconds`` histogram, which parallel
+        sweeps merge in run-index order like the span histograms.
     """
 
     def __init__(self, sim: Simulator, is_alive: Callable[[int], bool],
                  disk_ids: list[int], period: float,
                  probe_timeout: float = 0.0, misses_allowed: int = 1,
-                 on_detect: Callable[[int, float], None] | None = None
-                 ) -> None:
+                 on_detect: Callable[[int, float], None] | None = None,
+                 telemetry=None) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
         if probe_timeout < 0:
@@ -77,6 +82,7 @@ class HeartbeatMonitor:
         self.probe_timeout = float(probe_timeout)
         self.misses_allowed = misses_allowed
         self.on_detect = on_detect
+        self.telemetry = telemetry
         self.detections: list[DetectionEvent] = []
         self._watched: dict[int, int] = {d: 0 for d in disk_ids}
         self._failed_at: dict[int, float] = {}
@@ -122,6 +128,8 @@ class HeartbeatMonitor:
         event = DetectionEvent(disk_id=disk_id, failed_at=failed_at,
                                detected_at=now)
         self.detections.append(event)
+        if self.telemetry is not None:
+            self.telemetry.detection_latency(event.latency)
         if self.on_detect is not None:
             self.on_detect(disk_id, now)
 

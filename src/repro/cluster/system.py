@@ -21,10 +21,12 @@ from ..config import SystemConfig
 from ..disks.disk import Disk, DiskState
 from ..disks.smart import SmartMonitor
 from ..placement.base import PlacementAlgorithm
+from ..placement.copyset import CopysetPlacement
 from ..placement.random_placement import RandomPlacement
 from ..placement.rush import RushPlacement
 from ..redundancy.group import RedundancyGroup
 from ..sim.rng import RandomStreams
+from .topology import Topology, enforce_domain_constraint
 
 
 class StorageSystem:
@@ -55,11 +57,20 @@ class StorageSystem:
         #: simulator-known failure time of each disk (absolute seconds).
         self.failure_times: list[float] = []
         self.initial_population = 0
+        #: failure-domain tree shared with the fault injectors and the
+        #: recovery policy; 1 x 1 by default (the paper's flat pool).
+        self.topology = Topology(config.racks, config.machines_per_rack,
+                                 config.n_disks)
 
         if placement is None:
             if config.placement == "rush":
                 placement = RushPlacement(config.n_disks,
                                           seed=streams.seed)
+            elif config.placement == "copyset":
+                placement = CopysetPlacement(config.n_disks,
+                                             group_size=config.scheme.n,
+                                             topology=self.topology,
+                                             seed=streams.seed)
             else:
                 placement = RandomPlacement(config.n_disks,
                                             seed=streams.seed)
@@ -78,7 +89,12 @@ class StorageSystem:
         self._build()
 
     # ------------------------------------------------------------------ #
-    def _new_disk(self, disk_id: int, now: float) -> Disk:
+    def _new_disk(self, disk_id: int, now: float,
+                  slot: int | None = None) -> Disk:
+        if disk_id >= self.topology.n_disks:
+            # Replacement disks inherit the failed slot's machine; disks
+            # added without a slot (capacity batches) tile round-robin.
+            self.topology.add_disk(slot_of=slot)
         disk = Disk(disk_id=disk_id, vintage=self.config.vintage,
                     deployed_at=now,
                     spare_reserve_fraction=self.config.spare_reserve_fraction)
@@ -107,6 +123,9 @@ class StorageSystem:
 
         grp_ids = np.arange(cfg.n_groups, dtype=np.int64)
         matrix = self.placement.place_many(grp_ids, cfg.scheme.n)
+        matrix = enforce_domain_constraint(matrix, self.topology,
+                                           cfg.max_chunks_per_domain,
+                                           self.placement)
         block_bytes = cfg.block_bytes
         for g in range(cfg.n_groups):
             disks = [int(d) for d in matrix[g]]
@@ -152,6 +171,28 @@ class StorageSystem:
         """Per-disk used bytes (0 for failed disks, matching Figure 6)."""
         return np.array([d.used_bytes if d.online else 0.0
                          for d in self.disks])
+
+    def domain_violation(self, group: RedundancyGroup, target: int,
+                         moving_rep: int | None = None) -> bool:
+        """Would putting a block of ``group`` on ``target`` break the cap?
+
+        ``max_chunks_per_domain`` bounds how many blocks of one group may
+        share a rack.  ``moving_rep`` excludes a block that is being moved
+        *from* its current disk (migration), since it vacates its rack.
+        Always False when the constraint is disabled.
+        """
+        limit = self.config.max_chunks_per_domain
+        if limit is None:
+            return False
+        topo = self.topology
+        rack = topo.rack_of(target)
+        count = 0
+        for rep, disk_id in enumerate(group.disks):
+            if rep == moving_rep or rep in group.failed or disk_id < 0:
+                continue
+            if topo.rack_of(disk_id) == rack:
+                count += 1
+        return count >= limit
 
     def is_suspect(self, disk_id: int, now: float) -> bool:
         """SMART advice for target selection (False without a monitor)."""
@@ -258,15 +299,17 @@ class StorageSystem:
             self.telemetry.index_entries_compacted.inc(dropped)
         return dropped
 
-    def add_spare(self, now: float) -> int:
+    def add_spare(self, now: float, slot: int | None = None) -> int:
         """Deploy one dedicated spare disk (traditional RAID recovery).
 
         The spare is *not* added to the placement algorithm: it exists only
         to receive a failed disk's reconstructed data, which is exactly the
-        non-declustered behaviour FARM improves upon.
+        non-declustered behaviour FARM improves upon.  ``slot`` names the
+        failed disk whose bay the spare occupies, so it inherits that
+        slot's failure domain.
         """
         disk_id = self.n_disks
-        self._new_disk(disk_id, now)
+        self._new_disk(disk_id, now, slot=slot)
         if self.telemetry is not None:
             self.telemetry.spares_provisioned.inc()
         return disk_id
@@ -284,7 +327,8 @@ class StorageSystem:
         first = self.n_disks
         if isinstance(self.placement, RushPlacement):
             self.placement.add_cluster(count, weight=weight)
-        elif isinstance(self.placement, RandomPlacement):
+        elif isinstance(self.placement, (RandomPlacement,
+                                         CopysetPlacement)):
             self.placement.add_disks(count)
         for disk_id in range(first, first + count):
             self._new_disk(disk_id, now)
@@ -315,6 +359,8 @@ class StorageSystem:
                 target = int(rng.choice(new_ids))
                 if group.holds_buddy(target):
                     continue
+                if self.domain_violation(group, target, moving_rep=rep):
+                    continue    # rebalance must not breach the rack cap
                 if not self.disks[target].can_accept(block_bytes):
                     continue    # never overfill a replacement drive
                 self.disks[disk_id].release(block_bytes)

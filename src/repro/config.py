@@ -53,8 +53,17 @@ class SystemConfig:
     smart_false_positive_rate: float = 0.01
     replacement_threshold: float | None = None
     duration: float = 6 * YEAR
-    placement: Literal["random", "rush"] = "random"
+    placement: Literal["random", "rush", "copyset"] = "random"
     workload_peak_load: float = 0.0   # 0 disables the diurnal workload model
+    #: Failure-domain topology (rack -> machine -> disk).  The default
+    #: 1 x 1 degenerates to the paper's flat pool: one rack holding one
+    #: machine holding every disk, so no behaviour changes.
+    racks: int = 1
+    machines_per_rack: int = 1
+    #: Cap on how many blocks of one group may share a *rack*; ``None``
+    #: (the default) disables the constraint entirely.  The machine-level
+    #: bound follows a fortiori since machines nest inside racks.
+    max_chunks_per_domain: int | None = None
 
     def __post_init__(self) -> None:
         if self.total_user_bytes <= 0:
@@ -80,6 +89,22 @@ class SystemConfig:
             raise ValueError("duration must be positive")
         if not 0 <= self.workload_peak_load < 1:
             raise ValueError("workload peak load must be in [0, 1)")
+        if self.racks < 1 or self.machines_per_rack < 1:
+            raise ValueError("topology needs at least 1 rack and 1 "
+                             "machine per rack")
+        if self.max_chunks_per_domain is not None:
+            if self.max_chunks_per_domain < 1:
+                raise ValueError("max_chunks_per_domain must be >= 1")
+            if self.racks * self.max_chunks_per_domain < self.scheme.n:
+                raise ValueError(
+                    f"infeasible domain constraint: {self.racks} racks x "
+                    f"{self.max_chunks_per_domain} chunks/rack cannot hold "
+                    f"a group of {self.scheme.n} blocks")
+            if self.n_disks < self.racks * self.machines_per_rack:
+                raise ValueError(
+                    "domain constraint needs every machine populated: "
+                    f"{self.n_disks} disks < {self.racks} racks x "
+                    f"{self.machines_per_rack} machines")
         block = self.scheme.block_bytes(self.group_user_bytes)
         usable = self.vintage.capacity_bytes * (
             1.0 - self.spare_reserve_fraction)

@@ -45,6 +45,10 @@ class FarmRecovery(RecoveryManager):
             replacement = BatchReplacementPolicy(cfg.replacement_threshold)
         self.replacement = replacement
         self._unreplaced_failures = 0
+        #: Whether the most recent failed _try_start was blocked solely by
+        #: the failure-domain placement cap (drives constrained-deferral
+        #: accounting in _start_if_alive).
+        self._defer_constrained = False
         if cfg.workload_peak_load > 0:
             self.workload = DiurnalWorkload(peak_load=cfg.workload_peak_load)
         else:
@@ -63,6 +67,7 @@ class FarmRecovery(RecoveryManager):
         (transient outages).  Reading the sources also surfaces any latent
         errors in them first — which can reveal the group as already dead.
         """
+        self._defer_constrained = False
         self._discover_latent_partners(group, rep_id)
         if group.lost or rep_id not in group.failed:
             return True     # moot: resolved or lost while we looked
@@ -79,8 +84,11 @@ class FarmRecovery(RecoveryManager):
             target = self.selector.select(
                 group, cfg.block_bytes, now, self.busy_until,
                 exclude=inflight, reserved=self.reserved_bytes)
-        except NoTargetError:
-            return False    # system too full: defer until space frees up
+        except NoTargetError as err:
+            # System too full — or every otherwise admissible target vetoed
+            # by the domain cap: defer, never violate the constraint.
+            self._defer_constrained = err.constrained
+            return False
         job = RebuildJob(group=group, rep_id=rep_id, target=target,
                          failed_at=failed_at, sources=sources)
         factor = self._bandwidth_factor(target, sources)
@@ -111,7 +119,8 @@ class FarmRecovery(RecoveryManager):
             return
         now = self.sim.now
         if not self._try_start(group, rep, failed_at, now):
-            self.defer_rebuild(group, rep, failed_at, now)
+            self.defer_rebuild(group, rep, failed_at, now,
+                               constrained=self._defer_constrained)
 
     def _reschedule(self, job: RebuildJob, now: float) -> None:
         start = now + self.config.detection_latency

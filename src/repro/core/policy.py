@@ -36,7 +36,17 @@ class PolicyConfig:
 
 
 class NoTargetError(RuntimeError):
-    """No disk in the system can accept the new replica."""
+    """No disk in the system can accept the new replica.
+
+    ``constrained`` is True when at least one disk satisfied the paper's
+    hard constraints (a)-(c) but was vetoed solely by the failure-domain
+    placement cap (``SystemConfig.max_chunks_per_domain``): the caller
+    then *defers* the rebuild rather than violating the constraint.
+    """
+
+    def __init__(self, message: str, constrained: bool = False) -> None:
+        super().__init__(message)
+        self.constrained = constrained
 
 
 class TargetSelector:
@@ -66,6 +76,27 @@ class TargetSelector:
             return False
         return True
 
+    def _domain_ok(self, disk_id: int, group: RedundancyGroup,
+                   exclude: frozenset[int]) -> bool:
+        """Failure-domain cap: blocks of one group per rack, counting the
+        targets of the group's other in-flight rebuilds (``exclude``) as
+        already placed.  Always True when the constraint is disabled."""
+        limit = self.system.config.max_chunks_per_domain
+        if limit is None:
+            return True
+        topo = self.system.topology
+        rack = topo.rack_of(disk_id)
+        count = 0
+        for rep, d in enumerate(group.disks):
+            if rep in group.failed or d < 0:
+                continue
+            if topo.rack_of(d) == rack:
+                count += 1
+        for d in exclude:
+            if topo.rack_of(d) == rack:
+                count += 1
+        return count < limit
+
     def _preferred(self, disk_id: int, now: float,
                    busy_until: Callable[[int], float]) -> bool:
         """Soft constraints: bandwidth headroom and SMART health."""
@@ -94,9 +125,15 @@ class TargetSelector:
         except PlacementError:
             candidates = self.system.placement.candidates(
                 group.grp_id, self.system.placement.n_disks)
-        admissible = [d for d in candidates
-                      if self._admissible(d, group, nbytes, exclude,
-                                          reserved)]
+        blocked_by_domain = False
+        admissible = []
+        for d in candidates:
+            if not self._admissible(d, group, nbytes, exclude, reserved):
+                continue
+            if not self._domain_ok(d, group, exclude):
+                blocked_by_domain = True
+                continue
+            admissible.append(d)
         for disk_id in admissible:
             if self._preferred(disk_id, now, busy_until):
                 return disk_id
@@ -106,8 +143,13 @@ class TargetSelector:
         # fall back to a linear scan so recovery degrades gracefully instead
         # of dropping redundancy.
         for disk in self.system.disks:
-            if self._admissible(disk.disk_id, group, nbytes, exclude,
-                                reserved):
-                return disk.disk_id
+            if not self._admissible(disk.disk_id, group, nbytes, exclude,
+                                    reserved):
+                continue
+            if not self._domain_ok(disk.disk_id, group, exclude):
+                blocked_by_domain = True
+                continue
+            return disk.disk_id
         raise NoTargetError(
-            f"no admissible recovery target for group {group.grp_id}")
+            f"no admissible recovery target for group {group.grp_id}",
+            constrained=blocked_by_domain)

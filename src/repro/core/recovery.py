@@ -36,7 +36,7 @@ from ..sim.events import Event
 from ..sim.resources import SerialServer
 from ..telemetry.handle import Telemetry
 from ..telemetry.probes import ProbeSample
-from ..units import HOUR, MINUTE
+from ..units import MINUTE
 
 
 @dataclass
@@ -58,6 +58,14 @@ class RecoveryStats:
     #: Rebuilds that could not start (no target / no readable source) and
     #: were parked in the deferred-rebuild queue instead of being dropped.
     rebuilds_deferred: int = 0
+    #: Subset of ``rebuilds_deferred`` parked because every otherwise
+    #: admissible target was vetoed by the failure-domain placement cap
+    #: (``max_chunks_per_domain``): the policy defers, never violates.
+    rebuilds_deferred_constraint: int = 0
+    #: Block losses where the group still held another live block in the
+    #: failing disk's *rack* — placement left the group co-vulnerable to
+    #: that domain.  Only counted under a non-flat topology.
+    domain_colocated_losses: int = 0
     #: Deferred-rebuild retry attempts (backoff or re-arm firings).
     retries: int = 0
     #: Latent sector errors surfaced by a scrub or a rebuild read.
@@ -139,9 +147,15 @@ def _marker() -> None:
 class RecoveryManager(ABC):
     """Base class wiring a recovery scheme into the simulator."""
 
-    #: Deferred-rebuild backoff: ``base * 2**attempt`` seconds, capped.
+    #: Deferred-rebuild backoff: ``base * 2**attempt`` seconds.  The
+    #: doubling is uncapped (exponent clamped) because
+    #: :meth:`rearm_deferred` already retries promptly whenever the world
+    #: improves (batch arrived, disk back online); a fixed hourly cap
+    #: would instead let thousands of hopelessly parked blocks — e.g. a
+    #: dead rack under the failure-domain cap — retry-spin for simulated
+    #: months and dominate the event loop.
     retry_base_s: float = MINUTE
-    retry_cap_s: float = HOUR
+    retry_max_doublings: int = 16
 
     def __init__(self, system: StorageSystem, sim: Simulator,
                  telemetry: Telemetry | None = None) -> None:
@@ -213,6 +227,22 @@ class RecoveryManager(ABC):
         if tele is not None:
             tele.disk_failures.inc()
         affected = self.system.fail_disk(disk_id, now)
+
+        # Domain co-location accounting: a block loss whose group still
+        # keeps another live block in the failing disk's rack means the
+        # placement left the group doubly exposed to that rack.
+        topo = self.system.topology
+        if topo.racks > 1:
+            rack = topo.rack_of(disk_id)
+            for group, reps in affected:
+                if not reps:
+                    continue
+                if any(r not in group.failed and d >= 0
+                       and topo.rack_of(d) == rack
+                       for r, d in enumerate(group.disks)):
+                    self.stats.domain_colocated_losses += len(reps)
+                    if tele is not None:
+                        tele.domain_colocated_losses.inc(len(reps))
 
         # Jobs whose *target* just died: pick another target (paper §2.3,
         # "we merely choose an alternative target") — recovery redirection.
@@ -297,13 +327,15 @@ class RecoveryManager(ABC):
         self.sim.schedule(0.0, _marker, name=name)
 
     def defer_rebuild(self, group: RedundancyGroup, rep_id: int,
-                      failed_at: float, now: float) -> None:
+                      failed_at: float, now: float,
+                      constrained: bool = False) -> None:
         """Park a rebuild that cannot start; retry with capped backoff.
 
         Replaces the old silent-drop behaviour: the group stays visibly
         degraded (``stats.rebuilds_deferred``, a ``rebuild-deferred`` trace
         marker) and the rebuild is retried until it starts, the group is
-        lost, or the simulation ends.
+        lost, or the simulation ends.  ``constrained`` marks a deferral
+        forced solely by the failure-domain placement cap.
         """
         key = (group.grp_id, rep_id)
         entry = self._deferred.get(key)
@@ -312,8 +344,12 @@ class RecoveryManager(ABC):
                                     failed_at=failed_at)
             self._deferred[key] = entry
             self.stats.rebuilds_deferred += 1
+            if constrained:
+                self.stats.rebuilds_deferred_constraint += 1
             if self.telemetry is not None:
                 self.telemetry.rebuilds_deferred.inc()
+                if constrained:
+                    self.telemetry.rebuilds_deferred_constraint.inc()
             self._trace_marker("rebuild-deferred")
         self._arm_retry(key, entry)
 
@@ -321,8 +357,8 @@ class RecoveryManager(ABC):
                    entry: DeferredRebuild) -> None:
         if entry.event is not None:
             entry.event.cancel()
-        delay = min(self.retry_base_s * (2.0 ** entry.attempts),
-                    self.retry_cap_s)
+        delay = self.retry_base_s * (2.0 ** min(entry.attempts,
+                                                self.retry_max_doublings))
         entry.attempts += 1
         entry.event = self.sim.schedule(delay, self._retry_deferred, key,
                                         name="rebuild-retry")
@@ -503,9 +539,12 @@ class RecoveryManager(ABC):
         """
         now = self.sim.now
         cap = self.config.recovery_bandwidth
+        topo = self.system.topology
+        per_rack = topo.racks > 1
         busy = 0
         loads: list[int] = []
         states: dict[str, int] = {}
+        by_rack: dict[str, float] = {}
         for disk in self.system.disks:
             state = disk.state.name.lower()
             states[state] = states.get(state, 0) + 1
@@ -515,6 +554,9 @@ class RecoveryManager(ABC):
             loads.append(srv.jobs_served if srv is not None else 0)
             if srv is not None and srv.free_at > now:
                 busy += 1
+                if per_rack:
+                    key = str(topo.rack_of(disk.disk_id))
+                    by_rack[key] = by_rack.get(key, 0.0) + cap
         degraded = sum(1 for g in self.system.groups
                        if g.failed and not g.lost)
         return ProbeSample(
@@ -525,7 +567,8 @@ class RecoveryManager(ABC):
             degraded_groups=degraded,
             deferred_rebuilds=len(self._deferred),
             rebuild_load_max=float(max(loads, default=0)),
-            rebuild_load_mean=(sum(loads) / len(loads)) if loads else 0.0)
+            rebuild_load_mean=(sum(loads) / len(loads)) if loads else 0.0,
+            bandwidth_by_rack=by_rack)
 
     # -- scheme-specific hooks ---------------------------------------------- #
     @abstractmethod

@@ -34,8 +34,9 @@ class TraditionalRecovery(RecoveryManager):
         self.spares_provisioned = 0
 
     # ------------------------------------------------------------------ #
-    def _provision_spare(self, now: float) -> int:
-        spare = self.system.add_spare(now)
+    def _provision_spare(self, now: float,
+                         slot: int | None = None) -> int:
+        spare = self.system.add_spare(now, slot=slot)
         self.spares_provisioned += 1
         # The spare is a real drive: it can fail too.
         t = self.system.failure_times[spare]
@@ -65,7 +66,10 @@ class TraditionalRecovery(RecoveryManager):
         or a secondary spare when the primary already holds a buddy."""
         spare = self._spare_for.get(failed_disk)
         if spare is None or not self.system.disks[spare].online:
-            spare = self._provision_spare(now)
+            # The spare goes into the failed disk's bay, inheriting its
+            # failure domain — so rebuilding onto it never changes the
+            # group's per-rack block counts.
+            spare = self._provision_spare(now, slot=failed_disk)
             self._spare_for[failed_disk] = spare
         if not group.holds_buddy(spare):
             return spare
@@ -74,7 +78,7 @@ class TraditionalRecovery(RecoveryManager):
         alt = self._spare_for.get(-spare - 1)
         if alt is None or not self.system.disks[alt].online or \
                 group.holds_buddy(alt):
-            alt = self._provision_spare(now)
+            alt = self._provision_spare(now, slot=failed_disk)
             self._spare_for[-spare - 1] = alt
         return alt
 

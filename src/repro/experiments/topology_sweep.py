@@ -1,0 +1,131 @@
+"""Topology sweep: placement survival under correlated rack bursts.
+
+The paper's loss model assumes independent disk failures over a flat
+pool.  Under that assumption constraint-free declustered placement is
+optimal; under *correlated* domain failures it is the worst case — a
+mirror group whose two blocks share a rack dies the instant that rack
+does.  This experiment makes the trade-off measurable: a grid of rack
+counts x placement policies x rack-burst rates, each cell a set of
+seeded object-engine scenarios armed with
+:class:`~repro.faults.domains.DomainBurst` at rack level.
+
+Policies compared at equal redundancy (mirroring):
+
+* ``random`` — the paper's unconstrained declustered placement;
+* ``random+cap`` — the same placement under
+  ``max_chunks_per_domain=1`` (at most one block of a group per rack);
+* ``copyset`` — copyset placement built rack-aware, same cap.
+
+Replacement batches are enabled so deferred rebuilds have somewhere to
+drain: after a burst kills a rack, the constrained policies re-replicate
+into the surviving domains and the next burst finds every group still
+rack-disjoint.  The unconstrained policy loses every group that was
+co-located in the burst rack — ``p_loss`` strictly higher than either
+constrained policy at the same rate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..config import SystemConfig
+from ..faults.domains import DomainBurst
+from ..reliability.runner import SweepRunner
+from ..reliability.scenarios import Scenario
+from ..units import DAY, GB, TB, YEAR
+from .base import ExperimentResult, Scale, current_scale
+
+#: Rack counts swept (machines_per_rack stays 1: burst granularity is
+#: the rack, so the machine level adds nothing here).
+RACK_COUNTS: tuple[int, ...] = (2, 4)
+
+#: Rack-burst arrival rates (whole-cluster, 1/seconds).
+BURST_RATES: tuple[float, ...] = (4.0 / YEAR, 16.0 / YEAR)
+
+#: Scenario measurement horizon.
+HORIZON = 180 * DAY
+
+#: label -> SystemConfig overrides for the compared placement policies.
+POLICIES: tuple[tuple[str, dict], ...] = (
+    ("random", {}),
+    ("random+cap", {"max_chunks_per_domain": 1}),
+    ("copyset", {"placement": "copyset", "max_chunks_per_domain": 1}),
+)
+
+
+def _cell_config(racks: int, overrides: dict) -> SystemConfig:
+    """A small object-engine system (32 disks, 400 mirror groups).
+
+    Utilization is kept low (25%) and the replacement threshold
+    aggressive (10%) so that after a burst kills a whole rack, the
+    replacement batch plus surviving headroom can always host a
+    rack-disjoint re-replication of every degraded group.  At the
+    default 40% utilization the batch disks in the killed rack fill up
+    and hundreds of rebuilds park constraint-deferred until the *next*
+    batch — a capacity-planning failure mode, not the placement effect
+    this sweep isolates."""
+    return SystemConfig(total_user_bytes=4 * TB, group_user_bytes=10 * GB,
+                        racks=racks, machines_per_rack=1,
+                        target_utilization=0.25,
+                        replacement_threshold=0.1, **overrides)
+
+
+def _burst_run(task: tuple[SystemConfig, int, float]) -> dict:
+    """One seeded burst scenario (module-level so it pickles for the
+    sweep runner's worker pool)."""
+    cfg, seed, rate = task
+    out = (Scenario(cfg, seed=seed)
+           .inject_faults(DomainBurst(rate, level="rack"))
+           .run(horizon=HORIZON))
+    s = out.stats
+    return dict(lost=bool(out.lost_groups),
+                groups_lost=len(out.lost_groups),
+                rebuilt_gb=s.rebuilds_completed * cfg.block_bytes / GB,
+                deferred_cap=s.rebuilds_deferred_constraint,
+                colocated=s.domain_colocated_losses,
+                bursts=out.fault_stats.domain_bursts)
+
+
+def run(scale: Scale | None = None, base_seed: int = 0) -> ExperimentResult:
+    scale = scale or current_scale()
+    result = ExperimentResult(
+        experiment="topology-sweep",
+        description=("p_loss and recovery traffic under rack bursts, by "
+                     "rack count x placement policy "
+                     f"({_cell_config(2, {}).describe()})"),
+        scale=scale,
+        columns=["racks", "policy", "bursts_yr", "p_loss", "groups_lost",
+                 "rebuilt_gb", "deferred_cap", "colocated"],
+    )
+    cells = [(racks, label, overrides, rate)
+             for racks in RACK_COUNTS
+             for label, overrides in POLICIES
+             for rate in BURST_RATES]
+    tasks = [(_cell_config(racks, overrides), base_seed + i, rate)
+             for racks, label, overrides, rate in cells
+             for i in range(scale.n_runs)]
+    runner = SweepRunner(n_jobs=scale.n_jobs)
+    rows = runner.map_tasks(_burst_run, tasks)
+    for c, (racks, label, overrides, rate) in enumerate(cells):
+        cell_rows = rows[c * scale.n_runs:(c + 1) * scale.n_runs]
+        n = len(cell_rows)
+        result.add(racks=racks, policy=label,
+                   bursts_yr=rate * YEAR,
+                   p_loss=sum(r["lost"] for r in cell_rows) / n,
+                   groups_lost=sum(r["groups_lost"] for r in cell_rows),
+                   rebuilt_gb=sum(r["rebuilt_gb"] for r in cell_rows) / n,
+                   deferred_cap=sum(r["deferred_cap"] for r in cell_rows),
+                   colocated=sum(r["colocated"] for r in cell_rows))
+    result.notes.append(
+        "identical seeds per cell: every policy in a row faces the same "
+        "burst arrival times (same faults-domain-bursts stream), so "
+        "p_loss differences are placement-caused, not sampling noise.")
+    result.notes.append(
+        "the cap policies defer rather than violate when a burst leaves "
+        "no compliant target (deferred_cap); a replacement batch rearms "
+        "them, so groups return to rack-disjoint layout before the next "
+        "burst.")
+    out_dir = pathlib.Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "topology-sweep.txt").write_text(result.render() + "\n")
+    return result

@@ -11,10 +11,15 @@ Public surface:
 * :class:`~repro.faults.correlated.CorrelatedFailures` — shelf bursts.
 * :class:`~repro.faults.stragglers.Stragglers` — degraded bandwidth.
 * :class:`~repro.faults.scrub.Scrubber` — periodic latent-error discovery.
+* :class:`~repro.faults.domains.DomainBurst`,
+  :class:`~repro.faults.domains.DomainOutages`, and
+  :class:`~repro.faults.domains.DomainStragglers` — correlated faults
+  along the rack/machine failure-domain hierarchy.
 """
 
 from .base import FaultContext, FaultInjector, FaultStats, arm_all
 from .correlated import CorrelatedFailures
+from .domains import DomainBurst, DomainOutages, DomainStragglers
 from .latent import LatentSectorErrors
 from .outages import TransientOutages
 from .scrub import Scrubber
@@ -24,4 +29,5 @@ __all__ = [
     "FaultInjector", "FaultContext", "FaultStats", "arm_all",
     "LatentSectorErrors", "TransientOutages", "CorrelatedFailures",
     "Stragglers", "Scrubber",
+    "DomainBurst", "DomainOutages", "DomainStragglers",
 ]

@@ -40,6 +40,12 @@ class FaultStats:
     stragglers: int = 0
     scrubs: int = 0
     scrub_discoveries: int = 0
+    # Failure-domain injectors (repro.faults.domains).
+    domain_bursts: int = 0
+    domain_burst_failures: int = 0
+    domain_outages_started: int = 0
+    domain_outages_ended: int = 0
+    domain_stragglers: int = 0
 
 
 @dataclass

@@ -60,15 +60,18 @@ class CorrelatedFailures(FaultInjector):
     def _burst(self, ctx: FaultContext, rng: np.random.Generator) -> None:
         n_shelves = max(ctx.system.initial_population // self.shelf_size, 1)
         shelf = int(rng.integers(n_shelves))
-        first = shelf * self.shelf_size
         ctx.stats.bursts += 1
-        for disk_id in range(first, first + self.shelf_size):
-            if disk_id >= len(ctx.system.disks):
-                break
-            if ctx.system.disks[disk_id].dead:
+        # Shelf membership wraps modulo the shelf count, so replacement
+        # disks (ids past the initial population) land in a real shelf —
+        # the slot their predecessor vacated shares its power/cooling —
+        # instead of being structurally burst-immune.
+        for disk in ctx.system.disks:
+            if (disk.disk_id // self.shelf_size) % n_shelves != shelf:
+                continue
+            if disk.dead:
                 continue
             delay = float(rng.random()) * self.spread_s
-            ctx.sim.schedule(delay, ctx.manager.on_disk_failure, disk_id,
-                             name="burst-failure")
+            ctx.sim.schedule(delay, ctx.manager.on_disk_failure,
+                             disk.disk_id, name="burst-failure")
             ctx.stats.burst_failures += 1
         self._arm_next(ctx, rng)

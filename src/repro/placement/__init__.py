@@ -2,13 +2,14 @@
 
 from .balance import BalanceReport, analyze, disk_loads
 from .base import PlacementAlgorithm, PlacementError
+from .copyset import CopysetPlacement
 from .hashing import hash_range, hash_u64, hash_unit, mix64
 from .random_placement import RandomPlacement
 from .rush import RushPlacement, SubCluster
 
 __all__ = [
     "PlacementAlgorithm", "PlacementError",
-    "RushPlacement", "SubCluster", "RandomPlacement",
+    "RushPlacement", "SubCluster", "RandomPlacement", "CopysetPlacement",
     "BalanceReport", "analyze", "disk_loads",
     "hash_u64", "hash_unit", "hash_range", "mix64",
 ]

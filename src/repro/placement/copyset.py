@@ -1,0 +1,147 @@
+"""Copyset-style placement: bound the number of fatal failure sets.
+
+Random placement scatters every group over an essentially independent
+disk set, so with G >> C(n_disks, n) almost *every* simultaneous n-disk
+failure kills some group.  Copyset placement (Cidon et al., USENIX ATC
+2013) instead partitions disks into a small number of fixed *copysets*
+via P deterministic permutations and assigns each group to one copyset —
+only a failure combination covering a whole copyset can lose data.
+
+When a failure-domain topology is supplied, each permutation is built
+rack-aware: disks are shuffled *within* their rack (keyed hashing, no
+RNG state) and racks are interleaved round-robin, so consecutive
+windows — the copysets — span distinct racks whenever the group size
+does not exceed the rack count.  Combined with the
+``max_chunks_per_domain`` repair pass this makes whole-rack bursts
+survivable by construction.
+
+Determinism matches the other placements: every decision is a pure
+keyed hash of ``(seed, grp_id, probe)``; no sequential RNG is consumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PlacementAlgorithm, PlacementError
+from .hashing import hash_range, hash_u64
+
+#: Salt separating the group->copyset assignment from candidate probes.
+_ASSIGN_SALT = 0xC0505E7
+#: Salt for the recovery-candidate probe sequence beyond the copyset.
+_EXTEND_SALT = 0x7A26E7
+
+
+class CopysetPlacement(PlacementAlgorithm):
+    """Permutation-based copysets, optionally rack-aware.
+
+    Parameters
+    ----------
+    n_disks:
+        Initial disk population; copysets are built over these disks.
+    group_size:
+        Blocks per group (``scheme.n``); each copyset has this many disks.
+    topology:
+        Optional :class:`~repro.cluster.topology.Topology` (duck-typed:
+        ``racks``, ``disks_in_rack``).  Non-flat topologies get
+        rack-interleaved permutations.
+    permutations:
+        Scatter width knob ``P``: each disk lands in about ``P`` copysets.
+    """
+
+    def __init__(self, n_disks: int, group_size: int, topology=None,
+                 permutations: int = 4, seed: int = 0) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if n_disks < group_size:
+            raise PlacementError(
+                f"cannot build copysets of {group_size} from {n_disks} disks")
+        if permutations < 1:
+            raise ValueError("need at least one permutation")
+        self._n_disks = int(n_disks)
+        self.group_size = int(group_size)
+        self.seed = int(seed)
+        rows: list[list[int]] = []
+        for p in range(permutations):
+            order = self._permutation(p, topology)
+            for i in range(0, len(order) - group_size + 1, group_size):
+                rows.append(order[i:i + group_size])
+        self._copysets = np.array(rows, dtype=np.int64)
+
+    def _permutation(self, p: int, topology) -> list[int]:
+        if topology is not None and getattr(topology, "racks", 1) > 1:
+            queues: list[list[int]] = []
+            for r in range(topology.racks):
+                ds = [d for d in topology.disks_in_rack(r)
+                      if d < self._n_disks]
+                ds.sort(key=lambda d: int(hash_u64(self.seed, d, p, 1)))
+                queues.append(ds)
+            rack_order = sorted(range(len(queues)),
+                                key=lambda r: int(hash_u64(self.seed, r, p, 2)))
+            out: list[int] = []
+            fronts = [0] * len(queues)
+            remaining = self._n_disks
+            while remaining:
+                for r in rack_order:
+                    if fronts[r] < len(queues[r]):
+                        out.append(queues[r][fronts[r]])
+                        fronts[r] += 1
+                        remaining -= 1
+            return out
+        ds = list(range(self._n_disks))
+        ds.sort(key=lambda d: int(hash_u64(self.seed, d, p, 1)))
+        return ds
+
+    # -- interface --------------------------------------------------------- #
+    @property
+    def n_disks(self) -> int:
+        return self._n_disks
+
+    @property
+    def n_copysets(self) -> int:
+        return int(self._copysets.shape[0])
+
+    def copyset_of(self, grp_id: int) -> list[int]:
+        idx = int(hash_range(self.seed, self.n_copysets, grp_id,
+                             _ASSIGN_SALT))
+        return [int(d) for d in self._copysets[idx]]
+
+    def candidates(self, grp_id: int, count: int) -> list[int]:
+        if count > self._n_disks:
+            raise PlacementError(
+                f"cannot produce {count} distinct disks from {self._n_disks}")
+        out = self.copyset_of(grp_id)
+        if count <= len(out):
+            return out[:count]
+        seen = set(out)
+        t = 0
+        max_probes = 64 + 32 * count
+        while len(out) < count:
+            if t >= max_probes:
+                raise PlacementError("probe sequence exhausted")
+            d = int(hash_range(self.seed, self._n_disks, grp_id, t,
+                               _EXTEND_SALT))
+            t += 1
+            if d not in seen:
+                seen.add(d)
+                out.append(d)
+        return out
+
+    def place_many(self, grp_ids: np.ndarray, n: int) -> np.ndarray:
+        g = np.asarray(grp_ids, dtype=np.int64)
+        if n > self.group_size:
+            return super().place_many(g, n)
+        idx = hash_range(self.seed, self.n_copysets, g, _ASSIGN_SALT)
+        return self._copysets[idx][:, :n]
+
+    def add_disks(self, count: int) -> None:
+        """Grow the pool for recovery-candidate probes only.
+
+        Copysets are a property of the initial population: late-added
+        disks never join a copyset (matching the paper's model, where
+        batches are rebalance targets, not new placement structure) but
+        do become recovery candidates beyond the copyset prefix.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._n_disks += count

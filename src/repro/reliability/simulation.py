@@ -25,9 +25,11 @@ from typing import Iterator, Protocol
 
 import numpy as np
 
+from ..cluster.topology import Topology, enforce_domain_constraint
 from ..cluster.workload import ConstantWorkload, DiurnalWorkload
 from ..config import SystemConfig
 from ..core.recovery import RecoveryStats
+from ..placement.copyset import CopysetPlacement
 from ..placement.hashing import hash_unit
 from ..placement.random_placement import RandomPlacement
 from ..placement.rush import RushPlacement
@@ -35,6 +37,7 @@ from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..telemetry.handle import Telemetry
 from ..telemetry.probes import ProbeSample
+from ..units import MINUTE
 
 #: Salt for the deterministic per-disk SMART detection coin.
 _SMART_SALT = 0x51AC
@@ -111,9 +114,13 @@ class SplitState:
     #: in-flight rebuilds: (g, rep, target, failed_at, completion_time)
     jobs: list[tuple[int, int, int, float, float]] = field(
         default_factory=list)
-    #: pending detect/redirect events: (due, g, rep, failed_at, origin)
+    #: pending detect/redirect/retry events: (due, g, rep, failed_at, origin)
     detects: list[tuple[float, int, int, float, int]] = field(
         default_factory=list)
+    #: machine id per disk id (failure-domain topology)
+    machine_of: list[int] = field(default_factory=list)
+    #: deferred-rebuild queue: (g, rep, attempts)
+    deferred: list[tuple[int, int, int]] = field(default_factory=list)
 
 
 class ReliabilitySimulation:
@@ -172,13 +179,21 @@ class ReliabilitySimulation:
     # ------------------------------------------------------------------ #
     def _build_state(self) -> None:
         cfg = self.cfg
+        self.topology = Topology(cfg.racks, cfg.machines_per_rack, self.N0)
+        self._domain_limit = cfg.max_chunks_per_domain
         if cfg.placement == "rush":
             placement = RushPlacement(self.N0, seed=self.streams.seed)
+        elif cfg.placement == "copyset":
+            placement = CopysetPlacement(self.N0, group_size=self.n,
+                                         topology=self.topology,
+                                         seed=self.streams.seed)
         else:
             placement = RandomPlacement(self.N0, seed=self.streams.seed)
         self.placement = placement
         matrix = placement.place_many(np.arange(self.G, dtype=np.int64),
                                       self.n)
+        matrix = enforce_domain_constraint(matrix, self.topology,
+                                           self._domain_limit, placement)
         self.group_disks = matrix.astype(np.int64)
         self.failed_count = np.zeros(self.G, dtype=np.int16)
         self.lost = np.zeros(self.G, dtype=bool)
@@ -219,6 +234,12 @@ class ReliabilitySimulation:
         self._unreplaced = 0
         self._target_rng = self.streams.get("targets")
         self.groups_lost_ids: list[int] = []
+        #: deferred-rebuild queue: (g, rep) -> retry attempts so far.
+        self._deferred: dict[tuple[int, int], int] = {}
+        #: Whether the most recent admissibility sweep rejected at least
+        #: one target solely on the failure-domain cap (so a resulting
+        #: deferral is counted as constraint-caused).
+        self._domain_blocked = False
 
     def _sample_failure_ages(self, rng: np.random.Generator, size: int,
                              horizon_age: float) -> np.ndarray:
@@ -250,11 +271,18 @@ class ReliabilitySimulation:
             self._rebuild_writes = _extend(self._rebuild_writes, 0)
         self._cap = new_cap
 
-    def _new_disks(self, count: int, now: float) -> np.ndarray:
-        """Deploy ``count`` age-0 drives; returns their ids."""
+    def _new_disks(self, count: int, now: float,
+                   slot: int | None = None) -> np.ndarray:
+        """Deploy ``count`` age-0 drives; returns their ids.
+
+        ``slot`` names the failed disk whose bay the newcomers occupy
+        (spares inherit its failure domain); batches tile round-robin.
+        """
         self._grow(count)
         ids = np.arange(self.total_disks, self.total_disks + count)
         self.total_disks += count
+        for _ in range(count):
+            self.topology.add_disk(slot_of=slot)
         self.alive[ids] = True
         self.deploy_time[ids] = now
         rng = self.streams.get("disk-failures")
@@ -308,11 +336,18 @@ class ReliabilitySimulation:
                               name="redirect")
 
         # Fail every block on the disk.
+        topo = self.topology
+        track_domains = topo.racks > 1
+        rack = topo.rack_of(disk) if track_domains else -1
         losses: list[tuple[int, int]] = []
         for g, rep in self._blocks_on(disk):
             self.group_disks[g, rep] = -1
             if self.lost[g]:
                 continue
+            if track_domains and self._live_in_rack(g, rack):
+                self.stats.domain_colocated_losses += 1
+                if tele is not None:
+                    tele.domain_colocated_losses.inc()
             self.failed_count[g] += 1
             if self.failed_count[g] > self.tol:
                 self.lost[g] = True
@@ -338,6 +373,8 @@ class ReliabilitySimulation:
             self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
                               g, rep, now, disk, name="detect")
         self._maybe_replace(now)
+        # A new batch may open constraint-compliant targets: retries for
+        # deferred rebuilds are already armed, nothing extra to do here.
         # Multilevel splitting: capture the trajectory the first time it
         # reaches the armed level (or loses data — an absorbing hit for
         # every later level), *after* this failure's detect events and
@@ -355,8 +392,10 @@ class ReliabilitySimulation:
     def _start_rebuild(self, g: int, rep: int, failed_at: float,
                        origin: int) -> None:
         if self.lost[g] or self.group_disks[g, rep] != -1:
+            self._deferred.pop((g, rep), None)
             return
         now = self.sim.now
+        self._domain_blocked = False
         if self.cfg.use_farm:
             # Exclude targets of the group's other in-flight rebuilds so
             # two buddies never land on one disk.
@@ -365,9 +404,14 @@ class ReliabilitySimulation:
         else:
             target = self._pick_spare_target(g, origin, now)
         if target is None:
+            # No admissible target right now (system full, or every
+            # candidate vetoed by the domain cap): park for retry with
+            # exponential backoff — never drop, never violate.
             if self.telemetry is not None:
                 self.telemetry.rebuilds_unplaced.inc()
-            return      # system full: group stays degraded
+            self._defer_rebuild(g, rep, failed_at, origin)
+            return
+        self._deferred.pop((g, rep), None)
         duration = self.workload.time_to_transfer(
             self.block_bytes, self.cfg.recovery_bandwidth, now)
         start = max(now, self.free_at[target])
@@ -387,12 +431,82 @@ class ReliabilitySimulation:
         if self.telemetry is not None:
             self.telemetry.rebuilds_started.inc()
 
+    def _defer_rebuild(self, g: int, rep: int, failed_at: float,
+                       origin: int) -> None:
+        """Park a rebuild with no admissible target; retry with backoff.
+
+        Mirrors the object engine's deferred queue: counted once per
+        parked block (``rebuilds_deferred``; plus the constraint counter
+        when the domain cap caused it), each attempt counted as a retry.
+        """
+        key = (g, rep)
+        attempts = self._deferred.get(key, 0)
+        if attempts == 0:
+            self.stats.rebuilds_deferred += 1
+            if self._domain_blocked:
+                self.stats.rebuilds_deferred_constraint += 1
+            if self.telemetry is not None:
+                self.telemetry.rebuilds_deferred.inc()
+                if self._domain_blocked:
+                    self.telemetry.rebuilds_deferred_constraint.inc()
+        self._deferred[key] = attempts + 1
+        # Same backoff law as RecoveryManager._arm_retry: pure doubling
+        # with the exponent clamped (~45 days at 16), so thousands of
+        # hopelessly parked blocks on a full shrinking system cannot
+        # dominate the event loop with periodic retries.
+        delay = MINUTE * 2.0 ** min(attempts, 16)
+        self.sim.schedule(delay, self._retry_rebuild, g, rep, failed_at,
+                          origin, name="rebuild-retry")
+
+    def _retry_rebuild(self, g: int, rep: int, failed_at: float,
+                       origin: int) -> None:
+        if (g, rep) not in self._deferred:
+            return      # resolved by an earlier retry/redirect
+        if self.lost[g] or self.group_disks[g, rep] != -1:
+            self._deferred.pop((g, rep), None)
+            return
+        self.stats.retries += 1
+        if self.telemetry is not None:
+            self.telemetry.rebuild_retries.inc()
+        self._start_rebuild(g, rep, failed_at, origin)
+
     def _admissible(self, d: int, g: int,
                     exclude: set[int] = frozenset()) -> bool:
-        return bool(d not in exclude
-                    and self.alive[d]
-                    and self.used_blocks[d] < self.capacity_blocks
-                    and not (self.group_disks[g] == d).any())
+        if (d in exclude
+                or not self.alive[d]
+                or self.used_blocks[d] >= self.capacity_blocks
+                or (self.group_disks[g] == d).any()):
+            return False
+        if self._domain_limit is not None \
+                and not self._domain_ok(d, g, exclude):
+            self._domain_blocked = True
+            return False
+        return True
+
+    def _domain_ok(self, d: int, g: int, exclude: set[int]) -> bool:
+        """Would placing a block of ``g`` on ``d`` stay within the
+        per-rack cap?  Counts the group's live blocks plus in-flight
+        rebuild targets (``exclude``) already in ``d``'s rack."""
+        topo = self.topology
+        rack = topo.rack_of(d)
+        count = 0
+        for dd in self.group_disks[g]:
+            dd = int(dd)
+            if dd >= 0 and topo.rack_of(dd) == rack:
+                count += 1
+        for dd in exclude:
+            if dd != d and topo.rack_of(int(dd)) == rack:
+                count += 1
+        return count < self._domain_limit
+
+    def _live_in_rack(self, g: int, rack: int) -> bool:
+        """Does group ``g`` still hold a live block in ``rack``?"""
+        topo = self.topology
+        for dd in self.group_disks[g]:
+            dd = int(dd)
+            if dd >= 0 and topo.rack_of(dd) == rack:
+                return True
+        return False
 
     def _pick_farm_target(self, g: int, now: float,
                           exclude: set[int] = frozenset()) -> int | None:
@@ -445,7 +559,10 @@ class ReliabilitySimulation:
         spare = self._spare_for.get(origin, -1)
         if spare < 0 or not self.alive[spare] or \
                 self.used_blocks[spare] >= self.capacity_blocks:
-            spare = int(self._new_disks(1, now)[0])
+            # The spare goes into the failed disk's bay, inheriting its
+            # failure domain — rebuilding onto it never changes the
+            # group's per-rack block counts.
+            spare = int(self._new_disks(1, now, slot=origin)[0])
             self._spare_for[origin] = spare
             if self.telemetry is not None:
                 self.telemetry.spares_provisioned.inc()
@@ -453,7 +570,7 @@ class ReliabilitySimulation:
             over = self._spare_for.get(~origin, -1)
             if over < 0 or not self.alive[over] or \
                     not self._admissible(over, g):
-                over = int(self._new_disks(1, now)[0])
+                over = int(self._new_disks(1, now, slot=origin)[0])
                 self._spare_for[~origin] = over
                 if self.telemetry is not None:
                     self.telemetry.spares_provisioned.inc()
@@ -546,6 +663,32 @@ class ReliabilitySimulation:
         rows, cols, targets = rows[ok], cols[ok], targets[ok]
         if rows.size == 0:
             return
+        # Failure-domain cap: reject moves that would push a group's
+        # per-rack block count to the limit or beyond.  Counting excludes
+        # the moving block's own column; at most one move per (group,
+        # target rack) is admitted per batch so concurrent moves cannot
+        # collectively overflow a rack (conservative, never violates).
+        if self._domain_limit is not None and self.topology.racks > 1:
+            k = self._domain_limit
+            rack_arr = self.topology.rack_array()
+            target_rack = rack_arr[targets]
+            cnt = np.zeros(rows.size, dtype=np.int64)
+            for j in range(self.n):
+                dd = gd[rows, j]
+                live = dd >= 0
+                same = np.zeros(rows.size, dtype=bool)
+                same[live] = rack_arr[dd[live]] == target_rack[live]
+                cnt += same & (cols != j)
+            rack_key = rows.astype(np.int64) * np.int64(
+                self.topology.racks) + target_rack
+            _, first_rk = np.unique(rack_key, return_index=True)
+            one_per_rack = np.zeros(rows.size, dtype=bool)
+            one_per_rack[first_rk] = True
+            fit_domain = (cnt < k) & one_per_rack
+            rows, cols, targets = (rows[fit_domain], cols[fit_domain],
+                                   targets[fit_domain])
+            if rows.size == 0:
+                return
         # Physical capacity: a batch drive only takes what fits.  Admit
         # moves in row order until each target is full (``used_blocks``
         # already counts in-flight rebuild reservations).
@@ -582,8 +725,17 @@ class ReliabilitySimulation:
         total = self.total_disks
         alive = self.alive[:total]
         n_alive = int(alive.sum())
-        busy = int(np.count_nonzero(alive & (self.free_at[:total] > now)))
+        busy_mask = alive & (self.free_at[:total] > now)
+        busy = int(np.count_nonzero(busy_mask))
         cap = self.cfg.recovery_bandwidth
+        by_rack: dict[str, float] = {}
+        if self.topology.racks > 1 and busy:
+            rack_arr = self.topology.rack_array()
+            rack_busy = np.bincount(rack_arr[np.flatnonzero(busy_mask)],
+                                    minlength=self.topology.racks)
+            for r, c in enumerate(rack_busy.tolist()):
+                if c:
+                    by_rack[str(r)] = c * cap
         degraded = int(np.count_nonzero((self.failed_count > 0)
                                         & ~self.lost))
         if self._rebuild_writes is not None and n_alive > 0:
@@ -598,9 +750,10 @@ class ReliabilitySimulation:
             bandwidth_cap_bps=cap,
             disks_by_state={"online": n_alive, "failed": total - n_alive},
             degraded_groups=degraded,
-            deferred_rebuilds=0,
+            deferred_rebuilds=len(self._deferred),
             rebuild_load_max=load_max,
-            rebuild_load_mean=load_mean)
+            rebuild_load_mean=load_mean,
+            bandwidth_by_rack=by_rack)
 
     # ------------------------------------------------------------------ #
     def _schedule_initial_failures(self) -> None:
@@ -662,7 +815,7 @@ class ReliabilitySimulation:
             (float(ev.time), int(ev.args[0]), int(ev.args[1]),
              float(ev.args[2]), int(ev.args[3]))
             for ev in self.sim.pending()
-            if ev.name in ("detect", "redirect"))
+            if ev.name in ("detect", "redirect", "rebuild-retry"))
         return SplitState(
             seed=self.seed,
             now=float(self.sim.now),
@@ -683,7 +836,10 @@ class ReliabilitySimulation:
             groups_lost_ids=list(self.groups_lost_ids),
             stats=replace(self.stats),
             jobs=jobs,
-            detects=detects)
+            detects=detects,
+            machine_of=self.topology.assignments(),
+            deferred=sorted((g, rep, a)
+                            for (g, rep), a in self._deferred.items()))
 
     @classmethod
     def from_split_state(cls, config: SystemConfig, state: SplitState,
@@ -725,6 +881,14 @@ class ReliabilitySimulation:
         self._unreplaced = state.unreplaced
         self.groups_lost_ids = list(state.groups_lost_ids)
         self.stats = replace(state.stats)
+        if state.machine_of:
+            self.topology = Topology.from_assignments(
+                self.cfg.racks, self.cfg.machines_per_rack,
+                state.machine_of)
+        # Attempt counts survive the restore so a re-deferral on the clone
+        # neither double-counts rebuilds_deferred nor resets the backoff.
+        self._deferred = {(g, rep): a for g, rep, a in state.deferred}
+        self._domain_blocked = False
         self._restored = True
 
         # Future randomness comes from the clone's stream set; the root

@@ -39,7 +39,15 @@ _COUNTER_SPECS: tuple[tuple[str, str, str], ...] = (
     ("rebuild_retries", "repro_rebuild_retries_total",
      "deferred-rebuild retry attempts"),
     ("rebuilds_unplaced", "repro_rebuilds_unplaced_total",
-     "rebuilds dropped for want of any admissible target (fast engine)"),
+     "rebuilds with no admissible target right now (fast engine; "
+     "parked in the deferred queue for retry)"),
+    ("rebuilds_deferred_constraint",
+     "repro_rebuilds_deferred_constraint_total",
+     "rebuilds deferred because the failure-domain placement cap vetoed "
+     "every otherwise admissible target"),
+    ("domain_colocated_losses", "repro_domain_colocated_losses_total",
+     "block losses whose group kept another live block in the failing "
+     "disk's rack (domain co-vulnerability)"),
     ("groups_lost", "repro_groups_lost_total",
      "redundancy groups that lost more blocks than the scheme tolerates"),
     ("latent_discovered", "repro_latent_discovered_total",
@@ -73,10 +81,19 @@ class TelemetryConfig:
     window_bucket_lo_s: float = SECOND
     window_bucket_hi_s: float = MONTH
     window_buckets_per_decade: int = 4
+    #: Heartbeat detection-latency histogram bucket range (seconds).
+    detection_bucket_lo_s: float = SECOND
+    detection_bucket_hi_s: float = DAY
+    detection_buckets_per_decade: int = 4
 
     def window_bounds(self) -> tuple[float, ...]:
         return log_bounds(self.window_bucket_lo_s, self.window_bucket_hi_s,
                           self.window_buckets_per_decade)
+
+    def detection_bounds(self) -> tuple[float, ...]:
+        return log_bounds(self.detection_bucket_lo_s,
+                          self.detection_bucket_hi_s,
+                          self.detection_buckets_per_decade)
 
 
 class Telemetry:
@@ -95,6 +112,14 @@ class Telemetry:
             bounds=self.config.window_bounds(),
             help="window of vulnerability per completed rebuild (seconds), "
                  "bucketed by redundancy-group size n")
+        # Fixed bounds from the config (never from the data), so parallel
+        # sweep snapshots merge element-wise exactly like the span
+        # histograms, in run-index order.
+        self.detection_latencies = self.registry.histogram(
+            "repro_detection_latency_seconds",
+            bounds=self.config.detection_bounds(),
+            help="heartbeat failure-detection latency per declared disk "
+                 "(seconds)")
         self.probes = ClusterProbes(self)
 
     # -- span convenience hooks (names match the engine call sites) ------ #
@@ -111,6 +136,10 @@ class Telemetry:
         """The group died: abort its open spans, count the loss."""
         self.groups_lost.inc()
         self.windows.abort_group(grp_id)
+
+    def detection_latency(self, latency_s: float) -> None:
+        """A heartbeat monitor declared a disk failed after ``latency_s``."""
+        self.detection_latencies.observe(latency_s)
 
     # -- probes ---------------------------------------------------------- #
     def attach_probes(self, sim: "Simulator",

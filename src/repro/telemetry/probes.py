@@ -47,6 +47,9 @@ class ProbeSample:
     #: Max / mean completed-rebuild-writes per live disk (imbalance).
     rebuild_load_max: float = 0.0
     rebuild_load_mean: float = 0.0
+    #: Recovery bandwidth in use per rack (rack id -> bytes/s); populated
+    #: only under a non-flat failure-domain topology.
+    bandwidth_by_rack: dict[str, float] = field(default_factory=dict)
 
 
 class ClusterProbes:
@@ -82,6 +85,7 @@ class ClusterProbes:
             "repro_rebuild_load_imbalance",
             help="max/mean ratio of per-disk rebuild writes (1.0 = even)")
         self._state_gauges: dict[str, object] = {}
+        self._rack_gauges: dict[str, object] = {}
         self._registry = registry
         self._timer: "PeriodicTimer | None" = None
 
@@ -120,3 +124,12 @@ class ClusterProbes:
                     labels={"state": state})
                 self._state_gauges[state] = gauge
             gauge.set(s.disks_by_state[state])
+        for rack in sorted(s.bandwidth_by_rack):
+            gauge = self._rack_gauges.get(rack)
+            if gauge is None:
+                gauge = self._registry.gauge(
+                    "repro_recovery_bandwidth_by_rack_bps",
+                    help="recovery bandwidth in use per rack (bytes/s)",
+                    labels={"rack": rack})
+                self._rack_gauges[rack] = gauge
+            gauge.set(s.bandwidth_by_rack[rack])

@@ -1,0 +1,205 @@
+"""Failure-domain fault injectors (repro.faults.domains).
+
+Covers the acceptance scenario — a whole-machine outage defers rebuilds
+and the queue drains when the machine returns, on both recovery engines —
+plus injector determinism, non-perturbation of flat base runs, and the
+detection-latency histogram wired through the heartbeat monitor.
+"""
+
+import pytest
+
+from repro.cluster import StorageSystem
+from repro.cluster.monitoring import HeartbeatMonitor
+from repro.config import SystemConfig
+from repro.core import FarmRecovery, TraditionalRecovery
+from repro.faults import DomainBurst, DomainOutages, DomainStragglers
+from repro.reliability.scenarios import Scenario
+from repro.sim import RandomStreams, Simulator
+from repro.telemetry import Telemetry
+from repro.units import DAY, GB, HOUR, TB
+
+BOTH_ENGINES = pytest.mark.parametrize("use_farm", [True, False],
+                                       ids=["farm", "traditional"])
+
+
+def cfg(**kw):
+    defaults = dict(total_user_bytes=4 * TB, group_user_bytes=10 * GB,
+                    racks=2, machines_per_rack=2)
+    defaults.update(kw)
+    return SystemConfig(**defaults)
+
+
+def make_manager(config, seed=0):
+    system = StorageSystem(config, RandomStreams(seed),
+                           deterministic_failures=True)
+    sim = Simulator()
+    cls = FarmRecovery if config.use_farm else TraditionalRecovery
+    return system, sim, cls(system, sim)
+
+
+class TestMachineOutageDefersAndDrains:
+    """Satellite acceptance: fail a disk while the machine holding its
+    rebuild sources is dark — every rebuild parks in the deferred queue
+    and drains once the whole machine comes back."""
+
+    @BOTH_ENGINES
+    def test_whole_machine_outage(self, use_farm):
+        config = cfg(use_farm=use_farm)
+        system, sim, manager = make_manager(config)
+        group = system.groups[0]
+        alive, victim = group.disks[0], group.disks[1]
+        machine = system.topology.machine_of(alive)
+        dark = system.topology.disks_in_machine(machine)
+        assert victim not in dark
+
+        for d in dark:
+            sim.schedule_at(50.0, manager.on_disk_offline, d)
+        sim.schedule_at(100.0, manager.on_disk_failure, victim)
+        for d in dark:
+            sim.schedule_at(6 * HOUR, manager.on_disk_online, d)
+        sim.run(until=30 * DAY)
+
+        s = manager.stats
+        assert s.transient_outages == len(dark)
+        assert s.rebuilds_deferred >= 1
+        assert s.retries >= s.rebuilds_deferred
+        assert s.rebuilds_completed >= 1
+        assert manager.deferred_outstanding == 0
+        for g in system.groups:
+            assert g.lost or not g.failed
+        assert not group.lost and not group.failed
+
+    @BOTH_ENGINES
+    def test_injected_machine_outages_drain(self, use_farm):
+        """The DomainOutages injector drives the same path end-to-end:
+        machines go dark together, return together, and every deferral
+        is retried and accounted."""
+        out = (Scenario(cfg(use_farm=use_farm), seed=11)
+               .fail(disk=0, at=5 * DAY)
+               .fail(disk=7, at=12 * DAY)
+               .inject_faults(DomainOutages(1.0 / (10 * DAY), 4 * HOUR,
+                                            level="machine"))
+               .run(horizon=40 * DAY))
+        fs = out.fault_stats
+        assert fs.domain_outages_started >= 1
+        assert fs.domain_outages_ended == fs.domain_outages_started
+        assert out.deferred_outstanding == 0
+        assert out.stats.retries >= out.stats.rebuilds_deferred
+        for g in out.system.groups:
+            assert g.lost or not g.failed
+
+
+class TestDomainBurst:
+    def test_rack_burst_kills_whole_rack(self):
+        out = (Scenario(cfg(), seed=3)
+               .inject_faults(DomainBurst(8.0 / (365.25 * DAY),
+                                          level="rack"))
+               .run(horizon=180 * DAY))
+        fs = out.fault_stats
+        assert fs.domain_bursts >= 1
+        # Every burst casualty is a real disk failure, and nothing else
+        # failed (deterministic_failures scenario).
+        assert out.stats.disk_failures == fs.domain_burst_failures
+
+    def test_spread_delays_individual_deaths(self):
+        out = (Scenario(cfg(), seed=3)
+               .inject_faults(DomainBurst(8.0 / (365.25 * DAY),
+                                          level="rack", spread_s=300.0))
+               .run(horizon=180 * DAY))
+        assert out.fault_stats.domain_bursts >= 1
+        assert out.stats.disk_failures == \
+            out.fault_stats.domain_burst_failures
+
+    def test_deterministic_in_seed(self):
+        def run():
+            return (Scenario(cfg(), seed=5)
+                    .inject_faults(DomainBurst(8.0 / (365.25 * DAY)),
+                                   DomainOutages(1.0 / (20 * DAY), HOUR))
+                    .run(horizon=90 * DAY))
+
+        a, b = run(), run()
+        assert a.stats == b.stats
+        assert a.fault_stats == b.fault_stats
+        assert a.lost_groups == b.lost_groups
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainBurst(0.0)
+        with pytest.raises(ValueError):
+            DomainBurst(1.0, level="shelf")
+        with pytest.raises(ValueError):
+            DomainBurst(1.0, spread_s=-1.0)
+        with pytest.raises(ValueError):
+            DomainOutages(1.0, 0.0)
+        with pytest.raises(ValueError):
+            DomainStragglers(0.0)
+        with pytest.raises(ValueError):
+            DomainStragglers(0.5, factor_range=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            DomainStragglers(0.5, level="pod")
+
+
+class TestNoBasePerturbation:
+    def test_idle_injector_leaves_base_run_untouched(self):
+        """An armed injector whose first arrival lands beyond the horizon
+        draws only from its own faults-domain-* stream, so the base
+        scenario trajectory is bit-identical with and without it."""
+        config = cfg()
+        base = (Scenario(config, seed=9)
+                .fail(disk=0, at=1 * DAY)
+                .run(horizon=30 * DAY))
+        armed = (Scenario(config, seed=9)
+                 .fail(disk=0, at=1 * DAY)
+                 .inject_faults(DomainBurst(1e-12),
+                                DomainOutages(1e-12, HOUR))
+                 .run(horizon=30 * DAY))
+        assert armed.fault_stats.domain_bursts == 0
+        assert armed.fault_stats.domain_outages_started == 0
+        assert armed.stats == base.stats
+        assert armed.lost_groups == base.lost_groups
+
+
+class TestDomainStragglers:
+    def test_whole_domain_shares_the_bottleneck(self):
+        config = cfg()
+        system, _, _ = make_manager(config)
+        from repro.faults.base import FaultContext, FaultStats
+
+        class _Mgr:
+            def on_disk_failure(self, d):       # pragma: no cover
+                raise AssertionError("stragglers never fail disks")
+
+        ctx = FaultContext(sim=Simulator(), system=system, manager=_Mgr(),
+                           streams=RandomStreams(0), horizon=DAY,
+                           stats=FaultStats())
+        DomainStragglers(0.5, factor_range=(0.2, 0.4),
+                         level="machine").arm(ctx)
+        assert ctx.stats.domain_stragglers == 2    # half of 4 machines
+        slowed = 0
+        for m in range(system.topology.n_machines):
+            factors = {system.disks[d].bandwidth_factor
+                       for d in system.topology.disks_in_machine(m)}
+            assert len(factors) == 1               # shared bottleneck
+            f = factors.pop()
+            if f < 1.0:
+                slowed += 1
+                assert 0.2 <= f <= 0.4
+        assert slowed == 2
+
+
+class TestDetectionLatencyHistogram:
+    def test_monitor_feeds_fixed_bound_histogram(self):
+        tele = Telemetry()
+        sim = Simulator()
+        fail_times = {0: 100.0, 1: 250.0, 2: 9_000.0}
+        mon = HeartbeatMonitor(sim, lambda d: sim.now < fail_times[d],
+                               disk_ids=[0, 1, 2], period=60.0,
+                               telemetry=tele)
+        for d, t in fail_times.items():
+            mon.note_failure(d, t)
+        sim.run(until=20_000.0)
+        hist = tele.detection_latencies
+        assert hist.count == len(mon.detections) == 3
+        assert hist.bounds == tele.config.detection_bounds()
+        for event in mon.detections:
+            assert event.latency <= hist.vmax

@@ -34,6 +34,16 @@ PIN_RARE_STREAMS = {
     "split-resample": 0.4148786529196775,
     "clone-failures": 0.9201607633499662,
 }
+
+# Failure-domain injector streams (repro.faults.domains).  Pinned for
+# the same reason as the rare-* family: arming a domain injector must
+# never perturb — and never be perturbed by — the base simulation
+# streams, so each one owns a named stream whose first draw is fixed.
+PIN_DOMAIN_STREAMS = {
+    "faults-domain-bursts": 0.18235955024884265,
+    "faults-domain-outages": 0.8985747888281354,
+    "faults-domain-stragglers": 0.630501410220294,
+}
 PIN_TILTED_FAST = (28, 1290, 1290, 0)
 PIN_TILTED_LOG_WEIGHT = -10.469417395163475
 
@@ -81,6 +91,11 @@ class TestPins:
         """
         for kind, expected in PIN_RARE_STREAMS.items():
             assert float(RandomStreams(123).rare(kind).random()) == expected
+
+    def test_domain_stream_pins(self):
+        """The faults-domain-* streams are their own pinned family."""
+        for name, expected in PIN_DOMAIN_STREAMS.items():
+            assert float(RandomStreams(123).get(name).random()) == expected
 
     def test_tilted_trajectory_pin(self):
         """One importance-sampled trajectory, pinned with its LR weight.
