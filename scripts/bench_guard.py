@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Bench-regression guard: fail if bulk-engine throughput regresses.
+
+The bulk-sweep benchmark (``python -m repro run bulk``) appends one
+record per run to the bounded ``results/BENCH_sweep.json`` history, each
+carrying the bulk engine's measured ``runs_per_s``.  This guard compares
+the *latest* bulk-sweep record against the best previously recorded one
+and fails when throughput drops below :data:`TOLERANCE` of that
+baseline — catching the class of regression the >= 100x speedup assert
+cannot: a slowdown that still clears the absolute bar.
+
+Ratio-of-recorded-runs, not absolute numbers: the history lives in the
+repository, so records may come from different machines.  A 30% drop
+against the best-ever run on comparable hardware is a loud signal; the
+threshold is deliberately loose so machine-to-machine variance does not
+produce false alarms.
+
+Stdlib only (the guard must run on the bare reproduction image).
+
+Usage::
+
+    python scripts/bench_guard.py [path/to/BENCH_sweep.json]
+
+Exit status: 0 = no regression (or fewer than two bulk-sweep records to
+compare); 1 = regression; 2 = unreadable history.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Latest bulk runs/s must be at least this fraction of the best
+#: previously recorded bulk runs/s.
+TOLERANCE = 0.7
+
+#: The sweep name the bulk benchmark records under.
+SWEEP_NAME = "bulk-sweep"
+
+DEFAULT_PATH = Path("results") / "BENCH_sweep.json"
+
+
+def bulk_records(path: Path) -> list[dict]:
+    """The bulk-sweep records of the bench history, oldest first."""
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    # v2 container {"records": [...]} or a legacy bare record.
+    records = raw.get("records", [raw]) if isinstance(raw, dict) else raw
+    return [r for r in records
+            if isinstance(r, dict) and r.get("sweep") == SWEEP_NAME
+            and isinstance(r.get("runs_per_s"), (int, float))]
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    if not path.exists():
+        print(f"bench_guard: {path} does not exist; nothing to guard "
+              f"(run 'python -m repro run bulk' to record a baseline)")
+        return 0
+    try:
+        records = bulk_records(path)
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"bench_guard: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    if len(records) < 2:
+        print(f"bench_guard: {len(records)} bulk-sweep record(s) in "
+              f"{path}; need 2+ to compare — ok")
+        return 0
+    latest = records[-1]
+    baseline = max(r["runs_per_s"] for r in records[:-1])
+    current = latest["runs_per_s"]
+    floor = TOLERANCE * baseline
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(f"bench_guard: bulk {current:,.0f} runs/s vs best prior "
+          f"{baseline:,.0f} (floor {floor:,.0f} = {TOLERANCE:g}x) "
+          f"over {len(records)} records — {verdict}")
+    if current < floor:
+        print(f"bench_guard: latest record "
+              f"(run_id={latest.get('run_id', '?')}, "
+              f"scale={latest.get('scale', '?')}) regressed; if the "
+              f"hardware changed, re-record a baseline with "
+              f"'python -m repro run bulk'", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

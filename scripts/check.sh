@@ -43,6 +43,12 @@ step "sweep parity (serial == parallel, incl. telemetry snapshots)" \
   python -m repro sweep-check --jobs 2
 step "topology experiment (smoke)" \
   env REPRO_SCALE=smoke python -m repro run topology
+step "bulk engine benchmark (smoke, asserts >= 100x over DES baseline)" \
+  env REPRO_SCALE=smoke python -m repro run bulk
+step "bench-regression guard (bulk runs/s vs recorded history)" \
+  python scripts/bench_guard.py
+step "bulk conformance suite (incl. slow CI-overlap tests)" \
+  python -m pytest tests/test_bulk.py -q -m "slow or not slow"
 optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
 optional_step "mypy" mypy python -m mypy
 step "fault-injection tests" python -m pytest tests/test_faults.py tests/test_fault_scenarios.py -q

@@ -8,6 +8,7 @@ Usage::
     python -m repro run figure3 --telemetry results/telemetry.jsonl
     python -m repro run figure5 --estimator is
     python -m repro run rare
+    python -m repro run bulk
     python -m repro estimate --data-pb 2 --scheme 1/2 --runs 20 [--no-farm]
     python -m repro sensitivity --scheme 1/2 [--no-farm]
     python -m repro sweep-check --jobs 2
@@ -22,9 +23,13 @@ snapshots — bit-identical to a serial run) on a small multi-point sweep.
 ``run --telemetry PATH`` enables the in-sim metrics subsystem
 (:mod:`repro.telemetry`) for every Monte-Carlo sweep in the invocation and
 appends one merged JSONL record per sweep point; ``telemetry-summary``
-renders such a file for humans.  ``run --estimator {naive,is,splitting}``
-switches the p_loss figures to a rare-event estimator, and ``run rare``
-compares all three at equal budget (:doc:`docs/RARE_EVENTS.md`).
+renders such a file for humans.  ``run --estimator
+{naive,is,splitting,bulk}`` switches the p_loss figures to a rare-event
+estimator or the vectorized bulk engine, ``run rare`` compares the
+rare-event estimators at equal budget (:doc:`docs/RARE_EVENTS.md`), and
+``run bulk`` benchmarks the bulk engine against the process-pool naive-MC
+baseline and asserts its >= 100x throughput claim
+(:doc:`docs/BULK_ENGINE.md`).
 """
 
 from __future__ import annotations
@@ -36,9 +41,10 @@ import time
 
 from .config import SystemConfig
 from .experiments import SCALES, ablations, base
-from .experiments import (faults_sweep, figure3, figure4, figure5, figure7,
-                          figure8, mttdl_table, perf_table, rare_sweep,
-                          redirection, table1, table3, topology_sweep)
+from .experiments import (bulk_sweep, faults_sweep, figure3, figure4,
+                          figure5, figure7, figure8, mttdl_table,
+                          perf_table, rare_sweep, redirection, table1,
+                          table3, topology_sweep)
 from .redundancy.schemes import RedundancyScheme
 from .reliability import estimate_p_loss, p_loss_window_model
 from .units import GB, PB
@@ -61,6 +67,7 @@ EXPERIMENTS = {
     "faults": lambda s, seed, est: [faults_sweep.run(s, seed)],
     "perf": lambda s, seed, est: [perf_table.run(s, seed)],
     "rare": lambda s, seed, est: [rare_sweep.run(s, seed)],
+    "bulk": lambda s, seed, est: [bulk_sweep.run(s, seed)],
     "topology": lambda s, seed, est: [topology_sweep.run(s, seed)],
     "ablations": lambda s, seed, est: [ablations.run_placement(s, seed),
                                        ablations.run_policy(s, seed),
@@ -147,14 +154,17 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
     run writes.  A second, tilted pass repeats the check for *weighted*
     runs: importance-sampled sweeps must fold their likelihood-ratio
     weights through the same reorder buffers, so the weighted sums, ESS,
-    and CLT interval must also match bit-for-bit.
+    and CLT interval must also match bit-for-bit.  A third pass repeats
+    the unweighted check on the bulk engine (``engine="bulk"``, no
+    telemetry — the engine has no event loop to observe), whose parallel
+    path ships *chunks* of runs per task: the reorder buffers must fold
+    them back to the serial result bit-for-bit too.
     """
-    import json
     import tempfile
 
     from .reliability import shutdown_pool, sweep
     from .reliability.rare import DEFAULT_TILT
-    from .reliability.runner import BENCH_SCHEMA
+    from .reliability.runner import BENCH_SCHEMA, read_bench_records
     from .telemetry import canonical_json
     from .units import TB
 
@@ -206,7 +216,7 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         for field_name, (a, b) in checks.items():
             if a != b:
                 failures.append(f"{label}.{field_name}: {a!r} != {b!r}")
-    record = json.loads(pathlib.Path(bench_path).read_text())
+    record = read_bench_records(pathlib.Path(bench_path))[-1]
     for key in ("schema", "wall_time_s", "events_fired", "runs_per_s",
                 "points"):
         if key not in record:
@@ -244,6 +254,34 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
             if a != b:
                 failures.append(f"{label}.{field_name}: {a!r} != {b!r}")
 
+    # Bulk pass: the same points on the vectorized engine.  Its parallel
+    # path submits chunked tasks, so this exercises the chunk-expansion
+    # side of the reorder buffers (and the capped topology sampler).
+    serial_b = sweep(points, n_runs=args.runs, base_seed=args.seed,
+                     n_jobs=None, bench_path=None,
+                     sweep_name="sweep-check-bulk", engine="bulk")
+    parallel_b = sweep(points, n_runs=args.runs, base_seed=args.seed,
+                       n_jobs=args.jobs, bench_path=None,
+                       sweep_name="sweep-check-bulk", engine="bulk")
+    shutdown_pool()
+    for label in points:
+        s, p = serial_b[label], parallel_b[label]
+        checks = {
+            "bulk.losses": (s.losses, p.losses),
+            "bulk.p_loss": (s.p_loss, p.p_loss),
+            "bulk.groups_lost_total": (s.groups_lost_total,
+                                       p.groups_lost_total),
+            "bulk.mean_window": (s.mean_window, p.mean_window),
+            "bulk.max_window": (s.max_window, p.max_window),
+            "bulk.disk_failures_total": (s.disk_failures_total,
+                                         p.disk_failures_total),
+            "bulk.window_moments.m2": (s.aggregate.window_moments.m2,
+                                       p.aggregate.window_moments.m2),
+        }
+        for field_name, (a, b) in checks.items():
+            if a != b:
+                failures.append(f"{label}.{field_name}: {a!r} != {b!r}")
+
     if failures:
         print("sweep-check FAILED:", file=sys.stderr)
         for f in failures:
@@ -251,8 +289,9 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         return 1
     print(f"sweep-check OK: {len(points)} points x {args.runs} runs, "
           f"serial == parallel (jobs={args.jobs}) incl. telemetry "
-          f"snapshots and weighted (tilted) aggregates, BENCH record "
-          f"valid ({record['runs_per_s']:.1f} runs/s)")
+          f"snapshots, weighted (tilted) aggregates, and bulk-engine "
+          f"chunked folds, BENCH record valid "
+          f"({record['runs_per_s']:.1f} runs/s)")
     return 0
 
 
@@ -317,8 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--estimator", choices=list(base.ESTIMATORS),
                      default="naive",
                      help="p_loss estimator for figure5/7/8: naive MC, "
-                          "importance sampling (is), or multilevel "
-                          "splitting (see docs/RARE_EVENTS.md)")
+                          "importance sampling (is), multilevel "
+                          "splitting (see docs/RARE_EVENTS.md), or the "
+                          "vectorized bulk engine (docs/BULK_ENGINE.md)")
 
     est = sub.add_parser("estimate",
                          help="P(data loss) for one configuration")

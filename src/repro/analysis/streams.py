@@ -2,8 +2,8 @@
 
 Every named random stream belongs to exactly one subsystem: the
 ``faults-*`` streams to :mod:`repro.faults`, the ``rare-*`` streams to
-the rare-event estimators, ``targets`` to the flat-array engine, and so
-on.  The discipline that keeps Monte-Carlo results reproducible is that
+the rare-event estimators, the ``bulk-*`` streams to the vectorized
+bulk-lifetime engine, ``targets`` to the flat-array engine, and so on.  The discipline that keeps Monte-Carlo results reproducible is that
 *only the owning subsystem consumes its streams*: a stray
 ``streams.get("disk-failures")`` in experiment code would advance the
 failure process's generator and silently shift every later draw of the
@@ -88,6 +88,11 @@ REPRO_STREAM_POLICY = StreamPolicy(
     prefix_owners={
         "faults-": ("repro.faults",),
         "rare-": ("repro.reliability.rare",),
+        # The bulk engine's dedicated stream family (failures, placement,
+        # windows).  Only the vectorized lifetime may consume them: the
+        # whole point of the separate family is that a bulk run with a
+        # given seed never perturbs a DES run with the same seed.
+        "bulk-": ("repro.reliability.bulk",),
     },
     allowlist={
         # Scenario wiring draws the latent-error injector's stream when
@@ -107,7 +112,7 @@ REPRO_STREAM_POLICY = StreamPolicy(
 
 def _is_stream_use(api: str, receiver: str, stream: str,
                    policy: StreamPolicy) -> bool:
-    if api in ("rare", "fresh"):
+    if api in ("rare", "fresh", "bulk"):
         return True
     if receiver.split(".")[-1] in _STREAM_RECEIVER_SUFFIXES:
         return True

@@ -231,7 +231,7 @@ def resolve_relative_import(module: str, target: str | None,
 class _Collector(ast.NodeVisitor):
     """One-pass AST walk filling a :class:`ModuleFacts`."""
 
-    STREAM_APIS = ("get", "fresh", "rare")
+    STREAM_APIS = ("get", "fresh", "rare", "bulk")
 
     def __init__(self, facts: ModuleFacts, is_package: bool) -> None:
         self.facts = facts
@@ -382,6 +382,8 @@ class _Collector(ast.NodeVisitor):
                 stream = arg.value
                 if node.func.attr == "rare":
                     stream = f"rare-{stream}"
+                elif node.func.attr == "bulk":
+                    stream = f"bulk-{stream}"
                 receiver = dotted_name(node.func.value) or ""
                 # `dict.get(...)`-style false positives are filtered by
                 # requiring a stream-ish receiver or a known stream name

@@ -128,9 +128,17 @@ class BathtubFailureModel:
         ``H(age) = H(current_age) - ln(U)`` for age.
         """
         u = rng.random(size)
-        base = self.cumulative_hazard(np.broadcast_to(
-            np.asarray(current_age, dtype=float), (size,)))
-        target = base - np.log1p(-u)   # -log(1-U), U uniform on [0,1)
+        if np.ndim(current_age) == 0 and float(current_age) == 0.0:
+            # New-drive fast path: H(0) == 0 exactly, so the conditional
+            # draw degenerates to the unconditional one.  Bit-identical
+            # to the general branch (same u, target = 0.0 - log1p(-u)),
+            # just without materializing a zero vector — this sits on the
+            # bulk engine's per-run hot path.
+            target = -np.log1p(-u)
+        else:
+            base = self.cumulative_hazard(np.broadcast_to(
+                np.asarray(current_age, dtype=float), (size,)))
+            target = base - np.log1p(-u)   # -log(1-U), U uniform on [0,1)
         return self._invert_cumulative(target)
 
     def mean_rate_per_year(self, years: float = 6.0) -> float:

@@ -52,8 +52,11 @@ SCALES: dict[str, Scale] = {
 #: CLI).  ``naive`` counts losing lifetimes; ``is`` importance-samples
 #: with the default hazard tilt; ``splitting`` runs fixed-effort
 #: multilevel splitting (see :mod:`repro.reliability.rare` and
-#: ``docs/RARE_EVENTS.md``).
-ESTIMATORS: tuple[str, ...] = ("naive", "is", "splitting")
+#: ``docs/RARE_EVENTS.md``); ``bulk`` counts losing lifetimes on the
+#: vectorized window-overlap engine (:mod:`repro.reliability.bulk` and
+#: ``docs/BULK_ENGINE.md``) — statistically conformant with ``naive``
+#: and orders of magnitude faster.
+ESTIMATORS: tuple[str, ...] = ("naive", "is", "splitting", "bulk")
 
 
 def run_p_loss_sweep(points: dict[str, SystemConfig], estimator: str,
@@ -77,6 +80,9 @@ def run_p_loss_sweep(points: dict[str, SystemConfig], estimator: str,
         from ..reliability.rare import sweep_splitting
         return sweep_splitting(points, n_runs=n_runs, base_seed=base_seed,
                                n_jobs=n_jobs)
+    if estimator == "bulk":
+        return sweep(points, n_runs=n_runs, base_seed=base_seed,
+                     n_jobs=n_jobs, sweep_name=sweep_name, engine="bulk")
     raise ValueError(
         f"unknown estimator {estimator!r}; expected one of {ESTIMATORS}")
 

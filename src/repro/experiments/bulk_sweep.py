@@ -1,0 +1,164 @@
+"""Bulk-engine benchmark: throughput + parity on the figure-5 grid.
+
+The bulk window-overlap engine (:mod:`repro.reliability.bulk`) exists to
+buy naive-MC throughput — the fleet-scale design sweeps the ROADMAP
+calls for need orders of magnitude more lifetimes than the DES engines
+can afford.  This driver makes that claim a measured, recorded, and
+*asserted* number instead of a docstring promise.  It runs the exact
+figure-5 point grid (FARM and traditional, both group sizes, all five
+recovery bandwidths) twice on the same process pool:
+
+* **baseline leg** — the naive-MC DES estimator, a few runs per point
+  (enough to time it honestly; its per-run cost is milliseconds to
+  tenths of a second);
+* **bulk leg** — ``engine="bulk"``, :data:`BULK_RUNS_FACTOR` times the
+  scale's run budget per point (the whole reason the engine exists).
+
+It asserts the bulk leg's aggregate ``runs_per_s`` is at least
+:data:`MIN_SPEEDUP` times the baseline's, writes the per-point table to
+``results/bulk-sweep.txt``, and appends a combined record (with a
+``bulk_comparison`` block carrying both legs' throughputs and the
+measured speedup) to the ``BENCH_sweep.json`` history, where
+``scripts/bench_guard.py`` watches it for regressions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..reliability.runner import (BENCH_SCHEMA, PointSpec, SweepRunner,
+                                  append_bench_record, bench_run_id,
+                                  bench_timestamp, default_bench_path)
+from ..reliability.stats import wilson_interval
+from .base import ExperimentResult, Scale, current_scale
+from .report import render_proportion
+from . import figure5
+
+#: The asserted headline: bulk-engine runs/s at least this many times
+#: the process-pool naive-MC DES baseline on the same grid and pool
+#: (measured ~150x at smoke scale on 2 workers).
+MIN_SPEEDUP = 100.0
+
+#: Bulk runs per point = scale.n_runs x this.  The engine's point is
+#: throughput, so the benchmark exercises (and times) a budget the DES
+#: baseline could never afford.
+BULK_RUNS_FACTOR = 25
+
+#: Baseline DES runs per point — enough to time the per-run cost
+#: honestly without the baseline leg dominating the benchmark's wall
+#: clock.
+BASELINE_RUNS_CAP = 4
+
+#: Where the rendered per-point table goes.
+DEFAULT_TEXT_PATH = Path("results") / "bulk-sweep.txt"
+
+
+def run(scale: Scale | None = None, base_seed: int = 0,
+        text_path: Path | None = DEFAULT_TEXT_PATH) -> ExperimentResult:
+    scale = scale or current_scale()
+    # Both legs share one pool size so the speedup is an apples-to-apples
+    # throughput ratio; a serial scale still benchmarks on 2 workers
+    # because the claim is against the *process-pool* baseline.
+    jobs = scale.n_jobs if scale.n_jobs else 2
+    baseline_runs = min(scale.n_runs, BASELINE_RUNS_CAP)
+    bulk_runs = scale.n_runs * BULK_RUNS_FACTOR
+    points = figure5.grid(scale)
+    labels = list(points)
+
+    # Each leg gets its own runner (bench/telemetry disabled — this
+    # driver appends its own combined record below).
+    baseline_runner = SweepRunner(n_jobs=jobs, bench_path=None,
+                                  telemetry_path="")
+    baseline_runner.run_points(
+        [PointSpec(label, points[label]) for label in labels],
+        baseline_runs, base_seed=base_seed, sweep_name="bulk-baseline")
+    base_record = baseline_runner.last_record
+
+    bulk_runner = SweepRunner(n_jobs=jobs, bench_path=None,
+                              telemetry_path="")
+    outcomes = bulk_runner.run_points(
+        [PointSpec(label, points[label], engine="bulk")
+         for label in labels],
+        bulk_runs, base_seed=base_seed, sweep_name="bulk-sweep")
+    bulk_record = bulk_runner.last_record
+
+    base_rps = base_record["runs_per_s"]
+    bulk_rps = bulk_record["runs_per_s"]
+    speedup = bulk_rps / base_rps if base_rps > 0 else float("inf")
+
+    result = ExperimentResult(
+        experiment="bulk-sweep",
+        description=(f"bulk engine vs process-pool naive-MC DES on the "
+                     f"figure-5 grid ({len(labels)} points, "
+                     f"{jobs} workers)"),
+        scale=scale,
+        columns=["mode", "group_gb", "bw_mbps", "n_runs", "p_loss_pct",
+                 "ci95", "mean_window_s"],
+    )
+    for o in outcomes:
+        farm, size_gb, bw_mbps = o.label.split("|")
+        p = wilson_interval(o.aggregate.losses, o.aggregate.n_runs, 0.95)
+        result.add(mode="FARM" if farm == "True" else "w/o",
+                   group_gb=float(size_gb), bw_mbps=float(bw_mbps),
+                   n_runs=o.aggregate.n_runs,
+                   p_loss_pct=100.0 * p.estimate,
+                   ci95=render_proportion(p),
+                   mean_window_s=o.aggregate.mean_window)
+    result.notes.append(
+        f"bulk engine: {bulk_rps:,.0f} runs/s over {bulk_record['total_runs']}"
+        f" runs; DES baseline: {base_rps:,.1f} runs/s over "
+        f"{base_record['total_runs']} runs; speedup {speedup:,.0f}x "
+        f"(required >= {MIN_SPEEDUP:g}x).")
+
+    # The subsystem's headline claim is part of the harness contract:
+    # fail loudly if the vectorized path regresses below it.
+    assert speedup >= MIN_SPEEDUP, (
+        f"bulk-engine speedup {speedup:.1f}x < required "
+        f"{MIN_SPEEDUP:g}x (bulk {bulk_rps:.0f} runs/s vs baseline "
+        f"{base_rps:.1f} runs/s on {jobs} workers)")
+
+    text = result.render() + "\n"
+    if text_path is not None:
+        text_path.parent.mkdir(parents=True, exist_ok=True)
+        text_path.write_text(text)
+    _write_bench(scale, jobs, base_seed, base_record, bulk_record, speedup)
+    return result
+
+
+def _write_bench(scale: Scale, jobs: int, base_seed: int,
+                 base_record: dict, bulk_record: dict,
+                 speedup: float) -> None:
+    """Append the throughput comparison to the perf-record history."""
+    path = default_bench_path()
+    if path is None:
+        return
+    record = {
+        "schema": BENCH_SCHEMA,
+        "sweep": "bulk-sweep",
+        "timestamp": bench_timestamp(),
+        "run_id": bench_run_id(),
+        "engines": ["bulk", "des"],
+        "scale": scale.name,
+        "n_jobs": jobs,
+        "workers": jobs,
+        "base_seed": base_seed,
+        "n_points": bulk_record["n_points"],
+        "n_runs_per_point": bulk_record["n_runs_per_point"],
+        "total_runs": bulk_record["total_runs"],
+        "wall_time_s": bulk_record["wall_time_s"],
+        "events_fired": bulk_record["events_fired"],
+        # Top-level runs/s is the *bulk* leg's so the bench-regression
+        # guard tracks the number the >=MIN_SPEEDUP claim is made of.
+        "runs_per_s": bulk_record["runs_per_s"],
+        "events_per_s": 0.0,
+        "points": bulk_record["points"],
+        "bulk_comparison": {
+            "baseline_runs_per_s": base_record["runs_per_s"],
+            "baseline_total_runs": base_record["total_runs"],
+            "baseline_wall_time_s": base_record["wall_time_s"],
+            "bulk_runs_per_s": bulk_record["runs_per_s"],
+            "speedup": speedup,
+            "min_required": MIN_SPEEDUP,
+        },
+    }
+    append_bench_record(path, record)

@@ -21,6 +21,31 @@ BANDWIDTHS_BPS = (8 * MB, 16 * MB, 24 * MB, 32 * MB, 40 * MB)
 GROUP_SIZES_BYTES = (10 * GB, 50 * GB)
 
 
+def grid(scale: Scale,
+         bandwidths_bps: tuple[float, ...] | None = None,
+         group_sizes_bytes: tuple[float, ...] | None = None
+         ) -> dict[str, SystemConfig]:
+    """The labelled figure-5 point grid at ``scale``.
+
+    Factored out of :func:`run` so other drivers (notably the
+    bulk-engine benchmark, :mod:`.bulk_sweep`) sweep the *same* grid the
+    figure uses — its FARM/traditional x bandwidth x group-size spread
+    is the paper's canonical workload mix.
+    """
+    bws = bandwidths_bps or BANDWIDTHS_BPS
+    sizes = group_sizes_bytes or GROUP_SIZES_BYTES
+    points = {}
+    for farm in (True, False):
+        for size in sizes:
+            base = scale.size_config(SystemConfig(
+                group_user_bytes=size, use_farm=farm,
+                detection_latency=30.0))
+            for bw in bws:
+                points[f"{farm}|{size / GB:g}|{bw / MB:g}"] = \
+                    base.with_(recovery_bandwidth_bps=bw)
+    return points
+
+
 def run(scale: Scale | None = None, base_seed: int = 0,
         bandwidths_bps: tuple[float, ...] | None = None,
         group_sizes_bytes: tuple[float, ...] | None = None,
@@ -36,15 +61,7 @@ def run(scale: Scale | None = None, base_seed: int = 0,
         columns=["mode", "group_gb", "bw_mbps", "mean_window_s",
                  "p_loss_pct", "ci95"],
     )
-    points = {}
-    for farm in (True, False):
-        for size in sizes:
-            base = scale.size_config(SystemConfig(
-                group_user_bytes=size, use_farm=farm,
-                detection_latency=30.0))
-            for bw in bws:
-                points[f"{farm}|{size / GB:g}|{bw / MB:g}"] = \
-                    base.with_(recovery_bandwidth_bps=bw)
+    points = grid(scale, bws, sizes)
     results = run_p_loss_sweep(points, estimator, n_runs=scale.n_runs,
                                base_seed=base_seed, n_jobs=scale.n_jobs,
                                sweep_name="figure5")

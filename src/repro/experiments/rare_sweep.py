@@ -24,7 +24,6 @@ why splitting is the tool once systems grow).
 
 from __future__ import annotations
 
-import json
 import math
 import time
 from pathlib import Path
@@ -32,7 +31,9 @@ from pathlib import Path
 from ..config import SystemConfig
 from ..reliability.montecarlo import MonteCarloResult, estimate_p_loss
 from ..reliability.rare import estimate_p_loss_is, splitting_p_loss
-from ..reliability.runner import BENCH_SCHEMA, default_bench_path
+from ..reliability.runner import (BENCH_SCHEMA, append_bench_record,
+                                  bench_run_id, bench_timestamp,
+                                  default_bench_path)
 from ..units import DAY, GB, TB, YEAR
 from .base import ExperimentResult, Scale, current_scale
 from .report import render_proportion
@@ -155,7 +156,8 @@ def _write_bench(cfg: SystemConfig, n_runs: int, base_seed: int,
     record = {
         "schema": BENCH_SCHEMA,
         "sweep": "rare-sweep",
-        "timestamp": time.time(),
+        "timestamp": bench_timestamp(),
+        "run_id": bench_run_id(),
         "n_points": 3,
         "n_runs_per_point": n_runs,
         "total_runs": 3 * n_runs,
@@ -181,5 +183,6 @@ def _write_bench(cfg: SystemConfig, n_runs: int, base_seed: int,
             "min_required": MIN_CI_NARROWING,
         },
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    # Append, never overwrite: the bench file is a bounded history
+    # shared by every sweep driver (regression guards diff against it).
+    append_bench_record(path, record)

@@ -1,0 +1,500 @@
+"""Bulk-lifetime Monte-Carlo engine (the third engine: vectorized, event-free).
+
+The two DES engines replay every failure/detect/rebuild event of a
+lifetime; a 2 PB trajectory costs hundreds of thousands of Python event
+dispatches.  The fleet-scale sweeps the ROADMAP calls for (10^4-point
+design grids) need orders of magnitude more naive-MC throughput, and the
+paper's loss statistic does not actually require an event loop: a group is
+lost iff, at some instant, more than ``n - m`` of its blocks are missing —
+a pure *window-overlap* predicate over per-block (failure time, repair
+time) intervals.  This engine draws all of those quantities in batches
+with :class:`numpy.random.Generator` and resolves the predicate with array
+ops:
+
+1. one lifetime per disk from the bathtub hazard (``bulk-failures``);
+2. the failed blocks of every group under uniform distinct-``n``
+   placement (``bulk-placement``).  For flat placement this is sampled
+   *sparsely*: per-group failed-block counts are hypergeometric given the
+   failed-disk set and groups are exchangeable, so one multinomial draw
+   tallies the groups per count and uniform distinct failed-disk
+   assignments fill them in — provably the same distribution as
+   materializing all ``G * n`` memberships (the dense sampler,
+   :func:`sample_members_flat`, survives as the property-test oracle).
+   The rack-capped topology case keeps the dense draw
+   (:func:`sample_members_capped`), where the cap skews the counts;
+3. a repair window per *failed* block: FARM rebuilds are parallel, so the
+   window is ``detection_latency + rebuild_seconds_per_block``;
+   traditional rebuilds queue a dead disk's blocks serially on its
+   dedicated spare, so the window is
+   ``detection_latency + pos * rebuild_seconds_per_block`` with ``pos``
+   uniform over the disk's hosted blocks (``bulk-windows``).  A failed
+   disk's hosted blocks are exactly its failed blocks, so the queue
+   length needs no dense membership either;
+4. group loss iff the per-group count of concurrently open
+   ``[failure, repair)`` intervals ever exceeds the scheme tolerance
+   (:func:`group_loss_times`).
+
+**Model vs DES** (docs/BULK_ENGINE.md derives the error terms): the engine
+is *first-generation* — blocks rebuilt onto a new disk are not re-failed
+when that disk later dies, spare disks' own failures are not counted, and
+FARM target-queue collisions are ignored.  All of these are
+O(failure-rate²) corrections, far inside the Monte-Carlo CI at the
+paper's rates, and the conformance suite (``tests/test_bulk.py``) asserts
+CI overlap against *both* DES engines on the golden FARM and traditional
+scenarios.  Features with first-order trajectory effects the predicate
+cannot express — replacement batches, SMART steering, diurnal workload,
+rush/copyset placement, set-based survival schemes — are rejected at
+construction rather than silently approximated.
+
+All randomness comes from the dedicated, golden-pinned ``bulk-*`` family
+(:data:`repro.sim.rng.BULK_STREAM_KINDS`), so a bulk run never perturbs a
+DES run with the same seed.  Each Monte-Carlo run vectorizes *within* the
+lifetime and uses its own seed from the shared schedule, so any batch
+split folds to bit-identical aggregates (the runner's ``ExactSum``
+invariance covers the weighted sums; per-run fold order covers the rest).
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from ..cluster.topology import Topology
+from ..config import SystemConfig
+from ..core.recovery import RecoveryStats
+from ..sim.rng import RandomStreams
+
+#: Rejection-sampling ceiling for the distinct-membership redraw.  The
+#: per-row collision probability is <= n^2 / (2 N) (and the cramped-pool
+#: regimes where rejection would thrash fall back to a key sort), so this
+#: only exists to turn a degenerate geometry into a loud error.
+_MAX_REDRAWS = 64
+
+#: Engines the sweep runner can dispatch a lifetime to.
+ENGINES: tuple[str, ...] = ("des", "bulk")
+
+
+def validate_bulk_config(config: SystemConfig) -> None:
+    """Reject configurations the bulk model cannot express.
+
+    Everything listed here has a *first-order* effect on the loss
+    trajectory that a static window-overlap predicate cannot capture, so
+    the engine refuses instead of silently approximating; use the DES
+    engines (``engine="des"``) for these features.
+    """
+    from ..redundancy.composite import is_threshold_scheme
+    problems = []
+    if not is_threshold_scheme(config.scheme):
+        problems.append("set-based survival schemes (needs is_lost())")
+    if config.replacement_threshold is not None:
+        problems.append("replacement batches (replacement_threshold)")
+    if config.use_smart:
+        problems.append("SMART target steering (use_smart)")
+    if config.workload_peak_load > 0:
+        problems.append("diurnal workload (workload_peak_load > 0)")
+    if config.placement != "random":
+        problems.append(f"placement={config.placement!r} "
+                        f"(only 'random' is expressible)")
+    if problems:
+        raise ValueError(
+            "the bulk engine models random placement with threshold loss "
+            "only; unsupported here: " + "; ".join(problems))
+
+
+def group_loss_times(fail: np.ndarray, repair: np.ndarray,
+                     tolerance: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized group-loss predicate over half-open ``[fail, repair)``.
+
+    ``fail``/``repair`` are ``(..., n)`` arrays of per-block failure and
+    repair times, with ``inf`` marking a block that never fails (its
+    repair must then be ``inf`` too).  A group is lost iff more than
+    ``tolerance`` intervals are ever open at once; the maximum overlap of
+    a finite interval family is attained at some interval's left endpoint,
+    so it suffices to count, for each block ``j``, how many intervals
+    cover ``fail[j]``.  Ties count both sides: a block failing at the
+    exact instant another's repair *starts to matter* is concurrent, which
+    matches the DES engines (a failure event at time t sees every block
+    whose rebuild has not completed strictly before t).
+
+    Returns ``(lost, when)``: a boolean loss mask over the leading axes
+    and the loss instant (``inf`` where not lost).
+    """
+    n = fail.shape[-1]
+    lost = np.zeros(fail.shape[:-1], dtype=bool)
+    when = np.full(fail.shape[:-1], np.inf)
+    for j in range(n):
+        tj = fail[..., j:j + 1]
+        # A never-failed block has tj = inf: `tj < repair` is then false
+        # everywhere, so its count is 0 and it can never trigger a loss.
+        concurrent = ((fail <= tj) & (tj < repair)).sum(axis=-1)
+        hit = concurrent > tolerance
+        lost |= hit
+        when = np.where(hit, np.minimum(when, fail[..., j]), when)
+    return lost, when
+
+
+def hypergeom_pmf(n_slots: int, n_failed: int, n_disks: int) -> np.ndarray:
+    """PMF of a group's failed-block count under flat distinct placement.
+
+    A group places ``n_slots`` blocks on distinct uniform disks; with
+    ``n_failed`` of the ``n_disks`` disks failed, the number landing on
+    failed disks is hypergeometric.  Exact integer combinatorics (group
+    sizes are tiny), entry ``k`` = P(count == k) for ``k in 0..n_slots``.
+    """
+    total = comb(n_disks, n_slots)
+    return np.array([comb(n_failed, k) * comb(n_disks - n_failed,
+                                              n_slots - k) / total
+                     for k in range(n_slots + 1)])
+
+
+def _distinct_rows(m: np.ndarray) -> np.ndarray:
+    """Mask of rows whose entries are pairwise distinct.
+
+    Pairwise column compares instead of a row sort: group sizes are tiny
+    (n <= a dozen) while the row count is 10^4-10^5, so n(n-1)/2 vector
+    compares beat an O(G n log n) sort by ~10x on the hot path.
+    """
+    n = m.shape[1]
+    dup = np.zeros(m.shape[0], dtype=bool)
+    for j in range(1, n):
+        for k in range(j):
+            dup |= m[:, j] == m[:, k]
+    return ~dup
+
+
+def distinct_uniform(rng: np.random.Generator, n_rows: int, k: int,
+                     n_vals: int) -> np.ndarray:
+    """``(n_rows, k)`` rows of distinct uniform draws from ``0..n_vals-1``.
+
+    Ordered tuples are drawn uniformly (``floor(u * n_vals)`` — exactly
+    uniform at these magnitudes and far cheaper than a bounded integer
+    draw) and rejected until distinct, which is exactly uniform over
+    distinct tuples.  Cramped pools, where rejection would thrash, fall
+    back to a per-row uniform ``k``-subset via random sort keys; block
+    slots are exchangeable everywhere downstream, so the unordered subset
+    has the same law.
+    """
+    if k > n_vals:
+        raise ValueError(f"cannot draw {k} distinct values from {n_vals}")
+    if k == 1:
+        return (rng.random((n_rows, 1)) * n_vals).astype(np.int64)
+    if n_vals <= 4 * k:
+        keys = rng.random((n_rows, n_vals))
+        return np.argpartition(keys, k - 1, axis=1)[:, :k].astype(np.int64)
+    m = (rng.random((n_rows, k)) * n_vals).astype(np.int64)
+    bad = np.flatnonzero(~_distinct_rows(m))
+    for _ in range(_MAX_REDRAWS):
+        if bad.size == 0:
+            return m
+        m[bad] = (rng.random((bad.size, k)) * n_vals).astype(np.int64)
+        bad = bad[~_distinct_rows(m[bad])]
+    raise RuntimeError(
+        f"distinct-tuple redraw did not converge in {_MAX_REDRAWS} "
+        f"rounds (k={k}, pool={n_vals})")
+
+
+def sample_members_flat(rng: np.random.Generator, n_groups: int, n: int,
+                        n_disks: int) -> np.ndarray:
+    """Uniform membership: ``n`` distinct disks per group, flat pool.
+
+    The same distribution the DES engines' random placement uses.  The
+    engine's flat hot path no longer materializes memberships (it samples
+    the failed blocks directly; see :func:`sample_failed_block_sections`);
+    this dense sampler remains the distributional *oracle* the
+    conformance suite checks that shortcut against.
+    """
+    if n == 1:
+        # int32 ids: disk counts are far below 2^31 and the narrower
+        # draw halves the PCG64 output consumed.
+        return rng.integers(0, n_disks, size=(n_groups, 1), dtype=np.int32)
+    return distinct_uniform(rng, n_groups, n, n_disks).astype(np.int32)
+
+
+def sample_members_capped(rng: np.random.Generator, n_groups: int, n: int,
+                          rack_of_disk: np.ndarray, cap: int) -> np.ndarray:
+    """Membership under the per-rack placement cap (topology case).
+
+    Racks are expanded into a pool of ``racks * cap`` slots; each group
+    takes a uniform ``n``-subset of slots (so no rack is used more than
+    ``cap`` times — the constraint holds by construction, never by
+    repair), then a uniform disk within each chosen rack, redrawing
+    within-group disk collisions.  ``SystemConfig`` validation guarantees
+    the slot pool covers a group and every rack is populated.
+    """
+    n_racks = int(rack_of_disk.max()) + 1
+    sizes = np.bincount(rack_of_disk, minlength=n_racks)
+    order = np.argsort(rack_of_disk, kind="stable")
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    padded = np.full((n_racks, int(sizes.max())), -1, dtype=np.int64)
+    for r in range(n_racks):
+        padded[r, :sizes[r]] = order[starts[r]:starts[r + 1]]
+
+    keys = rng.random((n_groups, n_racks * cap))
+    slots = np.argpartition(keys, n - 1, axis=1)[:, :n]
+    racks = slots // cap
+    members = padded[racks, rng.integers(0, sizes[racks], dtype=np.int64)]
+    bad = np.flatnonzero(~_distinct_rows(members))
+    for _ in range(_MAX_REDRAWS):
+        if bad.size == 0:
+            return members
+        r_bad = racks[bad]
+        members[bad] = padded[r_bad,
+                              rng.integers(0, sizes[r_bad], dtype=np.int64)]
+        bad = bad[~_distinct_rows(members[bad])]
+    raise RuntimeError(
+        f"capped membership redraw did not converge in {_MAX_REDRAWS} "
+        f"rounds (n={n}, racks={n_racks}, cap={cap}); a rack is likely "
+        f"too small to host its allowed share of a group")
+
+
+def sample_failed_block_sections(rng: np.random.Generator, n_groups: int,
+                                 n: int, n_failed: int,
+                                 n_disks: int) -> list[np.ndarray]:
+    """Sparse flat placement: draw only the blocks on failed disks.
+
+    Distributionally identical to drawing all ``n_groups * n`` distinct
+    memberships (:func:`sample_members_flat`) and keeping the blocks on
+    the ``n_failed`` failed disks:
+
+    * each group's failed-block count is hypergeometric
+      (:func:`hypergeom_pmf`), independent across groups, and every
+      statistic the engine reports is invariant under permuting group
+      ids — so one ``multinomial(n_groups, pmf)`` draw of the per-count
+      group *tallies* carries the full information;
+    * conditioned on its count ``k``, a group's failed disks are a
+      uniform distinct ``k``-tuple of the failed set (exchangeability of
+      the uniform distinct-``n`` draw);
+    * blocks on *surviving* disks never matter: they cannot open a
+      vulnerability window, and a failed disk's rebuild queue is exactly
+      its failed blocks.
+
+    Returns one ``(K_k, k)`` matrix per count ``k = 1..n`` (ascending —
+    the stream-consumption order the golden pins fix), holding each
+    group's failed-disk indices into the caller's failed-id array.
+    ``K_k`` is the number of groups with exactly ``k`` failed blocks.
+    """
+    pmf = hypergeom_pmf(n, n_failed, n_disks)
+    tallies = rng.multinomial(n_groups, pmf / pmf.sum())
+    return [distinct_uniform(rng, int(tallies[k]), k, n_failed)
+            if tallies[k] else np.empty((0, k), dtype=np.int64)
+            for k in range(1, n + 1)]
+
+
+class BulkLifetime:
+    """One system lifetime under the bulk window-overlap model."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        validate_bulk_config(config)
+        self.cfg = config
+        self.seed = seed
+        self.n = config.scheme.n
+        self.tol = config.scheme.tolerance
+        self.G = config.n_groups
+        self.N = config.n_disks
+
+    # ------------------------------------------------------------------ #
+    def _failed_block_sections(self, rng: np.random.Generator,
+                               ages: np.ndarray,
+                               failed_ids: np.ndarray) -> list[np.ndarray]:
+        """Per-count sections of failed blocks, as *disk id* matrices.
+
+        Entry ``k - 1`` is a ``(K_k, k)`` matrix: the disk ids of the
+        failed blocks of every group holding exactly ``k`` of them.  Flat
+        placement samples the sections sparsely; the rack-capped topology
+        case (where the cap skews the count law) draws the dense
+        membership and regroups its failed blocks into the same shape.
+        """
+        cfg = self.cfg
+        if cfg.max_chunks_per_domain is None:
+            return [failed_ids[m] for m in sample_failed_block_sections(
+                rng, self.G, self.n, failed_ids.size, self.N)]
+        topology = Topology(cfg.racks, cfg.machines_per_rack, self.N)
+        members = sample_members_capped(rng, self.G, self.n,
+                                        topology.rack_array(),
+                                        cfg.max_chunks_per_domain)
+        hit = (ages <= cfg.duration)[members]
+        fcount = hit.sum(axis=1)
+        sections = []
+        for k in range(1, self.n + 1):
+            rows_k = np.flatnonzero(fcount == k)
+            # Row-major boolean pick: each selected row contributes
+            # exactly k entries, in slot order.
+            sections.append(
+                members[rows_k][hit[rows_k]].reshape(rows_k.size, k)
+                .astype(np.int64))
+        return sections
+
+    def _traditional_windows(self, rng: np.random.Generator,
+                             queue_len: np.ndarray) -> np.ndarray:
+        """Windows of vulnerability for *failed* blocks, traditional (s).
+
+        Traditional recovery queues all of a dead disk's blocks serially
+        on its dedicated spare: the block in queue position ``pos``
+        (1-based, uniform over the dead disk's ``queue_len`` hosted
+        blocks) completes ``pos`` block-times after detection — exactly
+        the DES engines' serial ``free_at`` schedule.  Positions are
+        drawn only for blocks that actually failed, in section order;
+        ``pos ~ Uniform{1..k}`` via ``floor(u * k) + 1``, which is
+        exactly uniform for the tiny per-disk block counts and ~5x
+        faster than a bounded ``integers`` draw with an array ``high``.
+        (FARM rebuilds in parallel, so its window is the constant
+        ``detection_latency + rebuild_seconds_per_block`` and never
+        reaches this method — or the ``bulk-windows`` stream.)
+        """
+        cfg = self.cfg
+        pos = np.floor(rng.random(queue_len.shape) * queue_len) + 1.0
+        return cfg.detection_latency + pos * cfg.rebuild_seconds_per_block
+
+    # ------------------------------------------------------------------ #
+    def run(self, seed: int | None = None) -> RecoveryStats:
+        """Execute the lifetime; returns DES-shaped statistics.
+
+        The hot path is *sparse*: after the batched age draw, only the
+        blocks whose disk actually fails in-horizon (a few percent of
+        ``G * n``) are ever materialized, already grouped into dense
+        per-count sections, so the quadratic overlap predicate runs
+        pad-free on exactly the groups that hold more than ``tolerance``
+        failed blocks and no G- or N·n-length array is ever built.
+
+        ``seed`` overrides the instance seed, so one validated instance
+        can serve a whole batch of runs.
+        """
+        cfg = self.cfg
+        duration = cfg.duration
+        latency = cfg.detection_latency
+        streams = RandomStreams(self.seed if seed is None else seed)
+
+        ages = cfg.vintage.failure_model.sample_failure_age(
+            streams.bulk("failures"), self.N)
+        failed_ids = np.flatnonzero(ages <= duration)
+
+        stats = RecoveryStats()
+        stats.disk_failures = failed_ids.size
+        if failed_ids.size == 0:
+            return stats
+
+        sections = self._failed_block_sections(
+            streams.bulk("placement"), ages, failed_ids)
+        if not any(m.size for m in sections):
+            return stats
+
+        if cfg.use_farm:
+            # FARM rebuilds a dead disk's blocks in parallel across the
+            # fleet: every window is the same constant, kept scalar so it
+            # broadcasts for free (and the `bulk-windows` stream is never
+            # consumed — it only feeds the traditional queue draw).
+            farm_window = latency + cfg.rebuild_seconds_per_block
+            windows_flat = None
+        else:
+            # A failed disk's rebuild queue is its hosted blocks — all
+            # of which failed with it, so the failed-block multiset
+            # determines the queue length exactly.  One flat draw in
+            # section order keeps stream consumption well-defined.
+            disk_flat = np.concatenate(
+                [m.ravel() for m in sections if m.size])
+            queue_flat = np.bincount(disk_flat,
+                                     minlength=self.N)[disk_flat]
+            windows_flat = self._traditional_windows(
+                streams.bulk("windows"), queue_flat)
+
+        n_started = 0
+        n_completed = 0
+        n_lost = 0
+        window_total = 0.0
+        window_max = 0.0
+        first_loss = np.inf
+        offset = 0
+        for k, m in enumerate(sections, start=1):
+            if m.size == 0:
+                continue
+            fail_k = ages[m]                              # (K_k, k)
+            if windows_flat is None:
+                repair_k = fail_k + farm_window
+            else:
+                win_k = windows_flat[offset:offset + m.size] \
+                    .reshape(m.shape)
+                offset += m.size
+                repair_k = fail_k + win_k
+
+            # Groups with <= tolerance failed blocks can never be lost;
+            # a scalar inf loss time broadcasts through the accounting.
+            loss_of: np.ndarray | float = np.inf
+            if k > self.tol:
+                lost_k, when_k = group_loss_times(fail_k, repair_k,
+                                                  self.tol)
+                if lost_k.any():
+                    n_lost += int(np.count_nonzero(lost_k))
+                    first_loss = min(first_loss,
+                                     float(when_k[lost_k].min()))
+                    loss_of = np.where(lost_k, when_k, np.inf)[:, None]
+
+            # Rebuild accounting mirrors the DES semantics: a rebuild
+            # starts at the *detect* event (failure + detection latency)
+            # and only if the group is not lost by then — the
+            # loss-triggering block never starts one; a started rebuild
+            # completes unless cancelled by a later loss or censored by
+            # the horizon.
+            detect_k = fail_k + latency
+            started_k = (detect_k <= duration) & (detect_k < loss_of)
+            completed_k = (started_k & (repair_k < loss_of)
+                           & (repair_k <= duration))
+            n_started += int(np.count_nonzero(started_k))
+            done = int(np.count_nonzero(completed_k))
+            n_completed += done
+            if windows_flat is not None and done:
+                done_windows = win_k[completed_k]
+                window_total += float(done_windows.sum())
+                window_max = max(window_max, float(done_windows.max()))
+
+        stats.rebuilds_started = n_started
+        stats.rebuilds_completed = n_completed
+        if windows_flat is None:
+            window_total = farm_window * n_completed
+            window_max = farm_window if n_completed else 0.0
+        stats.window_total = window_total
+        stats.window_max = window_max
+        stats.groups_lost = n_lost
+        stats.bytes_lost = n_lost * cfg.group_user_bytes
+        if n_lost:
+            stats.first_loss_time = float(first_loss)
+        return stats
+
+
+def run_bulk_lifetime(config: SystemConfig, seed: int = 0) -> RecoveryStats:
+    """One bulk lifetime (module-level for pickling across the pool)."""
+    return BulkLifetime(config, seed=seed).run()
+
+
+def run_bulk_batch(config: SystemConfig,
+                   seeds: list[int]) -> list[RecoveryStats]:
+    """A batch of independent bulk lifetimes, one per seed, in order.
+
+    One validated :class:`BulkLifetime` serves the whole batch — the
+    per-run state is entirely inside :meth:`BulkLifetime.run`, so this
+    is identical to constructing a fresh instance per seed, minus the
+    repeated validation.
+    """
+    lifetime = BulkLifetime(config)
+    return [lifetime.run(seed=s) for s in seeds]
+
+
+def bulk_aggregate(config: SystemConfig, n_runs: int, base_seed: int = 0,
+                   batch_size: int = 64):
+    """Fold ``n_runs`` bulk lifetimes into a :class:`StatsAggregate`.
+
+    Uses the sweep runner's shared seed schedule and folds in run-index
+    order, so the result is bit-identical for *any* ``batch_size`` — the
+    invariance the conformance suite pins.
+    """
+    from .runner import StatsAggregate, seed_schedule
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    aggregate = StatsAggregate()
+    seeds = seed_schedule(base_seed, n_runs)
+    for lo in range(0, n_runs, batch_size):
+        for stats in run_bulk_batch(config, seeds[lo:lo + batch_size]):
+            aggregate.fold(stats)
+    return aggregate

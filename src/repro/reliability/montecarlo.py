@@ -15,6 +15,7 @@ point has.  Pass ``keep_run_stats=True`` to also retain the raw per-run
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -55,6 +56,8 @@ class MonteCarloResult:
     #: means ``p_loss`` is the weighted CLT interval of the unbiased
     #: likelihood-ratio estimator).
     tilt: float = 0.0
+    #: the lifetime engine that produced the runs ("des" or "bulk").
+    engine: str = "des"
 
     @property
     def runs_with_redirection(self) -> int:
@@ -64,10 +67,35 @@ class MonteCarloResult:
 
     @property
     def ess(self) -> float:
-        """Effective sample size of the (possibly weighted) estimate."""
+        """Effective sample size of the (possibly weighted) estimate.
+
+        Unweighted runs contribute one effective sample each; weighted
+        (tilted) runs contribute through the Kish ratio of their
+        likelihood-ratio weights.  A run-stats-only construction (no
+        aggregate) recomputes Kish from the per-run log-weights — the
+        completed-run count would silently *overstate* a weighted
+        estimate's information — and a tilted result carrying neither
+        the aggregate nor the run stats has no defensible answer, so it
+        refuses rather than guessing.
+        """
         if self.aggregate is not None:
             return self.aggregate.weighted.ess
-        return float(self.n_runs - self.runs_failed)
+        if self.tilt == 0.0:
+            return float(self.n_runs - self.runs_failed)
+        if self.run_stats:
+            # Kish ESS is scale-invariant, so shift by the max log-weight
+            # before exponentiating: immune to under/overflow however
+            # extreme the tilt.
+            log_w = [s.log_weight for s in self.run_stats]
+            peak = max(log_w)
+            if peak == float("-inf"):
+                return 0.0
+            w = [math.exp(v - peak) for v in log_w]
+            return math.fsum(w) ** 2 / math.fsum(x * x for x in w)
+        raise ValueError(
+            "cannot derive the effective sample size of a tilted result "
+            "without its aggregate or per-run stats; construct it with "
+            "aggregate=... or keep_run_stats=True")
 
     @property
     def zero_hit(self) -> bool:
@@ -113,6 +141,7 @@ def _result_from(outcome: PointOutcome,
         run_stats=outcome.run_stats,
         telemetry=outcome.telemetry,
         tilt=outcome.tilt,
+        engine=outcome.engine,
     )
 
 
@@ -123,7 +152,8 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
                     telemetry: TelemetryConfig | bool | None = None,
                     telemetry_path: str | Path | None = None,
                     on_error: str = "raise",
-                    tilt: float = 0.0) -> MonteCarloResult:
+                    tilt: float = 0.0,
+                    engine: str = "des") -> MonteCarloResult:
     """Estimate P(data loss over the configured duration).
 
     Parameters
@@ -153,11 +183,17 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
         ratio, making loss more frequent under the proposal without
         biasing the (weighted) estimate.  0.0 is exactly the naive
         estimator (see :mod:`repro.reliability.rare`).
+    engine:
+        ``"des"`` (default) runs the flat-array discrete-event engine;
+        ``"bulk"`` runs the vectorized window-overlap model
+        (:mod:`repro.reliability.bulk`) — orders of magnitude faster,
+        statistically conformant on its supported configuration space,
+        incompatible with ``tilt`` and telemetry.
     """
     runner = SweepRunner(n_jobs=n_jobs, telemetry=telemetry,
                          telemetry_path=telemetry_path)
     [outcome] = runner.run_points(
-        [PointSpec("point", config, tilt=tilt)], n_runs,
+        [PointSpec("point", config, tilt=tilt, engine=engine)], n_runs,
         base_seed=base_seed, keep_run_stats=keep_run_stats,
         sweep_name="estimate_p_loss", on_error=on_error)
     return _result_from(outcome, confidence)
@@ -171,7 +207,8 @@ def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
           telemetry: TelemetryConfig | bool | None = None,
           telemetry_path: str | Path | None = None,
           on_error: str = "raise",
-          tilt: float = 0.0) -> dict[str, MonteCarloResult]:
+          tilt: float = 0.0,
+          engine: str = "des") -> dict[str, MonteCarloResult]:
     """Estimate P(loss) for a labelled family of configurations.
 
     All points run on one :class:`SweepRunner` (and hence one persistent
@@ -187,7 +224,7 @@ def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
     runner = SweepRunner(n_jobs=n_jobs, bench_path=bench_path,
                          telemetry=telemetry,
                          telemetry_path=telemetry_path)
-    points = [PointSpec(label, cfg, tilt=tilt)
+    points = [PointSpec(label, cfg, tilt=tilt, engine=engine)
               for label, cfg in configs.items()]
     outcomes = runner.run_points(points, n_runs, base_seed=base_seed,
                                  keep_run_stats=keep_run_stats,
@@ -205,7 +242,8 @@ def loss_probability_series(base: SystemConfig, param: str,
                             telemetry: TelemetryConfig | bool | None = None,
                             telemetry_path: str | Path | None = None,
                             on_error: str = "raise",
-                            tilt: float = 0.0
+                            tilt: float = 0.0,
+                            engine: str = "des"
                             ) -> list[tuple[object, MonteCarloResult]]:
     """Sweep one config field; returns (value, result) pairs in order."""
     labelled = {str(v): base.with_(**{param: v}) for v in values}
@@ -214,5 +252,5 @@ def loss_probability_series(base: SystemConfig, param: str,
                     sweep_name=sweep_name or f"series:{param}",
                     bench_path=bench_path, telemetry=telemetry,
                     telemetry_path=telemetry_path, on_error=on_error,
-                    tilt=tilt)
+                    tilt=tilt, engine=engine)
     return [(v, results[str(v)]) for v in values]

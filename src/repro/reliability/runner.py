@@ -20,9 +20,11 @@ Three guarantees:
   into a :class:`StatsAggregate` (counts, window sum/max, Welford moments)
   as they arrive; a sweep no longer retains one stats object per run
   unless the caller opts in with ``keep_run_stats=True``.
-* **Perf record** — each sweep invocation can emit a machine-readable
-  ``BENCH_sweep.json`` (wall time, events fired, runs/s, per-point
-  timings) so the benchmark trajectory has data.
+* **Perf record** — each sweep invocation can append a machine-readable
+  record (wall time, events fired, runs/s, per-point timings) to the
+  bounded ``BENCH_sweep.json`` history, keyed by schema version, run id
+  (``REPRO_BENCH_ID`` or the git HEAD), and timestamp, so the benchmark
+  trajectory accumulates across invocations instead of being rewritten.
 
 Wall-clock reads here measure *host* performance only — simulated time
 never touches them — and go through module-level injectable aliases so
@@ -63,6 +65,15 @@ DEFAULT_BENCH_PATH = Path("results") / "BENCH_sweep.json"
 #: Schema tag stamped into every perf record.
 BENCH_SCHEMA = "repro.bench-sweep.v1"
 
+#: Schema tag of the on-disk container: an append-only, bounded history
+#: of per-sweep records, so the perf *trajectory* survives across
+#: invocations (and across PRs) instead of each sweep clobbering the
+#: last.  A legacy bare-v1 file is absorbed as the first history entry.
+BENCH_LOG_SCHEMA = "repro.bench-sweep-log.v1"
+
+#: How many records the on-disk history retains (oldest dropped first).
+BENCH_HISTORY_LIMIT = 200
+
 #: Cap on queued-but-unsubmitted task batching: every task is submitted
 #: up front (sweeps are at most a few thousand lifetimes), but completions
 #: are drained in waves of this size to bound reorder-buffer growth.
@@ -75,6 +86,114 @@ def default_bench_path() -> Path | None:
     if env is not None:
         return Path(env) if env else None
     return DEFAULT_BENCH_PATH
+
+
+def _git_head_sha(start: Path) -> str | None:
+    """Best-effort commit id from ``.git/HEAD`` (file reads only).
+
+    Walks up from ``start`` looking for a ``.git`` directory and resolves
+    HEAD through loose or packed refs.  No subprocess, no wall clock —
+    it only exists to key perf records, and any failure degrades to
+    ``None`` rather than raising.
+    """
+    try:
+        d = Path(start).resolve()
+        for _ in range(16):
+            head = d / ".git" / "HEAD"
+            if head.is_file():
+                text = head.read_text(encoding="utf-8").strip()
+                if not text.startswith("ref:"):
+                    return text[:12] or None
+                ref = text.split(None, 1)[1]
+                loose = d / ".git" / ref
+                if loose.is_file():
+                    return loose.read_text(encoding="utf-8").strip()[:12]
+                packed = d / ".git" / "packed-refs"
+                if packed.is_file():
+                    for line in packed.read_text(
+                            encoding="utf-8").splitlines():
+                        if line.endswith(" " + ref):
+                            return line.split()[0][:12]
+                return None
+            if d.parent == d:
+                break
+            d = d.parent
+    except OSError:
+        return None
+    return None
+
+
+def bench_run_id() -> str:
+    """Identity key for a perf record: env override, else git SHA.
+
+    ``REPRO_BENCH_ID`` wins (CI can stamp a build id); otherwise the
+    repository HEAD commit read from ``.git`` (never a subprocess), and
+    ``"unknown"`` when neither is available.
+    """
+    env = os.environ.get("REPRO_BENCH_ID")
+    if env:
+        return env
+    return _git_head_sha(Path.cwd()) or "unknown"
+
+
+def bench_timestamp() -> float:
+    """Record timestamp: ``REPRO_BENCH_TIMESTAMP`` env, else host time.
+
+    The env override keeps record identity reproducible in pinned
+    environments; the fallback is the module's injectable ``_WALL_TIME``
+    alias (a sanctioned host clock — simulated time never reaches here).
+    """
+    env = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    if env:
+        return float(env)
+    return _WALL_TIME()
+
+
+def read_bench_records(path: str | Path) -> list[dict]:
+    """All retained perf records at ``path``, oldest first.
+
+    Understands both the ``repro.bench-sweep-log.v1`` container and a
+    legacy bare-v1 single record (returned as a one-entry history).
+    Unreadable or malformed files read as empty — the perf log is an
+    artifact, never an input a sweep can fail on.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if isinstance(data, dict) and data.get("schema") == BENCH_LOG_SCHEMA:
+        records = data.get("records")
+        return [r for r in records if isinstance(r, dict)] \
+            if isinstance(records, list) else []
+    if isinstance(data, dict) and data.get("schema"):
+        return [data]
+    return []
+
+
+def latest_bench_record(path: str | Path,
+                        sweep: str | None = None) -> dict | None:
+    """The newest retained record (optionally for one sweep name)."""
+    for record in reversed(read_bench_records(path)):
+        if sweep is None or record.get("sweep") == sweep:
+            return record
+    return None
+
+
+def append_bench_record(path: str | Path, record: dict,
+                        limit: int = BENCH_HISTORY_LIMIT) -> None:
+    """Append ``record`` to the bounded on-disk perf history."""
+    path = Path(path)
+    records = read_bench_records(path)
+    records.append(record)
+    del records[:-limit]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"schema": BENCH_LOG_SCHEMA, "records": records},
+                   indent=2) + "\n",
+        encoding="utf-8")
 
 
 def seed_schedule(base_seed: int, n_runs: int) -> list[int]:
@@ -216,6 +335,40 @@ class _LifetimeTask:
     telemetry: TelemetryConfig | None = None
     #: hazard log-multiplier for importance sampling (0.0 = untilted).
     tilt: float = 0.0
+    #: lifetime engine: "des" (flat-array DES) or "bulk" (vectorized
+    #: window-overlap model, see :mod:`repro.reliability.bulk`).
+    engine: str = "des"
+
+
+@dataclass(frozen=True)
+class _BulkBatchTask:
+    """A contiguous chunk of one bulk point's runs, shipped as one task.
+
+    A bulk lifetime costs well under a millisecond, so per-run task
+    dispatch would be dominated by pool overhead; chunking amortizes it
+    while the per-run seeds keep every lifetime independent of how the
+    chunk boundaries fall.
+    """
+
+    point: int
+    start: int
+    config: SystemConfig
+    seeds: tuple[int, ...]
+
+
+#: Runs per bulk pool task (see :class:`_BulkBatchTask`).  At ~0.5 ms a
+#: run, 32 runs amortize submission/pickle overhead to noise while still
+#: feeding even a wide pool promptly.
+_BULK_CHUNK = 32
+
+
+def _run_bulk_chunk(task: _BulkBatchTask
+                    ) -> tuple[int, int, list[RecoveryStats], float]:
+    """Execute one bulk chunk; returns ``(point, start, stats, secs)``."""
+    t0 = _WALL_CLOCK()
+    from .bulk import run_bulk_batch
+    stats = run_bulk_batch(task.config, list(task.seeds))
+    return (task.point, task.start, stats, _WALL_CLOCK() - t0)
 
 
 def _run_lifetime(task: _LifetimeTask
@@ -228,6 +381,10 @@ def _run_lifetime(task: _LifetimeTask
     pickles across the pool boundary) or ``None`` when unobserved.
     """
     t0 = _WALL_CLOCK()
+    if task.engine == "bulk":
+        from .bulk import BulkLifetime
+        stats = BulkLifetime(task.config, seed=task.seed).run()
+        return (task.point, task.index, stats, 0, _WALL_CLOCK() - t0, None)
     telemetry = (Telemetry(task.telemetry)
                  if task.telemetry is not None else None)
     failure_draw = None
@@ -284,6 +441,8 @@ class PointSpec:
     config: SystemConfig
     #: importance-sampling hazard tilt for this point (0.0 = naive MC).
     tilt: float = 0.0
+    #: lifetime engine for this point ("des" or "bulk").
+    engine: str = "des"
 
 
 @dataclass
@@ -304,6 +463,8 @@ class PointOutcome:
     telemetry: dict | None = field(repr=False, default=None)
     #: the tilt the point ran under (0.0 = naive MC).
     tilt: float = 0.0
+    #: the lifetime engine the point ran on ("des" or "bulk").
+    engine: str = "des"
 
 
 class SweepRunner:
@@ -362,7 +523,9 @@ class SweepRunner:
         ``on_error="skip"`` drops a lifetime that raises (counted on
         :attr:`PointOutcome.runs_failed`) instead of propagating; the
         surviving runs still fold in run-index order, so the aggregate
-        stays order-stable.
+        stays order-stable.  For a parallel bulk point the drop is
+        chunk-granular: every run of the chunk containing the failing
+        lifetime is skipped.
         """
         if n_runs <= 0:
             raise ValueError("n_runs must be positive")
@@ -371,11 +534,25 @@ class SweepRunner:
         if on_error not in ("raise", "skip"):
             raise ValueError(f"on_error must be 'raise' or 'skip', "
                              f"got {on_error!r}")
+        for p in points:
+            if p.engine not in ("des", "bulk"):
+                raise ValueError(f"unknown engine {p.engine!r} for point "
+                                 f"{p.label!r}; expected 'des' or 'bulk'")
+            if p.engine == "bulk" and p.tilt != 0.0:
+                raise ValueError(
+                    f"point {p.label!r}: the bulk engine has no "
+                    f"importance-sampling path (tilt={p.tilt}); use "
+                    f"engine='des' for tilted runs")
+            if p.engine == "bulk" and self.telemetry is not None:
+                raise ValueError(
+                    f"point {p.label!r}: the bulk engine is event-free "
+                    f"and cannot drive telemetry probes; disable "
+                    f"telemetry or use engine='des'")
         t0 = _WALL_CLOCK()
         seeds = seed_schedule(base_seed, n_runs)
         outcomes = [PointOutcome(label=p.label, config=p.config,
                                  n_runs=n_runs, aggregate=StatsAggregate(),
-                                 tilt=p.tilt)
+                                 tilt=p.tilt, engine=p.engine)
                     for p in points]
         if self.workers <= 1:
             self._run_serial(points, seeds, outcomes, keep_run_stats, t0,
@@ -416,11 +593,34 @@ class SweepRunner:
                     outcomes: list[PointOutcome], keep_run_stats: bool,
                     t0: float, on_error: str) -> None:
         for p, point in enumerate(points):
+            if point.engine == "bulk":
+                # Same chunking as the parallel path: per-run dispatch
+                # overhead is a measurable fraction of a sub-millisecond
+                # bulk lifetime, and chunk boundaries cannot change the
+                # fold (per-run seeds + run-index order).
+                for lo in range(0, len(seeds), _BULK_CHUNK):
+                    chunk = tuple(seeds[lo:lo + _BULK_CHUNK])
+                    try:
+                        _, start, chunk_stats, secs = _run_bulk_chunk(
+                            _BulkBatchTask(p, lo, point.config, chunk))
+                    except Exception:
+                        if on_error != "skip":
+                            raise
+                        outcomes[p].runs_failed += len(chunk)
+                        continue
+                    per_run = secs / len(chunk_stats)
+                    for k, stats in enumerate(chunk_stats):
+                        self._fold(outcomes[p],
+                                   (p, start + k, stats, 0, per_run, None),
+                                   keep_run_stats)
+                outcomes[p].completed_at_s = _WALL_CLOCK() - t0
+                continue
             for i, seed in enumerate(seeds):
                 try:
                     payload = _run_lifetime(
                         _LifetimeTask(p, i, point.config, seed,
-                                      self.telemetry, point.tilt))
+                                      self.telemetry, point.tilt,
+                                      point.engine))
                 except Exception:
                     if on_error != "skip":
                         raise
@@ -433,30 +633,56 @@ class SweepRunner:
                       outcomes: list[PointOutcome], keep_run_stats: bool,
                       t0: float, on_error: str) -> None:
         pool = shared_pool(self.workers)
-        futures: dict[Future, tuple[int, int]] = {
-            pool.submit(_run_lifetime,
+        # DES points submit one task per run; bulk points submit chunks
+        # of _BULK_CHUNK runs (sub-millisecond lifetimes would otherwise
+        # drown in task overhead).  The futures value is ``(point, first
+        # run index, chunk length)`` with length 0 marking a single task.
+        futures: dict[Future, tuple[int, int, int]] = {}
+        for p, point in enumerate(points):
+            if point.engine == "bulk":
+                for lo in range(0, len(seeds), _BULK_CHUNK):
+                    chunk = tuple(seeds[lo:lo + _BULK_CHUNK])
+                    fut = pool.submit(
+                        _run_bulk_chunk,
+                        _BulkBatchTask(p, lo, point.config, chunk))
+                    futures[fut] = (p, lo, len(chunk))
+            else:
+                for i, seed in enumerate(seeds):
+                    fut = pool.submit(
+                        _run_lifetime,
                         _LifetimeTask(p, i, point.config, seed,
-                                      self.telemetry, point.tilt)): (p, i)
-            for p, point in enumerate(points)
-            for i, seed in enumerate(seeds)}
+                                      self.telemetry, point.tilt,
+                                      point.engine))
+                    futures[fut] = (p, i, 0)
         # Per-point reorder buffers: fold strictly in run-index order so
         # float reductions (and telemetry merges) are bit-identical to
-        # the serial path.  ``None`` marks a run skipped after an error.
+        # the serial path.  ``None`` marks a run skipped after an error
+        # (for a bulk chunk, every run the chunk covered).
         buffers: list[dict[int, tuple | None]] = [{} for _ in points]
         next_index = [0] * len(points)
         n_runs = len(seeds)
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
             for fut in done:
-                p, i = futures.pop(fut)
+                p, i, count = futures.pop(fut)
                 try:
-                    buffers[p][i] = fut.result()
+                    result = fut.result()
                 except Exception:
                     if on_error != "skip":
                         for pending in futures:
                             pending.cancel()
                         raise
-                    buffers[p][i] = None
+                    for k in range(max(count, 1)):
+                        buffers[p][i + k] = None
+                    continue
+                if count:
+                    _, start, chunk_stats, secs = result
+                    per_run = secs / len(chunk_stats)
+                    for k, stats in enumerate(chunk_stats):
+                        buffers[p][start + k] = (p, start + k, stats, 0,
+                                                 per_run, None)
+                else:
+                    buffers[p][i] = result
             for p, buffer in enumerate(buffers):
                 while next_index[p] in buffer:
                     payload = buffer.pop(next_index[p])
@@ -477,7 +703,9 @@ class SweepRunner:
         return {
             "schema": BENCH_SCHEMA,
             "sweep": sweep_name,
-            "timestamp": _WALL_TIME(),
+            "timestamp": bench_timestamp(),
+            "run_id": bench_run_id(),
+            "engines": sorted({o.engine for o in outcomes}),
             "n_jobs": self.n_jobs,
             "workers": self.workers,
             "n_points": len(outcomes),
@@ -493,6 +721,7 @@ class SweepRunner:
                     "n_runs": o.n_runs,
                     "runs_failed": o.runs_failed,
                     "tilt": o.tilt,
+                    "engine": o.engine,
                     "ess": o.aggregate.weighted.ess,
                     "losses": o.aggregate.losses,
                     "events_fired": o.aggregate.events_fired,
@@ -506,9 +735,7 @@ class SweepRunner:
     def _write_bench(self, record: dict[str, Any]) -> None:
         if self.bench_path is None:
             return
-        self.bench_path.parent.mkdir(parents=True, exist_ok=True)
-        self.bench_path.write_text(json.dumps(record, indent=2) + "\n",
-                                   encoding="utf-8")
+        append_bench_record(self.bench_path, record)
 
     def _write_telemetry(self, sweep_name: str,
                          outcomes: list[PointOutcome]) -> None:

@@ -192,12 +192,19 @@ class WeightedAggregate:
     wx_sq_sum: ExactSum = field(default_factory=ExactSum)
 
     def add(self, weight: float, hit: bool) -> None:
-        """Fold one run's (weight, loss-indicator) pair in."""
+        """Fold one run's (weight, loss-indicator) pair in.
+
+        A weight of exactly 0.0 is accepted: under extreme tilt the
+        likelihood ratio ``exp(log_weight)`` underflows, and such a run
+        legitimately carries (vanishingly little) evidence — it counts as
+        a trial but contributes nothing to the weighted sums.  Negative
+        or non-finite weights are still programming errors.
+        """
         w = float(weight)
-        if not math.isfinite(w) or w <= 0.0:
+        if not math.isfinite(w) or w < 0.0:
             raise ValueError(
-                f"likelihood-ratio weights must be finite and strictly "
-                f"positive, got {weight!r}")
+                f"likelihood-ratio weights must be finite and "
+                f"non-negative, got {weight!r}")
         self.n += 1
         self.w_sum.add(w)
         self.w_sq_sum.add(w * w)
@@ -224,10 +231,17 @@ class WeightedAggregate:
 
     @property
     def estimate_normalized(self) -> float:
-        """Self-normalized estimate: sum w_i x_i / sum w_i."""
-        if self.n == 0:
+        """Self-normalized estimate: sum w_i x_i / sum w_i.
+
+        A batch with zero total weight (empty, or every run's likelihood
+        ratio underflowed) carries no usable evidence: the documented
+        uninformative value is 0.0, mirroring :func:`empty_proportion`
+        (callers see the degeneracy through ``ess == 0``).
+        """
+        sw = self.w_sum.value
+        if self.n == 0 or sw == 0.0:
             return 0.0
-        return self.wx_sum.value / self.w_sum.value
+        return self.wx_sum.value / sw
 
     @property
     def mean_weight(self) -> float:
@@ -238,11 +252,18 @@ class WeightedAggregate:
 
     @property
     def ess(self) -> float:
-        """Kish effective sample size: (sum w)^2 / sum w^2, in [1, n]."""
-        if self.n == 0:
+        """Kish effective sample size: (sum w)^2 / sum w^2, in [0, n].
+
+        0.0 both for the empty aggregate and for an all-zero-weight
+        batch — either way the weighted estimate rests on no effective
+        samples, and interval builders degrade to the uninformative
+        whole-line answer instead of dividing by zero.
+        """
+        sw_sq = self.w_sq_sum.value
+        if self.n == 0 or sw_sq == 0.0:
             return 0.0
         sw = self.w_sum.value
-        return sw * sw / self.w_sq_sum.value
+        return sw * sw / sw_sq
 
 
 def weighted_clt_interval(agg: WeightedAggregate,
@@ -258,6 +279,12 @@ def weighted_clt_interval(agg: WeightedAggregate,
         raise ValueError("confidence must be in (0, 1)")
     if agg.n == 0:
         return empty_proportion(confidence)
+    if agg.w_sum.value == 0.0:
+        # Every weight underflowed: a zero sample variance here would
+        # claim certainty the data cannot support, so keep the trial
+        # counts but return the uninformative whole-line interval.
+        return Proportion(successes=agg.hits, trials=agg.n, estimate=0.0,
+                          lo=0.0, hi=1.0, confidence=confidence)
     n = agg.n
     p = agg.estimate
     z = math.sqrt(2.0) * _erfinv(confidence)
@@ -285,8 +312,14 @@ def weighted_wilson_interval(agg: WeightedAggregate,
         raise ValueError("confidence must be in (0, 1)")
     if agg.n == 0:
         return empty_proportion(confidence)
-    p = min(1.0, max(0.0, agg.estimate_normalized))
     n_eff = agg.ess
+    if n_eff == 0.0:
+        # All-zero-weight batch: no effective samples, so the Wilson
+        # machinery (which divides by n_eff) degrades to the documented
+        # uninformative interval with the raw trial counts preserved.
+        return Proportion(successes=agg.hits, trials=agg.n, estimate=0.0,
+                          lo=0.0, hi=1.0, confidence=confidence)
+    p = min(1.0, max(0.0, agg.estimate_normalized))
     z = math.sqrt(2.0) * _erfinv(confidence)
     lo, hi = _wilson_bounds(p, n_eff, z)
     return Proportion(successes=agg.hits, trials=agg.n, estimate=p,

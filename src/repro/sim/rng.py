@@ -50,6 +50,26 @@ def rare_stream_name(kind: str) -> str:
     return f"rare-{kind}"
 
 
+#: Stream kinds reserved for the bulk-lifetime engine
+#: (:mod:`repro.reliability.bulk`).  ``failures`` draws every disk's
+#: lifetime in one batch, ``placement`` draws group membership, and
+#: ``windows`` draws the stochastic part of the repair windows
+#: (traditional-mode queue positions).  Like the rare family this is a
+#: closed registry so the golden-regression suite can pin every member:
+#: the bulk engine deliberately does *not* share the DES engines'
+#: ``disk-failures``/``targets`` streams — its draw order is batched, not
+#: event-ordered, so sharing would silently perturb the DES pins.
+BULK_STREAM_KINDS: tuple[str, ...] = ("failures", "placement", "windows")
+
+
+def bulk_stream_name(kind: str) -> str:
+    """The stream name for a bulk-engine stream ``kind`` (validated)."""
+    if kind not in BULK_STREAM_KINDS:
+        raise ValueError(f"unknown bulk stream kind {kind!r}; expected "
+                         f"one of {BULK_STREAM_KINDS}")
+    return f"bulk-{kind}"
+
+
 class RandomStreams:
     """Factory of independent named ``numpy.random.Generator`` streams."""
 
@@ -76,6 +96,16 @@ class RandomStreams:
         perturbs an ordinary run with the same seed.
         """
         return self.get(rare_stream_name(kind))
+
+    def bulk(self, kind: str) -> np.random.Generator:
+        """A stream of the bulk-engine family (see :data:`BULK_STREAM_KINDS`).
+
+        The bulk-lifetime engine draws whole batches (all lifetimes, all
+        placements) instead of event-ordered scalars, so it owns its own
+        stream family: enabling it can never perturb — and is never
+        perturbed by — the DES engines' streams for the same seed.
+        """
+        return self.get(bulk_stream_name(kind))
 
     def fresh(self, name: str) -> np.random.Generator:
         """Return a new generator for ``name``, resetting any cached state."""

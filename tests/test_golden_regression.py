@@ -47,6 +47,20 @@ PIN_DOMAIN_STREAMS = {
 PIN_TILTED_FAST = (28, 1290, 1290, 0)
 PIN_TILTED_LOG_WEIGHT = -10.469417395163475
 
+# Bulk-lifetime engine (repro.reliability.bulk): first uniform from each
+# dedicated bulk-* stream, plus one full trajectory per recovery mode on
+# the same config/seed as the DES pins.  The window sums are exact
+# multiples of rebuild block-times, so equality is safe to pin.
+PIN_BULK_STREAMS = {
+    "failures": 0.7584344968239647,
+    "placement": 0.27301242389873837,
+    "windows": 0.16538516375736811,
+}
+PIN_BULK_FARM = (9, 346, 346, 0)
+PIN_BULK_FARM_WINDOWS = (226630.0, 655.0)       # (total, max) seconds
+PIN_BULK_TRAD = (9, 346, 346, 0)
+PIN_BULK_TRAD_WINDOWS = (4211630.0, 29405.0)
+
 
 def cfg():
     return SystemConfig(total_user_bytes=20 * TB, group_user_bytes=10 * GB)
@@ -113,6 +127,42 @@ class TestPins:
         assert snapshot == PIN_TILTED_FAST, (
             f"tilted trajectory changed: {snapshot}")
         assert stats.log_weight == PIN_TILTED_LOG_WEIGHT
+
+    def test_bulk_stream_pins(self):
+        """The bulk-* streams are their own pinned RNG family.
+
+        The bulk engine must never perturb — or be perturbed by — a DES
+        run with the same seed, so its three streams are pinned exactly
+        like the rare-* and faults-domain-* families.
+        """
+        for kind, expected in PIN_BULK_STREAMS.items():
+            assert float(RandomStreams(123).bulk(kind).random()) == expected
+
+    def test_bulk_farm_trajectory_pin(self):
+        from repro.reliability.bulk import run_bulk_lifetime
+        stats = run_bulk_lifetime(cfg(), seed=123)
+        snapshot = (stats.disk_failures, stats.rebuilds_started,
+                    stats.rebuilds_completed, stats.groups_lost)
+        assert snapshot == PIN_BULK_FARM, (
+            f"bulk FARM trajectory changed: {snapshot}; re-pin only if "
+            f"the behaviour change is intentional")
+        assert (stats.window_total, stats.window_max) == \
+            PIN_BULK_FARM_WINDOWS
+
+    def test_bulk_traditional_trajectory_pin(self):
+        from repro.reliability.bulk import run_bulk_lifetime
+        stats = run_bulk_lifetime(cfg().with_(use_farm=False), seed=123)
+        snapshot = (stats.disk_failures, stats.rebuilds_started,
+                    stats.rebuilds_completed, stats.groups_lost)
+        assert snapshot == PIN_BULK_TRAD, (
+            f"bulk traditional trajectory changed: {snapshot}")
+        assert (stats.window_total, stats.window_max) == \
+            PIN_BULK_TRAD_WINDOWS
+
+    def test_bulk_shares_failure_count_law_not_stream(self):
+        """bulk-failures is a *different* stream from disk-failures: the
+        same seed gives a different (but same-law) failure count."""
+        assert PIN_BULK_FARM[0] != PIN_FAST[0]
 
     def test_zero_tilt_reproduces_untilted_pin(self):
         """tilt = 0 must be *exactly* the naive run (same golden pin)."""

@@ -131,6 +131,49 @@ class TestSplittingDegeneration:
         assert 0.0 <= mc.p_loss.estimate <= 1.0
 
 
+class TestResultEss:
+    """MonteCarloResult.ess must never report the raw run count for a
+    weighted estimate (it would overstate the information by orders of
+    magnitude under real tilts)."""
+
+    @staticmethod
+    def _result(tilt, log_weights=None, n_runs=4):
+        from repro.core.recovery import RecoveryStats
+        from repro.reliability.montecarlo import MonteCarloResult
+        from repro.reliability.stats import wilson_interval
+        run_stats = []
+        for lw in (log_weights or ()):
+            rs = RecoveryStats()
+            rs.log_weight = lw
+            run_stats.append(rs)
+        return MonteCarloResult(
+            config=None, n_runs=n_runs, losses=0,
+            p_loss=wilson_interval(0, n_runs), groups_lost_total=0,
+            mean_window=0.0, max_window=0.0, disk_failures_total=0,
+            redirections_total=0, run_stats=run_stats, tilt=tilt)
+
+    def test_untilted_falls_back_to_run_count(self):
+        assert self._result(0.0).ess == 4.0
+
+    def test_tilted_recomputes_kish_from_run_stats(self):
+        # Two unit weights + two exp(-50) weights: Kish ESS ~ 2, where
+        # the run count would claim 4.
+        result = self._result(math.log(3.0),
+                              log_weights=[0.0, 0.0, -50.0, -50.0])
+        assert result.ess == pytest.approx(2.0)
+
+    def test_tilted_kish_is_shift_invariant(self):
+        # Same weight *ratios* at an extreme magnitude: exp(lw) itself
+        # underflows, but the max-shifted Kish computation must not.
+        result = self._result(1.0, log_weights=[-800.0, -800.0, -801.0])
+        w = math.exp(-1.0)
+        assert result.ess == pytest.approx((2 + w) ** 2 / (2 + w * w))
+
+    def test_tilted_without_evidence_refuses(self):
+        with pytest.raises(ValueError, match="effective sample size"):
+            self._result(math.log(2.0)).ess
+
+
 class TestTiltedDraw:
     def test_zero_tilt_is_identity(self):
         cfg = rare_cfg()
@@ -232,16 +275,15 @@ class TestRareSweepExperiment:
     def test_headline_narrowing_assertion(self, tmp_path, monkeypatch):
         """The equal-budget comparison meets its >= 5x CI-narrowing gate
         and records the comparison in the BENCH record."""
-        import json
-
         from repro.experiments import rare_sweep
+        from repro.reliability.runner import read_bench_records
 
         bench = tmp_path / "BENCH_sweep.json"
         monkeypatch.setenv("REPRO_BENCH_PATH", str(bench))
         text = tmp_path / "rare-sweep.txt"
         result = rare_sweep.run(text_path=text)
         assert text.exists()
-        record = json.loads(bench.read_text())
+        [record] = read_bench_records(bench)
         cmp_ = record["rare_comparison"]
         assert cmp_["ci_narrowing"] >= rare_sweep.MIN_CI_NARROWING
         assert cmp_["naive"]["zero_hit"] is True

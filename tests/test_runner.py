@@ -154,7 +154,7 @@ class TestBenchRecord:
         path = tmp_path / "BENCH_sweep.json"
         runner = SweepRunner(n_jobs=None, bench_path=path)
         runner.run_points(points(), n_runs=2, sweep_name="unit-test")
-        record = json.loads(path.read_text())
+        [record] = runner_mod.read_bench_records(path)
         assert record["schema"] == runner_mod.BENCH_SCHEMA
         assert record["sweep"] == "unit-test"
         assert record["n_points"] == 3
@@ -184,6 +184,72 @@ class TestBenchRecord:
         monkeypatch.delenv("REPRO_BENCH_PATH")
         assert runner_mod.default_bench_path() == \
             runner_mod.DEFAULT_BENCH_PATH
+
+
+class TestBenchHistory:
+    """The BENCH file is an append-only bounded history, not a single
+    record: every sweep adds to it and regression guards diff against
+    older entries, so overwriting would erase the baseline."""
+
+    def test_appends_across_sweeps(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        runner = SweepRunner(n_jobs=None, bench_path=path)
+        runner.run_points(points()[:1], n_runs=2, sweep_name="first")
+        runner.run_points(points()[:1], n_runs=2, sweep_name="second")
+        records = runner_mod.read_bench_records(path)
+        assert [r["sweep"] for r in records] == ["first", "second"]
+
+    def test_history_is_bounded(self, tmp_path):
+        path = tmp_path / "b.json"
+        for i in range(runner_mod.BENCH_HISTORY_LIMIT + 5):
+            runner_mod.append_bench_record(
+                path, {"schema": runner_mod.BENCH_SCHEMA, "i": i})
+        records = runner_mod.read_bench_records(path)
+        assert len(records) == runner_mod.BENCH_HISTORY_LIMIT
+        assert records[-1]["i"] == runner_mod.BENCH_HISTORY_LIMIT + 4
+        assert records[0]["i"] == 5            # oldest dropped first
+
+    def test_absorbs_legacy_bare_record(self, tmp_path):
+        """A pre-history file holding one bare v1 record becomes the
+        first entry of the container instead of being clobbered."""
+        path = tmp_path / "b.json"
+        legacy = {"schema": runner_mod.BENCH_SCHEMA, "sweep": "old"}
+        path.write_text(json.dumps(legacy))
+        runner_mod.append_bench_record(
+            path, {"schema": runner_mod.BENCH_SCHEMA, "sweep": "new"})
+        records = runner_mod.read_bench_records(path)
+        assert [r["sweep"] for r in records] == ["old", "new"]
+        data = json.loads(path.read_text())
+        assert data["schema"] == runner_mod.BENCH_LOG_SCHEMA
+
+    def test_malformed_file_reads_empty(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json")
+        assert runner_mod.read_bench_records(path) == []
+
+    def test_latest_record_filters_by_sweep(self, tmp_path):
+        path = tmp_path / "b.json"
+        for name in ("a", "b", "a"):
+            runner_mod.append_bench_record(
+                path, {"schema": runner_mod.BENCH_SCHEMA, "sweep": name})
+        latest = runner_mod.latest_bench_record(path, sweep="b")
+        assert latest is not None and latest["sweep"] == "b"
+        assert runner_mod.latest_bench_record(path)["sweep"] == "a"
+        assert runner_mod.latest_bench_record(path, sweep="zzz") is None
+
+    def test_run_id_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ID", "build-42")
+        assert runner_mod.bench_run_id() == "build-42"
+        monkeypatch.setenv("REPRO_BENCH_TIMESTAMP", "1234.5")
+        assert runner_mod.bench_timestamp() == 1234.5
+
+    def test_records_carry_identity_and_engines(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        runner = SweepRunner(n_jobs=None, bench_path=path)
+        runner.run_points(points()[:1], n_runs=2, sweep_name="ids")
+        [record] = runner_mod.read_bench_records(path)
+        assert "timestamp" in record and "run_id" in record
+        assert record["engines"] == ["des"]
 
 
 class TestPoolSharing:

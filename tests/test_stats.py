@@ -151,10 +151,34 @@ class TestWeightedAggregate:
 
     def test_rejects_bad_weights(self):
         agg = WeightedAggregate()
-        for bad in (0.0, -1.0, math.nan, math.inf):
+        for bad in (-1.0, math.nan, math.inf):
             with pytest.raises(ValueError):
                 agg.add(bad, True)
         assert agg.n == 0
+
+    def test_zero_weight_counts_a_trial_without_evidence(self):
+        """An underflowed likelihood ratio (w == 0.0) is legitimate data:
+        it counts as a trial but adds nothing to the weighted sums."""
+        agg = _fold([(1.0, True), (1.0, False)])
+        before = (agg.estimate, agg.estimate_normalized)
+        agg.add(0.0, True)
+        assert agg.n == 3 and agg.hits == 2
+        assert agg.estimate_normalized == before[1]
+        assert agg.ess == pytest.approx(2.0)
+
+    def test_all_zero_weight_batch_degrades_to_uninformative(self):
+        """Every weight underflowed: no effective samples, so both
+        interval builders return the whole-line answer with the raw
+        trial counts preserved instead of dividing by zero."""
+        agg = WeightedAggregate()
+        for hit in (True, False, True):
+            agg.add(0.0, hit)
+        assert agg.ess == 0.0
+        assert agg.estimate_normalized == 0.0
+        for build in (weighted_clt_interval, weighted_wilson_interval):
+            p = build(agg)
+            assert (p.lo, p.hi) == (0.0, 1.0)
+            assert p.trials == 3 and p.successes == 2
 
     def test_empty_aggregate(self):
         agg = WeightedAggregate()
