@@ -1,0 +1,119 @@
+"""Benchmarks of the forecast service (repro.service).
+
+Measures end-to-end HTTP request latency per cascade tier — closed
+forms, the interpolation surrogate, and a cache-hit live answer — over a
+live server on an ephemeral port, and appends one ``service-bench``
+record (p50/p99 seconds per tier) to the bounded perf history at
+``results/BENCH_sweep.json`` so ``scripts/bench_guard.py`` can flag a
+latency regression the functional tests would never notice.
+
+Refinement is disabled for the timed server: background rounds would
+steal the single worker thread mid-measurement and make the percentiles
+measure scheduler noise instead of the request path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import PAPER_BASE, SystemConfig, config_to_dict
+from repro.reliability.runner import (BENCH_SCHEMA, SweepRunner,
+                                      append_bench_record, bench_run_id,
+                                      bench_timestamp, default_bench_path)
+from repro.service import (ForecastCache, ForecastCascade, ForecastService,
+                           GridStore, build_grid, request_forecast,
+                           run_in_thread)
+from repro.units import GB, TB
+
+#: Requests timed per tier (p99 of 50 is the worst observed request).
+N_REQUESTS = 50
+
+#: Sweep name of the perf record this harness appends.
+SWEEP_NAME = "service-bench"
+
+LIVE_CFG = SystemConfig(total_user_bytes=10 * TB, group_user_bytes=10 * GB,
+                        racks=2, machines_per_rack=5)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("bench-service")
+    grid_base = LIVE_CFG.with_(group_user_bytes=50 * GB)
+    grid = build_grid(grid_base, {"detection_latency": [30.0, 600.0]},
+                      n_runs=4, engine="bulk", n_jobs=1, name="bench")
+    cascade = ForecastCascade(
+        cache=ForecastCache(tmp / "cache.jsonl"),
+        grids=GridStore([grid]),
+        runner=SweepRunner(n_jobs=1, bench_path=None, telemetry_path=""),
+        live_runs=8)
+    handle = run_in_thread(ForecastService(cascade, refine=False))
+    yield handle
+    handle.stop()
+
+
+def _tier_payloads():
+    """(tier, request payload) for every cascade tier the bench times."""
+    from repro.disks.failure import BathtubFailureModel, RatePeriod
+    from dataclasses import replace
+    flat = BathtubFailureModel((RatePeriod(0.0, float("inf"), 0.20),))
+    markov_cfg = PAPER_BASE.with_(
+        vintage=replace(PAPER_BASE.vintage, failure_model=flat))
+    surrogate_cfg = LIVE_CFG.with_(group_user_bytes=50 * GB,
+                                   detection_latency=300.0)
+    return [
+        ("markov", {"config": config_to_dict(markov_cfg)}),
+        ("analytic", {"config": {}}),
+        ("surrogate", {"config": config_to_dict(surrogate_cfg)}),
+        ("live-bulk", {"config": config_to_dict(LIVE_CFG)}),
+    ]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    idx = min(len(sorted_values) - 1,
+              max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def test_request_latency_per_tier(server, benchmark):
+    """Time every tier over HTTP; record p50/p99 into the perf history."""
+    tiers: dict[str, dict] = {}
+    total_requests = 0
+    total_seconds = 0.0
+    for tier, payload in _tier_payloads():
+        # Warm-up: the live tier's first answer pays for its Monte-Carlo
+        # round; every timed repeat is the cache-hit path.
+        doc = request_forecast(server.url, payload)
+        assert doc["tier"] == tier
+        samples = []
+        for _ in range(N_REQUESTS):
+            t0 = time.perf_counter()
+            request_forecast(server.url, payload)
+            samples.append(time.perf_counter() - t0)
+        samples.sort()
+        tiers[tier] = {"p50_s": _percentile(samples, 0.50),
+                       "p99_s": _percentile(samples, 0.99),
+                       "n": len(samples)}
+        total_requests += len(samples)
+        total_seconds += sum(samples)
+
+    # One fixture-timed leg so the pytest-benchmark table has a row.
+    benchmark(request_forecast, server.url, {"config": {}})
+
+    all_p99 = max(t["p99_s"] for t in tiers.values())
+    assert all_p99 < 10.0, f"cache-hit requests should be fast: {tiers}"
+
+    path = default_bench_path()
+    if path is not None:
+        append_bench_record(path, {
+            "schema": BENCH_SCHEMA,
+            "sweep": SWEEP_NAME,
+            "timestamp": bench_timestamp(),
+            "run_id": bench_run_id(),
+            "n_requests": total_requests,
+            "wall_time_s": total_seconds,
+            "runs_per_s": total_requests / total_seconds,
+            "p99_s": all_p99,
+            "tiers": tiers,
+        })

@@ -1,5 +1,12 @@
 #!/usr/bin/env python
-"""Bench-regression guard: fail if bulk-engine throughput regresses.
+"""Bench-regression guard: fail on recorded performance regressions.
+
+Two guarded series, both read from the bounded perf history at
+``results/BENCH_sweep.json``: bulk-engine Monte-Carlo throughput
+(``bulk-sweep`` records, floor at :data:`TOLERANCE` of the best prior
+run) and forecast-service p99 request latency (``service-bench``
+records, ceiling at :data:`SERVICE_LATENCY_TOLERANCE` times the best
+prior run).
 
 The bulk-sweep benchmark (``python -m repro run bulk``) appends one
 record per run to the bounded ``results/BENCH_sweep.json`` history, each
@@ -38,17 +45,58 @@ TOLERANCE = 0.7
 #: The sweep name the bulk benchmark records under.
 SWEEP_NAME = "bulk-sweep"
 
+#: The sweep name the forecast-service benchmark records under
+#: (benchmarks/bench_service.py: per-tier HTTP request latency).
+SERVICE_SWEEP_NAME = "service-bench"
+
+#: Latest service p99 request latency may be at most this multiple of
+#: the best previously recorded p99.  Looser than the throughput bound:
+#: sub-millisecond latencies are far noisier across machines than a
+#: minute of aggregate Monte-Carlo throughput.
+SERVICE_LATENCY_TOLERANCE = 3.0
+
 DEFAULT_PATH = Path("results") / "BENCH_sweep.json"
 
 
-def bulk_records(path: Path) -> list[dict]:
-    """The bulk-sweep records of the bench history, oldest first."""
+def _named_records(path: Path, sweep: str, field: str) -> list[dict]:
+    """Records of one sweep carrying a numeric ``field``, oldest first."""
     raw = json.loads(path.read_text(encoding="utf-8"))
     # v2 container {"records": [...]} or a legacy bare record.
     records = raw.get("records", [raw]) if isinstance(raw, dict) else raw
     return [r for r in records
-            if isinstance(r, dict) and r.get("sweep") == SWEEP_NAME
-            and isinstance(r.get("runs_per_s"), (int, float))]
+            if isinstance(r, dict) and r.get("sweep") == sweep
+            and isinstance(r.get(field), (int, float))]
+
+
+def bulk_records(path: Path) -> list[dict]:
+    """The bulk-sweep records of the bench history, oldest first."""
+    return _named_records(path, SWEEP_NAME, "runs_per_s")
+
+
+def service_guard(path: Path) -> int:
+    """Guard the forecast service's p99 request latency (0 ok, 1 fail)."""
+    records = _named_records(path, SERVICE_SWEEP_NAME, "p99_s")
+    if len(records) < 2:
+        print(f"bench_guard: {len(records)} service-bench record(s) in "
+              f"{path}; need 2+ to compare — ok")
+        return 0
+    latest = records[-1]
+    baseline = min(r["p99_s"] for r in records[:-1])
+    current = latest["p99_s"]
+    ceiling = SERVICE_LATENCY_TOLERANCE * baseline
+    verdict = "ok" if current <= ceiling else "REGRESSION"
+    print(f"bench_guard: service p99 {current * 1e3:,.2f} ms vs best "
+          f"prior {baseline * 1e3:,.2f} (ceiling {ceiling * 1e3:,.2f} = "
+          f"{SERVICE_LATENCY_TOLERANCE:g}x) over {len(records)} records "
+          f"— {verdict}")
+    if current > ceiling:
+        print(f"bench_guard: latest service-bench record "
+              f"(run_id={latest.get('run_id', '?')}) regressed; if the "
+              f"hardware changed, re-record a baseline with "
+              f"'pytest benchmarks/bench_service.py --benchmark-only'",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -65,7 +113,7 @@ def main(argv: list[str]) -> int:
     if len(records) < 2:
         print(f"bench_guard: {len(records)} bulk-sweep record(s) in "
               f"{path}; need 2+ to compare — ok")
-        return 0
+        return service_guard(path)
     latest = records[-1]
     baseline = max(r["runs_per_s"] for r in records[:-1])
     current = latest["runs_per_s"]
@@ -74,14 +122,15 @@ def main(argv: list[str]) -> int:
     print(f"bench_guard: bulk {current:,.0f} runs/s vs best prior "
           f"{baseline:,.0f} (floor {floor:,.0f} = {TOLERANCE:g}x) "
           f"over {len(records)} records — {verdict}")
+    bulk_status = 0
     if current < floor:
         print(f"bench_guard: latest record "
               f"(run_id={latest.get('run_id', '?')}, "
               f"scale={latest.get('scale', '?')}) regressed; if the "
               f"hardware changed, re-record a baseline with "
               f"'python -m repro run bulk'", file=sys.stderr)
-        return 1
-    return 0
+        bulk_status = 1
+    return max(bulk_status, service_guard(path))
 
 
 if __name__ == "__main__":

@@ -41,6 +41,8 @@ step "invariant analyzer (per-file + whole-program, incremental)" \
   python -m repro.analysis --strict --timing src
 step "sweep parity (serial == parallel, incl. telemetry snapshots)" \
   python -m repro sweep-check --jobs 2
+step "forecast service smoke (tier routing, cache hit, /metrics)" \
+  python -m repro serve --smoke --runs 16
 step "topology experiment (smoke)" \
   env REPRO_SCALE=smoke python -m repro run topology
 step "bulk engine benchmark (smoke, asserts >= 100x over DES baseline)" \

@@ -13,6 +13,8 @@ Usage::
     python -m repro sensitivity --scheme 1/2 [--no-farm]
     python -m repro sweep-check --jobs 2
     python -m repro telemetry-summary results/telemetry.jsonl
+    python -m repro serve --port 9130 --cache results/forecast-cache.jsonl
+    python -m repro forecast '{"racks": 2}' --url http://127.0.0.1:9130
 
 ``run`` executes the named experiment(s) at the chosen scale and prints the
 regenerated table; ``estimate`` answers the library's core question — the
@@ -29,7 +31,10 @@ estimator or the vectorized bulk engine, ``run rare`` compares the
 rare-event estimators at equal budget (:doc:`docs/RARE_EVENTS.md`), and
 ``run bulk`` benchmarks the bulk engine against the process-pool naive-MC
 baseline and asserts its >= 100x throughput claim
-(:doc:`docs/BULK_ENGINE.md`).
+(:doc:`docs/BULK_ENGINE.md`).  ``serve`` runs the interactive
+reliability-forecast HTTP service (:mod:`repro.service`, layered
+estimator cascade with content-addressed caching; docs/SERVICE.md) and
+``forecast`` is its one-shot client.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ from .experiments import (bulk_sweep, faults_sweep, figure3, figure4,
                           table3, topology_sweep)
 from .redundancy.schemes import RedundancyScheme
 from .reliability import estimate_p_loss, p_loss_window_model
+from .service.protocol import DEFAULT_PORT
 from .units import GB, PB
 
 #: Experiment registry: name -> callable(scale, base_seed, estimator)
@@ -310,6 +316,116 @@ def cmd_telemetry_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace):
+    """A ForecastService wired from serve's CLI flags."""
+    from .service import (ForecastCache, ForecastCascade, ForecastService,
+                          GridStore)
+    from .reliability.runner import SweepRunner
+    cache = ForecastCache(path=args.cache or None)
+    grids = GridStore.load_dir(args.grids) if args.grids else GridStore()
+    cascade = ForecastCascade(
+        cache=cache, grids=grids,
+        runner=SweepRunner(n_jobs=args.jobs, bench_path=None,
+                           telemetry_path=""),
+        live_runs=args.runs, target_ci_width=args.target_width)
+    return ForecastService(cascade)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the forecast service (or its --smoke self-check)."""
+    import asyncio
+    if args.smoke:
+        return _serve_smoke(args)
+    service = _build_service(args)
+    port = args.port if args.port is not None else DEFAULT_PORT
+    print(f"repro forecast service on http://{args.host}:{port} "
+          f"(POST /forecast, GET /forecast/<key>, /healthz, /metrics)")
+    try:
+        asyncio.run(service.serve_forever(args.host, port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _serve_smoke(args: argparse.Namespace) -> int:
+    """One in-process query per cascade tier on an ephemeral port.
+
+    The check.sh gate: boots the real server (own thread + event loop),
+    exercises the analytic, markov, and live tiers plus the cache-hit
+    path and /metrics, and fails loudly on any wrong tier or status.
+    """
+    from .service import run_in_thread, request_forecast
+    from .service.protocol import get_forecast
+    from urllib.request import urlopen
+    handle = run_in_thread(_build_service(args))
+    failures: list[str] = []
+    try:
+        flat_hazard = {"vintage": {"failure_model": {"periods": [
+            {"start_months": 0.0, "end_months": None,
+             "pct_per_1000h": 0.2}]}}}
+        probes = [
+            ("analytic", {}),
+            ("markov", flat_hazard),
+            ("live-bulk", {"racks": 2, "machines_per_rack": 5}),
+        ]
+        for want_tier, cfg in probes:
+            reply = request_forecast(handle.url, {"config": cfg})
+            ok = reply["tier"] == want_tier
+            print(f"  {want_tier:<9} p_loss={reply['p_loss']:.4g} "
+                  f"ci=[{reply['ci_lo']:.4g}, {reply['ci_hi']:.4g}] "
+                  f"{'ok' if ok else 'WRONG TIER ' + reply['tier']}")
+            if not ok:
+                failures.append(f"expected tier {want_tier}, got "
+                                f"{reply['tier']}")
+            key = reply["key"]
+        repeat = get_forecast(handle.url, key)
+        if repeat["trials"] < args.runs:
+            failures.append("cache miss on repeated live query")
+        with urlopen(handle.url + "/metrics") as resp:
+            metrics = resp.read().decode("utf-8")
+        for needed in ("service_requests_total",
+                       "service_request_seconds"):
+            if needed not in metrics:
+                failures.append(f"/metrics missing {needed}")
+    finally:
+        handle.stop()
+    if failures:
+        for f in failures:
+            print(f"serve-smoke FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"serve-smoke OK: 3 tiers answered, cache hit on repeat, "
+          f"/metrics exported")
+    return 0
+
+
+def cmd_forecast(args: argparse.Namespace) -> int:
+    """One-shot client: POST a config, print the forecast."""
+    import json
+    from .service import ForecastError, request_forecast
+    raw = args.config
+    if raw == "-":
+        raw = sys.stdin.read()
+    elif not raw.lstrip().startswith("{"):
+        raw = pathlib.Path(raw).read_text(encoding="utf-8")
+    try:
+        config = json.loads(raw)
+    except ValueError as exc:
+        print(f"config is not JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        reply = request_forecast(
+            args.url, {"config": config, "confidence": args.confidence})
+    except ForecastError as exc:
+        print(f"refused ({exc.status}): {exc.message}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc} (is 'python -m repro "
+              f"serve' running?)", file=sys.stderr)
+        return 2
+    print(json.dumps(reply, indent=2))
+    return 0
+
+
 def cmd_sensitivity(args: argparse.Namespace) -> int:
     from .reliability.sensitivity import render_tornado, tornado
     cfg = SystemConfig(
@@ -397,6 +513,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="render a telemetry JSONL file "
                                "(written by 'run --telemetry')")
     tsum.add_argument("path", help="repro.telemetry.v1 JSONL file")
+
+    srv = sub.add_parser("serve",
+                         help="run the reliability-forecast HTTP service "
+                              "(layered estimator cascade; "
+                              "docs/SERVICE.md)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=None,
+                     help=f"TCP port (default {DEFAULT_PORT}; --smoke "
+                          f"always uses an ephemeral port)")
+    srv.add_argument("--cache", default=None, metavar="PATH",
+                     help="JSONL journal persisting live Monte-Carlo "
+                          "evidence across restarts")
+    srv.add_argument("--grids", default=None, metavar="DIR",
+                     help="directory of repro.surrogate-grid.v1 JSON "
+                          "files for the interpolation tier")
+    srv.add_argument("--runs", type=int, default=64,
+                     help="lifetimes per live round (first answer and "
+                          "each background refinement step)")
+    srv.add_argument("--target-width", type=float, default=0.05,
+                     help="stop refining a cached CI once narrower "
+                          "than this")
+    srv.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for live estimation "
+                          "(0 = all cores)")
+    srv.add_argument("--smoke", action="store_true",
+                     help="boot on an ephemeral port, answer one query "
+                          "per tier, verify provenance and /metrics, "
+                          "exit (the check.sh gate)")
+
+    fc = sub.add_parser("forecast",
+                        help="one-shot client for a running serve "
+                             "instance")
+    fc.add_argument("config",
+                    help="config as inline JSON, a file path, or '-' "
+                         "for stdin (partial dicts take SystemConfig "
+                         "defaults; '{}' is the paper base)")
+    fc.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}")
+    fc.add_argument("--confidence", type=float, default=0.95)
     return parser
 
 
@@ -405,7 +559,9 @@ def main(argv: list[str] | None = None) -> int:
     return {"list": cmd_list, "run": cmd_run, "estimate": cmd_estimate,
             "sensitivity": cmd_sensitivity,
             "sweep-check": cmd_sweep_check,
-            "telemetry-summary": cmd_telemetry_summary}[args.command](args)
+            "telemetry-summary": cmd_telemetry_summary,
+            "serve": cmd_serve,
+            "forecast": cmd_forecast}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -7,10 +7,13 @@ paper's base values; the ``Examined Value`` column of Table 2 is produced by
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, replace
-from typing import Any, Literal
+from dataclasses import dataclass, fields, replace
+from typing import Any, Literal, Mapping
 
+from .disks.failure import BathtubFailureModel, RatePeriod
 from .disks.vintage import PAPER_VINTAGE, DiskVintage
 from .redundancy.schemes import MIRROR_2, RedundancyScheme
 from .units import DAY, GB, PB, YEAR
@@ -182,3 +185,177 @@ class SystemConfig:
 
 #: The paper's base configuration (Table 2).
 PAPER_BASE = SystemConfig()
+
+
+# --------------------------------------------------------------------- #
+# Canonical serialization and content addressing
+# --------------------------------------------------------------------- #
+#: Schema tag stamped on every canonical config dict.
+CONFIG_SCHEMA = "repro.config.v1"
+
+
+def _failure_model_to_dict(fm: BathtubFailureModel) -> dict[str, Any]:
+    return {
+        "rate_multiplier": fm.rate_multiplier,
+        # JSON has no Infinity under allow_nan=False; the unbounded final
+        # period is encoded as null and restored on parse.
+        "periods": [
+            {"start_months": p.start_months,
+             "end_months": (None if math.isinf(p.end_months)
+                            else p.end_months),
+             "pct_per_1000h": p.pct_per_1000h}
+            for p in fm.periods],
+    }
+
+
+def _failure_model_from_dict(data: Mapping[str, Any]) -> BathtubFailureModel:
+    defaults = BathtubFailureModel()
+    periods = data.get("periods")
+    if periods is None:
+        parsed = defaults.periods
+    else:
+        parsed = tuple(
+            RatePeriod(
+                start_months=float(p["start_months"]),
+                end_months=(float("inf") if p.get("end_months") is None
+                            else float(p["end_months"])),
+                pct_per_1000h=float(p["pct_per_1000h"]))
+            for p in periods)
+    return BathtubFailureModel(
+        periods=parsed,
+        rate_multiplier=float(data.get("rate_multiplier",
+                                       defaults.rate_multiplier)))
+
+
+def _vintage_to_dict(v: DiskVintage) -> dict[str, Any]:
+    return {
+        "name": v.name,
+        "capacity_bytes": v.capacity_bytes,
+        "bandwidth_bps": v.bandwidth_bps,
+        "recovery_bandwidth_fraction": v.recovery_bandwidth_fraction,
+        "eodl_seconds": v.eodl_seconds,
+        "weight": v.weight,
+        "failure_model": _failure_model_to_dict(v.failure_model),
+    }
+
+
+def _vintage_from_dict(data: Mapping[str, Any]) -> DiskVintage:
+    defaults = PAPER_VINTAGE
+    fm = data.get("failure_model")
+    return DiskVintage(
+        name=str(data.get("name", defaults.name)),
+        capacity_bytes=float(data.get("capacity_bytes",
+                                      defaults.capacity_bytes)),
+        bandwidth_bps=float(data.get("bandwidth_bps",
+                                     defaults.bandwidth_bps)),
+        recovery_bandwidth_fraction=float(
+            data.get("recovery_bandwidth_fraction",
+                     defaults.recovery_bandwidth_fraction)),
+        eodl_seconds=float(data.get("eodl_seconds", defaults.eodl_seconds)),
+        weight=float(data.get("weight", defaults.weight)),
+        failure_model=(_failure_model_from_dict(fm) if fm is not None
+                       else defaults.failure_model),
+    )
+
+
+def config_to_dict(cfg: SystemConfig) -> dict[str, Any]:
+    """Canonical JSON-safe dict of a config — *every* field, always.
+
+    Emitting every field (never eliding defaults) is what makes the
+    digest stable under default-equality: a config constructed with a
+    field explicitly set to its default value serializes — and therefore
+    hashes — identically to one that never mentioned the field.
+    """
+    return {
+        "schema": CONFIG_SCHEMA,
+        "total_user_bytes": cfg.total_user_bytes,
+        "group_user_bytes": cfg.group_user_bytes,
+        "scheme": {"m": cfg.scheme.m, "n": cfg.scheme.n},
+        "vintage": _vintage_to_dict(cfg.vintage),
+        "detection_latency": cfg.detection_latency,
+        "recovery_bandwidth_bps": cfg.recovery_bandwidth_bps,
+        "target_utilization": cfg.target_utilization,
+        "spare_reserve_fraction": cfg.spare_reserve_fraction,
+        "use_farm": cfg.use_farm,
+        "use_smart": cfg.use_smart,
+        "smart_detection_probability": cfg.smart_detection_probability,
+        "smart_warning_horizon": cfg.smart_warning_horizon,
+        "smart_false_positive_rate": cfg.smart_false_positive_rate,
+        "replacement_threshold": cfg.replacement_threshold,
+        "duration": cfg.duration,
+        "placement": cfg.placement,
+        "workload_peak_load": cfg.workload_peak_load,
+        "racks": cfg.racks,
+        "machines_per_rack": cfg.machines_per_rack,
+        "max_chunks_per_domain": cfg.max_chunks_per_domain,
+    }
+
+
+def _parse_scheme(value: Any) -> RedundancyScheme:
+    if isinstance(value, RedundancyScheme):
+        return value
+    if isinstance(value, str):
+        return RedundancyScheme.parse(value)
+    if isinstance(value, Mapping):
+        return RedundancyScheme(m=int(value["m"]), n=int(value["n"]))
+    raise ValueError(f"cannot parse scheme from {value!r}; expected "
+                     f"'m/n', {{'m': ..., 'n': ...}}, or a "
+                     f"RedundancyScheme")
+
+
+#: Keys :func:`config_from_dict` accepts beyond the config fields.
+_EXTRA_DICT_KEYS = frozenset({"schema"})
+
+
+def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
+    """Build a config from a (possibly partial) canonical dict.
+
+    The inverse of :func:`config_to_dict`: missing keys take the
+    :class:`SystemConfig` defaults, unknown keys are an error (a typo'd
+    field name silently falling back to a default would corrupt cache
+    keys), and nested ``scheme``/``vintage`` dicts are reconstructed into
+    their value objects.  Validation runs through ``__post_init__`` as
+    for any other construction.
+    """
+    field_names = {f.name for f in fields(SystemConfig)}
+    unknown = set(data) - field_names - _EXTRA_DICT_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown config field(s) {sorted(unknown)}; expected a "
+            f"subset of {sorted(field_names)}")
+    schema = data.get("schema")
+    if schema is not None and schema != CONFIG_SCHEMA:
+        raise ValueError(f"config schema {schema!r} is not "
+                         f"{CONFIG_SCHEMA!r}")
+    kwargs: dict[str, Any] = {}
+    for name in field_names:
+        if name not in data:
+            continue
+        value = data[name]
+        if name == "scheme":
+            kwargs[name] = _parse_scheme(value)
+        elif name == "vintage":
+            kwargs[name] = (value if isinstance(value, DiskVintage)
+                            else _vintage_from_dict(value))
+        else:
+            kwargs[name] = value
+    return SystemConfig(**kwargs)
+
+
+def canonical_config_json(cfg: SystemConfig) -> str:
+    """Deterministic JSON form: sorted keys, compact, no NaN/Infinity."""
+    return json.dumps(config_to_dict(cfg), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def config_digest(cfg: SystemConfig) -> str:
+    """Content address of a config: blake2b over the canonical JSON.
+
+    The key of the forecast service's result cache
+    (:mod:`repro.service.cache`).  Stable across processes, field order,
+    and default-vs-explicit construction; any semantic change to the
+    config changes the digest.
+    """
+    h = hashlib.blake2b(canonical_config_json(cfg).encode("utf-8"),
+                        digest_size=16)
+    return h.hexdigest()

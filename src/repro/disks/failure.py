@@ -88,6 +88,21 @@ class BathtubFailureModel:
         return BathtubFailureModel(
             self.periods, self.rate_multiplier * multiplier)
 
+    # Value semantics: two models with the same rate schedule are the
+    # same model.  Needed so configs round-trip through the canonical
+    # serialization (repro.config.config_from_dict) as *equal* objects,
+    # and kept consistent with hashing since DiskVintage (a frozen,
+    # hashable dataclass) embeds this as a field.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BathtubFailureModel):
+            return NotImplemented
+        return (self.periods == other.periods
+                and self.rate_multiplier == other.rate_multiplier)
+
+    def __hash__(self) -> int:
+        from ..sim.rng import stable_hash64
+        return stable_hash64(self.periods, self.rate_multiplier)
+
     # ------------------------------------------------------------------ #
     def hazard(self, age: np.ndarray | float) -> np.ndarray:
         """Instantaneous failure rate (per second) at drive age (seconds)."""

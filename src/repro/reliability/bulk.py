@@ -75,13 +75,15 @@ _MAX_REDRAWS = 64
 ENGINES: tuple[str, ...] = ("des", "bulk")
 
 
-def validate_bulk_config(config: SystemConfig) -> None:
-    """Reject configurations the bulk model cannot express.
+def bulk_unsupported_reasons(config: SystemConfig) -> tuple[str, ...]:
+    """Why the bulk model cannot express ``config`` (empty = supported).
 
     Everything listed here has a *first-order* effect on the loss
-    trajectory that a static window-overlap predicate cannot capture, so
-    the engine refuses instead of silently approximating; use the DES
-    engines (``engine="des"``) for these features.
+    trajectory that a static window-overlap predicate cannot capture.
+    The forecast service's cascade (:mod:`repro.service.cascade`) uses
+    this predicate to pick a live engine without try/except routing;
+    :func:`validate_bulk_config` keeps the raising form for submission
+    paths.
     """
     from ..redundancy.composite import is_threshold_scheme
     problems = []
@@ -96,6 +98,16 @@ def validate_bulk_config(config: SystemConfig) -> None:
     if config.placement != "random":
         problems.append(f"placement={config.placement!r} "
                         f"(only 'random' is expressible)")
+    return tuple(problems)
+
+
+def validate_bulk_config(config: SystemConfig) -> None:
+    """Reject configurations the bulk model cannot express.
+
+    Raising form of :func:`bulk_unsupported_reasons`; use the DES
+    engines (``engine="des"``) for the listed features.
+    """
+    problems = bulk_unsupported_reasons(config)
     if problems:
         raise ValueError(
             "the bulk engine models random placement with threshold loss "

@@ -199,6 +199,31 @@ def estimate_p_loss(config: SystemConfig, n_runs: int = 100,
     return _result_from(outcome, confidence)
 
 
+async def estimate_p_loss_async(config: SystemConfig, n_runs: int = 100,
+                                base_seed: int = 0,
+                                confidence: float = 0.95,
+                                n_jobs: int | None = None,
+                                on_error: str = "raise",
+                                tilt: float = 0.0,
+                                engine: str = "des",
+                                runner: SweepRunner | None = None
+                                ) -> MonteCarloResult:
+    """:func:`estimate_p_loss` without blocking the calling event loop.
+
+    Same seed schedule, same aggregates, bit for bit — the lifetimes run
+    on a worker thread via :meth:`SweepRunner.run_points_async` while the
+    loop keeps serving (the forecast service's live tier).  Pass
+    ``runner`` to reuse a long-lived pool across requests; a fresh
+    serial runner is built otherwise.
+    """
+    runner = runner or SweepRunner(n_jobs=n_jobs)
+    [outcome] = await runner.run_points_async(
+        [PointSpec("point", config, tilt=tilt, engine=engine)], n_runs,
+        base_seed=base_seed, sweep_name="estimate_p_loss",
+        on_error=on_error)
+    return _result_from(outcome, confidence)
+
+
 def sweep(configs: dict[str, SystemConfig], n_runs: int = 100,
           base_seed: int = 0, n_jobs: int | None = None,
           confidence: float = 0.95, keep_run_stats: bool = False,

@@ -33,9 +33,11 @@ tests can substitute a fake clock.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import math
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures import ProcessPoolExecutor
@@ -508,6 +510,10 @@ class SweepRunner:
             telemetry = TelemetryConfig()
         self.telemetry: TelemetryConfig | None = telemetry or None
         self.last_record: dict[str, Any] | None = None
+        # Serializes run_points invocations arriving from different
+        # threads (run_points_async): the reorder buffers are per-call,
+        # but last_record and the bench/telemetry writers are not.
+        self._run_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def run_points(self, points: Sequence[PointSpec], n_runs: int,
@@ -566,6 +572,32 @@ class SweepRunner:
         self._write_bench(self.last_record)
         self._write_telemetry(sweep_name, outcomes)
         return outcomes
+
+    async def run_points_async(self, points: Sequence[PointSpec],
+                               n_runs: int, base_seed: int = 0,
+                               keep_run_stats: bool = False,
+                               sweep_name: str = "sweep",
+                               on_error: str = "raise"
+                               ) -> list[PointOutcome]:
+        """:meth:`run_points` off the event loop.
+
+        The forecast service (:mod:`repro.service`) answers HTTP requests
+        from an asyncio loop but live estimation is CPU-bound blocking
+        work; this awaitable runs it on a worker thread (the process pool
+        underneath is thread-safe) so the loop keeps serving while
+        lifetimes execute.  Concurrent invocations on one runner are
+        serialized by an internal lock — the math is per-call, but the
+        bench/telemetry side effects are not — and the determinism
+        guarantee is untouched: same points, seed, and schedule as the
+        synchronous path, bit for bit.
+        """
+        def _locked() -> list[PointOutcome]:
+            with self._run_lock:
+                return self.run_points(
+                    points, n_runs, base_seed=base_seed,
+                    keep_run_stats=keep_run_stats, sweep_name=sweep_name,
+                    on_error=on_error)
+        return await asyncio.to_thread(_locked)
 
     def map_tasks(self, fn: Callable[[Any], Any],
                   items: Iterable[Any]) -> list[Any]:

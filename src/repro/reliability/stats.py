@@ -35,6 +35,16 @@ class Proportion:
     confidence: float
 
     @property
+    def width(self) -> float:
+        """Confidence-interval width ``hi - lo``.
+
+        The forecast service's refinement queue orders cached estimates
+        by this: the widest interval is the most informative place to
+        spend the next batch of background trials.
+        """
+        return self.hi - self.lo
+
+    @property
     def zero_hit(self) -> bool:
         """True when a positive budget observed no successes at all.
 
@@ -97,6 +107,31 @@ def wilson_interval(successes: int, trials: int,
     return Proportion(successes=successes, trials=trials, estimate=p,
                       lo=min(p, max(0.0, lo)),
                       hi=max(p, min(1.0, hi)),
+                      confidence=confidence)
+
+
+def wilson_from_rate(rate: float, n_eff: float,
+                     confidence: float = 0.95) -> Proportion:
+    """Wilson interval at a *fractional* success rate and effective n.
+
+    For estimates that are not integer hit counts — an interpolated
+    surrogate value standing on a grid built from ``n_eff`` runs per
+    point — the Wilson score still applies with the rate taken at face
+    value.  The reported ``successes``/``trials`` are the nearest
+    integers (display only; the bounds use the exact inputs).
+    """
+    if n_eff <= 0:
+        raise ValueError("n_eff must be positive")
+    if not 0 <= rate <= 1:
+        raise ValueError("rate must be in [0, 1]")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    lo, hi = _wilson_bounds(rate, n_eff, z)
+    return Proportion(successes=int(round(rate * n_eff)),
+                      trials=int(round(n_eff)), estimate=rate,
+                      lo=min(rate, max(0.0, lo)),
+                      hi=max(rate, min(1.0, hi)),
                       confidence=confidence)
 
 

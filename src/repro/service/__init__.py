@@ -1,0 +1,56 @@
+"""Reliability-forecast service: interactive p_loss/MTTDL queries.
+
+The experiments in :mod:`repro.experiments` answer reliability questions
+in batch: pick a figure, run its sweep, read the table.  This package
+turns the same estimators into an *interactive* service — a long-running
+HTTP server that answers "what is P(data loss) and the MTTDL for this
+configuration?" for arbitrary :class:`~repro.config.SystemConfig`\\ s,
+through a layered cascade that always returns the cheapest answer whose
+validity envelope covers the question:
+
+1. **markov** — the exact CTMC closed form, when rates are constant;
+2. **analytic** — the first-order window model, inside its envelope;
+3. **surrogate** — multilinear interpolation over precomputed sweep
+   grids (:mod:`repro.service.surrogate`), refusing extrapolation;
+4. **live** — Monte-Carlo on the persistent-pool runner (vectorized
+   bulk engine where expressible, DES otherwise), with the evidence
+   content-addressed in :mod:`repro.service.cache` and *refined in the
+   background*: wide confidence intervals tighten between requests
+   without blocking new ones.
+
+Entry points: ``python -m repro serve`` (the server) and
+``python -m repro forecast`` (a one-shot client); the wire schema lives
+in :mod:`repro.service.protocol` and is documented in docs/SERVICE.md.
+"""
+
+from .app import ForecastService, ServiceHandle, run_in_thread
+from .cache import CacheEntry, ForecastCache
+from .cascade import (Forecast, ForecastCascade, InfeasibleConfig,
+                      check_feasible, repair_utilization)
+from .protocol import (FORECAST_SCHEMA, ForecastError, forecast_to_dict,
+                       get_forecast, parse_forecast_request,
+                       request_forecast)
+from .surrogate import Axis, GridStore, SurrogateGrid, build_grid
+
+__all__ = [
+    "Axis",
+    "CacheEntry",
+    "FORECAST_SCHEMA",
+    "Forecast",
+    "ForecastCache",
+    "ForecastCascade",
+    "ForecastError",
+    "ForecastService",
+    "GridStore",
+    "InfeasibleConfig",
+    "ServiceHandle",
+    "SurrogateGrid",
+    "build_grid",
+    "check_feasible",
+    "forecast_to_dict",
+    "get_forecast",
+    "parse_forecast_request",
+    "repair_utilization",
+    "request_forecast",
+    "run_in_thread",
+]

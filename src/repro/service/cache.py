@@ -1,0 +1,210 @@
+"""Content-addressed store of live Monte-Carlo evidence.
+
+Keys are :func:`repro.config.config_digest` values, so *what* was asked
+— not when, or in what field order — addresses the evidence.  An entry
+stores raw counts (losses, trials) rather than a finished interval: the
+Wilson CI is recomputed per request at whatever confidence the caller
+asks, and background refinement just adds counts.
+
+Persistence is an append-only JSONL journal: every update appends one
+record, the newest record per digest wins at load (counts are cumulative
+across refinement rounds, so replaying only the last record is exact),
+and the file is compacted back to one line per digest when the journal
+grows past a multiple of the live entry count.  The in-memory side is a
+bounded LRU — eviction forgets the *fast path*, never the evidence,
+which reloads from the journal on the next miss.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..reliability.stats import (Proportion, empty_proportion,
+                                 wilson_interval)
+
+#: Schema tag on every journal record.
+CACHE_SCHEMA = "repro.forecast-cache.v1"
+
+#: In-memory LRU capacity (entries, not bytes — an entry is ~200 B).
+DEFAULT_CAPACITY = 4096
+
+#: Compact the journal when it holds this many times the live entries.
+_COMPACT_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Accumulated live evidence for one config digest."""
+
+    digest: str
+    losses: int
+    trials: int
+    #: refinement rounds folded in so far (round ``i`` derives its seed
+    #: schedule from ``(digest, i)``, so counts never double-count).
+    rounds: int
+    #: live engine the evidence came from ("bulk" or "des").
+    engine: str
+
+    def proportion(self, confidence: float = 0.95) -> Proportion:
+        """The entry's Wilson interval at the requested confidence."""
+        if self.trials <= 0:
+            return empty_proportion(confidence)
+        return wilson_interval(self.losses, self.trials, confidence)
+
+    def merged(self, losses: int, trials: int) -> "CacheEntry":
+        """This entry plus one more refinement round's counts."""
+        return replace(self, losses=self.losses + losses,
+                       trials=self.trials + trials,
+                       rounds=self.rounds + 1)
+
+    def to_record(self) -> dict:
+        return {"schema": CACHE_SCHEMA, "digest": self.digest,
+                "losses": self.losses, "trials": self.trials,
+                "rounds": self.rounds, "engine": self.engine}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CacheEntry | None":
+        if record.get("schema") != CACHE_SCHEMA:
+            return None
+        try:
+            return cls(digest=str(record["digest"]),
+                       losses=int(record["losses"]),
+                       trials=int(record["trials"]),
+                       rounds=int(record["rounds"]),
+                       engine=str(record["engine"]))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+class ForecastCache:
+    """Bounded-LRU view over the append-only evidence journal."""
+
+    def __init__(self, path: str | Path | None = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = Path(path) if path else None
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._journal_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> CacheEntry | None:
+        """The entry for ``digest`` (LRU-touched), or ``None``.
+
+        An in-memory miss falls back to the journal: eviction bounds the
+        hot set, not the evidence.
+        """
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self._entries.move_to_end(digest)
+            return entry
+        entry = self._scan_journal(digest)
+        if entry is not None:
+            self._remember(entry)
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert or replace the evidence for ``entry.digest``."""
+        self._remember(entry)
+        self._append(entry)
+
+    def entries(self) -> list[CacheEntry]:
+        """The resident entries, least recently used first."""
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    def _remember(self, entry: CacheEntry) -> None:
+        self._entries[entry.digest] = entry
+        self._entries.move_to_end(entry.digest)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _load(self) -> None:
+        lines = 0
+        latest: dict[str, CacheEntry] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            entry = CacheEntry.from_record(record)
+            if entry is not None:
+                latest[entry.digest] = entry
+        self._journal_lines = lines
+        for entry in latest.values():
+            self._remember(entry)
+
+    def _scan_journal(self, digest: str) -> CacheEntry | None:
+        """Newest journal record for ``digest`` (evicted-entry path)."""
+        if self.path is None or not self.path.exists():
+            return None
+        found: CacheEntry | None = None
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        for line in text.splitlines():
+            if digest not in line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            entry = CacheEntry.from_record(record)
+            if entry is not None and entry.digest == digest:
+                found = entry
+        return found
+
+    def _append(self, entry: CacheEntry) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry.to_record(), sort_keys=True) + "\n")
+        self._journal_lines += 1
+        if self._journal_lines > _COMPACT_FACTOR * max(len(self._entries),
+                                                       1):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal to one (newest) record per digest."""
+        if self.path is None:
+            return
+        latest: dict[str, CacheEntry] = {}
+        if self.path.exists():
+            for line in self.path.read_text(
+                    encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                entry = CacheEntry.from_record(record)
+                if entry is not None:
+                    latest[entry.digest] = entry
+        for entry in self._entries.values():
+            latest[entry.digest] = entry
+        body = "".join(json.dumps(e.to_record(), sort_keys=True) + "\n"
+                       for e in latest.values())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(body, encoding="utf-8")
+        self._journal_lines = len(latest)

@@ -1,0 +1,252 @@
+"""Layered estimator cascade: cheapest valid answer first.
+
+Tier order, each gated by an explicit validity predicate:
+
+1. ``markov`` — exact CTMC closed form
+   (:func:`repro.reliability.markov.supports`): constant rates, flat
+   topology.  Degenerate interval — the chain *is* the model's truth.
+2. ``analytic`` — first-order window model
+   (:func:`repro.reliability.analytic.supports`); the interval is the
+   model's own truncation bound (relative O(hW)), not sampling noise.
+3. ``surrogate`` — multilinear interpolation over precomputed grids
+   (:class:`repro.service.surrogate.GridStore`), refusing extrapolation.
+4. ``live-bulk`` / ``live-des`` — Monte-Carlo on the persistent pool;
+   the vectorized bulk engine where
+   :func:`~repro.reliability.bulk.bulk_unsupported_reasons` is empty,
+   the DES engine otherwise.  Evidence accumulates in the
+   content-addressed cache across background refinement rounds, each
+   round seeded from ``(digest, round)`` so counts never double-count
+   and a restarted server reproduces the same trajectory.
+
+Before any tier runs, the Luby-style feasibility rail refuses configs
+whose steady-state repair demand exceeds the recovery bandwidth —
+every estimator downstream would just measure the queue diverging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import SystemConfig, config_digest
+from ..reliability import analytic, markov
+from ..reliability.bulk import bulk_unsupported_reasons
+from ..reliability.montecarlo import estimate_p_loss_async
+from ..reliability.runner import SweepRunner
+from ..reliability.stats import Proportion
+from ..sim.rng import stable_hash64
+from .cache import CacheEntry, ForecastCache
+from .surrogate import GridStore
+
+#: Tier names, cheap to expensive (response ``tier`` field values).
+TIER_MARKOV = "markov"
+TIER_ANALYTIC = "analytic"
+TIER_SURROGATE = "surrogate"
+TIER_LIVE_BULK = "live-bulk"
+TIER_LIVE_DES = "live-des"
+
+#: Lifetimes per live round — the first answer's budget, and each
+#: background refinement round's increment.
+DEFAULT_LIVE_RUNS = 64
+
+#: Refinement stops once an entry's 95% CI is narrower than this.
+DEFAULT_TARGET_CI_WIDTH = 0.05
+
+#: Hard ceiling on accumulated live trials per digest, so one
+#: pathological query cannot monopolize the refinement queue forever.
+MAX_LIVE_TRIALS = 100_000
+
+#: Redundancy overhead factor in the repair-demand rail: every lost
+#: block is rebuilt by reading its surviving peers, so the recovery
+#: *work* is at least twice the lost bytes (read + write) — the Luby
+#: argument's constant for mirrored/small-m codes.
+_REPAIR_WORK_FACTOR = 2.0
+
+
+class InfeasibleConfig(Exception):
+    """A config whose repair demand outruns its recovery bandwidth."""
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """One cascade answer with its provenance."""
+
+    digest: str
+    p_loss: Proportion
+    mttdl_s: float | None
+    tier: str
+    #: human-readable provenance: which predicate admitted the tier, or
+    #: which grid / how many live rounds produced the number.
+    detail: str
+    #: True when background refinement will keep tightening this CI.
+    refining: bool = False
+
+
+def repair_utilization(cfg: SystemConfig) -> float:
+    """Steady-state fraction of recovery bandwidth repair demand uses.
+
+    Failures arrive at ``n_disks * mean_hazard`` and each costs one disk
+    rebuild spread over the farm; utilization ≥ 1 means the repair queue
+    grows without bound and *no* lifetime estimate is meaningful — the
+    per-disk form reduces to ``factor * hazard * disk_rebuild_seconds``.
+    """
+    return _REPAIR_WORK_FACTOR * analytic.mean_hazard(cfg) \
+        * cfg.disk_rebuild_seconds
+
+
+def check_feasible(cfg: SystemConfig) -> None:
+    """Raise :class:`InfeasibleConfig` when repair cannot keep up."""
+    util = repair_utilization(cfg)
+    if util >= 1.0:
+        raise InfeasibleConfig(
+            f"repair utilization {util:.3g} >= 1: failure inflow "
+            f"exceeds recovery bandwidth, the rebuild queue diverges "
+            f"and P(loss) -> 1; add bandwidth or redundancy instead "
+            f"of forecasting this configuration")
+
+
+def _mttdl_from_p(p: float, duration_s: float) -> float | None:
+    """MTTDL implied by P(loss over duration) under Poisson arrivals."""
+    if p <= 0.0:
+        return None
+    if p >= 1.0:
+        return 0.0
+    return -duration_s / math.log(1.0 - p)
+
+
+class ForecastCascade:
+    """Routes one config to the cheapest valid estimator tier."""
+
+    def __init__(self, cache: ForecastCache | None = None,
+                 grids: GridStore | None = None,
+                 runner: SweepRunner | None = None,
+                 live_runs: int = DEFAULT_LIVE_RUNS,
+                 target_ci_width: float = DEFAULT_TARGET_CI_WIDTH) -> None:
+        if live_runs < 1:
+            raise ValueError("live_runs must be >= 1")
+        if not 0.0 < target_ci_width < 1.0:
+            raise ValueError("target_ci_width must be in (0, 1)")
+        self.cache = cache or ForecastCache()
+        self.grids = grids or GridStore()
+        self.runner = runner or SweepRunner()
+        self.live_runs = live_runs
+        self.target_ci_width = target_ci_width
+        #: configs behind cached digests, so refinement can re-run them.
+        self._configs: dict[str, SystemConfig] = {}
+
+    # ------------------------------------------------------------------ #
+    def classify(self, cfg: SystemConfig) -> tuple[str, str]:
+        """(tier, detail) the cascade would answer this config from."""
+        if markov.supports(cfg):
+            return TIER_MARKOV, "exact CTMC closed form (constant rates)"
+        if analytic.supports(cfg):
+            return TIER_ANALYTIC, "first-order window model (in envelope)"
+        grid = self.grids.lookup(cfg)
+        if grid is not None:
+            return TIER_SURROGATE, f"multilinear over grid {grid.name!r}"
+        reasons = bulk_unsupported_reasons(cfg)
+        if not reasons:
+            return TIER_LIVE_BULK, "vectorized bulk Monte-Carlo"
+        return TIER_LIVE_DES, ("discrete-event Monte-Carlo (bulk "
+                               "refused: " + "; ".join(reasons) + ")")
+
+    async def forecast(self, cfg: SystemConfig,
+                       confidence: float = 0.95) -> Forecast:
+        """Answer one query; live-tier misses run one round of MC."""
+        check_feasible(cfg)
+        digest = config_digest(cfg)
+        tier, detail = self.classify(cfg)
+        if tier == TIER_MARKOV:
+            p = markov.p_loss_config(cfg)
+            return Forecast(
+                digest=digest, tier=tier, detail=detail,
+                p_loss=Proportion(successes=0, trials=0, estimate=p,
+                                  lo=p, hi=p, confidence=confidence),
+                mttdl_s=markov.mttdl_config(cfg))
+        if tier == TIER_ANALYTIC:
+            p = analytic.p_loss(cfg)
+            rel = analytic.mean_hazard(cfg) * analytic.mean_window(cfg)
+            return Forecast(
+                digest=digest, tier=tier,
+                detail=f"{detail}; truncation bound +/-{rel:.2g} rel",
+                p_loss=Proportion(successes=0, trials=0, estimate=p,
+                                  lo=max(0.0, p * (1.0 - rel)),
+                                  hi=min(1.0, p * (1.0 + rel)),
+                                  confidence=confidence),
+                mttdl_s=analytic.mttdl_estimate(cfg))
+        if tier == TIER_SURROGATE:
+            grid = self.grids.lookup(cfg)
+            prop = grid.proportion(cfg, confidence)
+            return Forecast(
+                digest=digest, tier=tier,
+                detail=f"{detail} ({grid.n_runs} runs/point)",
+                p_loss=prop,
+                mttdl_s=_mttdl_from_p(prop.estimate, cfg.duration))
+        return await self._live(cfg, digest, tier, detail, confidence)
+
+    # ------------------------------------------------------------------ #
+    async def _live(self, cfg: SystemConfig, digest: str, tier: str,
+                    detail: str, confidence: float) -> Forecast:
+        entry = self.cache.get(digest)
+        if entry is None:
+            entry = await self._run_round(
+                cfg, CacheEntry(digest=digest, losses=0, trials=0,
+                                rounds=0, engine=tier.split("-", 1)[1]))
+        self._configs[digest] = cfg
+        return self._from_entry(entry, cfg, detail, confidence)
+
+    def _from_entry(self, entry: CacheEntry, cfg: SystemConfig,
+                    detail: str, confidence: float) -> Forecast:
+        prop = entry.proportion(confidence)
+        return Forecast(
+            digest=entry.digest, tier="live-" + entry.engine,
+            detail=f"{detail}; {entry.rounds} round(s), "
+                   f"{entry.trials} lifetimes",
+            p_loss=prop,
+            mttdl_s=_mttdl_from_p(prop.estimate, cfg.duration),
+            refining=self._needs_refinement(entry))
+
+    async def _run_round(self, cfg: SystemConfig,
+                         entry: CacheEntry) -> CacheEntry:
+        """Run one live round and fold its counts into the cache.
+
+        Round ``i`` seeds from ``(digest, "service-live", i)``: rounds
+        are disjoint deterministic streams, so re-running a round after
+        a crash reproduces — not double-counts — its evidence.
+        """
+        seed = stable_hash64(entry.digest, "service-live",
+                             entry.rounds) % (2 ** 62)
+        result = await estimate_p_loss_async(
+            cfg, n_runs=self.live_runs, base_seed=seed,
+            engine=entry.engine, runner=self.runner)
+        merged = entry.merged(result.losses,
+                              result.n_runs - result.runs_failed)
+        self.cache.put(merged)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    def _needs_refinement(self, entry: CacheEntry) -> bool:
+        if entry.trials >= MAX_LIVE_TRIALS:
+            return False
+        return entry.proportion().width > self.target_ci_width
+
+    def refinement_queue(self) -> list[CacheEntry]:
+        """Refinable entries, widest interval first.
+
+        Only digests whose config this process has seen are refinable —
+        the journal stores evidence, not configs, so entries inherited
+        from an earlier server life refine again once re-queried.
+        """
+        pending = [e for e in self.cache.entries()
+                   if e.digest in self._configs
+                   and self._needs_refinement(e)]
+        pending.sort(key=lambda e: e.proportion().width, reverse=True)
+        return pending
+
+    async def refine_once(self) -> CacheEntry | None:
+        """Tighten the widest refinable CI by one round (None if idle)."""
+        queue = self.refinement_queue()
+        if not queue:
+            return None
+        entry = queue[0]
+        return await self._run_round(self._configs[entry.digest], entry)

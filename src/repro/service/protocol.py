@@ -1,0 +1,151 @@
+"""Wire schema of the forecast service (requests, responses, client).
+
+One JSON schema tag versions the whole exchange; the request carries a
+canonical config dict (:func:`repro.config.config_from_dict` semantics:
+partial dicts take defaults, unknown keys are an error) and the response
+carries the estimate, its interval, and *provenance* — which cascade
+tier produced the number and why, so a consumer can tell an exact closed
+form from an interpolated surrogate from 64 Monte-Carlo lifetimes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+from urllib import request as _urlrequest
+
+from ..config import SystemConfig, config_from_dict
+
+if TYPE_CHECKING:   # response serializer type only; no runtime cycle
+    from .cascade import Forecast
+
+#: Schema tag stamped on every response body.
+FORECAST_SCHEMA = "repro.forecast.v1"
+
+#: Default TCP port of ``python -m repro serve``.
+DEFAULT_PORT = 9130
+
+#: Confidence the service answers at unless the request overrides it.
+DEFAULT_CONFIDENCE = 0.95
+
+#: Hard cap on request body size (a config dict is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+#: Request keys beyond the config payload.
+_REQUEST_KEYS = frozenset({"config", "confidence"})
+
+
+class ForecastError(Exception):
+    """A request the service refuses, with the HTTP status to say so."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def parse_forecast_request(body: bytes
+                           ) -> tuple[SystemConfig, float]:
+    """Parse a ``POST /forecast`` body into (config, confidence).
+
+    Raises :class:`ForecastError` (status 400) on malformed JSON, an
+    unknown top-level key, a bad confidence, or a config dict that
+    :func:`~repro.config.config_from_dict` rejects — a typo'd field must
+    fail loudly, never fall back to a default and hash to the wrong key.
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ForecastError(400, f"request body is not JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ForecastError(400, "request body must be a JSON object")
+    unknown = set(data) - _REQUEST_KEYS
+    if unknown:
+        raise ForecastError(
+            400, f"unknown request key(s) {sorted(unknown)}; expected "
+                 f"{sorted(_REQUEST_KEYS)}")
+    confidence = data.get("confidence", DEFAULT_CONFIDENCE)
+    if not isinstance(confidence, (int, float)) \
+            or not 0.0 < confidence < 1.0:
+        raise ForecastError(400, f"confidence must be in (0, 1), got "
+                                 f"{confidence!r}")
+    raw = data.get("config")
+    if not isinstance(raw, dict):
+        raise ForecastError(400, "request must carry a 'config' object")
+    try:
+        config = config_from_dict(raw)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ForecastError(400, f"bad config: {exc}")
+    return config, float(confidence)
+
+
+def forecast_to_dict(forecast: "Forecast") -> dict[str, Any]:
+    """JSON-safe response body for a cascade answer.
+
+    ``mttdl_s`` is ``None`` when the evidence cannot support a finite
+    mean (a zero-hit live estimate), and infinite MTTDLs are encoded as
+    ``null`` too — JSON has no ``Infinity`` in strict mode.
+    """
+    p = forecast.p_loss
+    mttdl = forecast.mttdl_s
+    if mttdl is not None and mttdl != mttdl:   # NaN guard
+        mttdl = None
+    if mttdl is not None and mttdl == float("inf"):
+        mttdl = None
+    return {
+        "schema": FORECAST_SCHEMA,
+        "key": forecast.digest,
+        "tier": forecast.tier,
+        "detail": forecast.detail,
+        "p_loss": p.estimate,
+        "ci_lo": p.lo,
+        "ci_hi": p.hi,
+        "ci_width": p.width,
+        "confidence": p.confidence,
+        "trials": p.trials,
+        "losses": p.successes,
+        "mttdl_s": mttdl,
+        "refining": forecast.refining,
+    }
+
+
+# --------------------------------------------------------------------- #
+# One-shot client (used by ``python -m repro forecast`` and the tests)
+# --------------------------------------------------------------------- #
+def request_forecast(base_url: str, payload: dict[str, Any],
+                     timeout_s: float = 60.0) -> dict[str, Any]:
+    """POST a forecast request; returns the decoded response body.
+
+    Raises :class:`ForecastError` with the server's status and message
+    on a non-2xx answer, so callers see the refusal reason (a 422
+    infeasible-repair diagnosis, a 400 schema complaint) instead of a
+    bare HTTPError.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    req = _urlrequest.Request(
+        base_url.rstrip("/") + "/forecast", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    return _round_trip(req, timeout_s)
+
+
+def get_forecast(base_url: str, key: str,
+                 timeout_s: float = 60.0) -> dict[str, Any]:
+    """GET a previously computed forecast by its content key."""
+    req = _urlrequest.Request(
+        base_url.rstrip("/") + "/forecast/" + key, method="GET")
+    return _round_trip(req, timeout_s)
+
+
+def _round_trip(req: _urlrequest.Request,
+                timeout_s: float) -> dict[str, Any]:
+    import urllib.error
+    try:
+        with _urlrequest.urlopen(req, timeout=timeout_s) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+            message = detail.get("error", str(exc))
+        except (ValueError, UnicodeDecodeError):
+            message = str(exc)
+        raise ForecastError(exc.code, message)

@@ -1,0 +1,13 @@
+"""Fixture: RPR011 — wall clock in the service layer (violation line 12).
+
+The forecast service directory is guarded: only the files named in
+``repro.analysis.determinism.WALL_CLOCK_ALLOWLIST`` (``service/app.py``,
+with its justification on record) may read host time.  This file is not
+one of them, so the scoped rule fires.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.monotonic()

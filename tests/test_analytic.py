@@ -1,9 +1,12 @@
 """Tests for the closed-form window model (repro.reliability.analytic)."""
 
+import math
+
 import pytest
 
 from repro.config import PAPER_BASE
 from repro.redundancy import ECC_4_6, MIRROR_3, RAID5_4_5
+from repro.reliability import analytic
 from repro.reliability import (expected_disk_failures, mean_window, p_loss,
                                p_loss_window_model)
 from repro.units import GB, PB
@@ -80,3 +83,48 @@ class TestPaperShapes:
         assert wm.per_failure_loss == pytest.approx(
             wm.blocks_per_disk * wm.per_block_loss)
         assert 0.0 < wm.p_loss < 1.0
+
+
+class TestValidityEnvelope:
+    """supports()/unsupported_reasons(): the model refuses what it can't."""
+
+    def test_paper_base_supported(self):
+        assert analytic.supports(PAPER_BASE)
+        assert analytic.unsupported_reasons(PAPER_BASE) == ()
+
+    @pytest.mark.parametrize("kw, fragment", [
+        ({"racks": 4, "machines_per_rack": 10}, "topology"),
+        ({"racks": 4, "max_chunks_per_domain": 1}, "placement caps"),
+        ({"placement": "rush"}, "placement="),
+        ({"use_smart": True}, "SMART"),
+        ({"replacement_threshold": 0.5}, "replacement"),
+        ({"workload_peak_load": 0.5}, "workload"),
+    ])
+    def test_refusal_reasons(self, kw, fragment):
+        cfg = PAPER_BASE.with_(**kw)
+        assert not analytic.supports(cfg)
+        assert any(fragment in r for r in analytic.unsupported_reasons(cfg))
+
+    def test_refuses_outside_first_order_envelope(self):
+        """A huge hazard-window product breaks the first-order truncation.
+
+        Week-long detection on top of 100x rates pushes hW past the
+        cutoff; the model must refuse rather than extrapolate.
+        """
+        cfg = PAPER_BASE.with_(
+            detection_latency=2e6,
+            vintage=PAPER_BASE.vintage.with_rate_multiplier(100.0))
+        hw = analytic.mean_hazard(cfg) * analytic.mean_window(cfg)
+        assert hw > analytic.MAX_HAZARD_WINDOW
+        reasons = analytic.unsupported_reasons(cfg)
+        assert any("hazard-window" in r for r in reasons)
+
+    def test_mttdl_consistent_with_p_loss(self):
+        """For t << MTTDL, p ~ t / MTTDL (thinned-Poisson identity)."""
+        m = analytic.mttdl_estimate(PAPER_BASE)
+        assert PAPER_BASE.duration / m == pytest.approx(
+            -math.log(1 - p_loss(PAPER_BASE)), rel=1e-9)
+
+    def test_mttdl_infinite_when_no_loss(self):
+        cfg = PAPER_BASE.with_(duration=1.0)
+        assert analytic.mttdl_estimate(cfg) > 0

@@ -1,8 +1,12 @@
 """Tests for SystemConfig (repro.config) — Table 2 geometry."""
 
+import json
+
 import pytest
 
-from repro.config import PAPER_BASE, SystemConfig
+from repro.config import (CONFIG_SCHEMA, PAPER_BASE, SystemConfig,
+                          canonical_config_json, config_digest,
+                          config_from_dict, config_to_dict)
 from repro.redundancy import ECC_8_10, MIRROR_2, MIRROR_3
 from repro.units import GB, MB, PB, TB, YEAR
 
@@ -107,3 +111,66 @@ class TestValidation:
         from repro.redundancy import ECC_8_10
         cfg = SystemConfig(group_user_bytes=2 * TB, scheme=ECC_8_10)
         assert cfg.block_bytes == pytest.approx(0.25 * TB)
+
+
+class TestCanonicalSerialization:
+    """config_to_dict / config_from_dict / config_digest stability."""
+
+    def test_round_trip_identity(self):
+        cfg = PAPER_BASE.with_(scheme=ECC_8_10, racks=4,
+                               machines_per_rack=10,
+                               replacement_threshold=0.5)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_digest_ignores_default_equality(self):
+        """Explicitly passing a default value hashes like omitting it."""
+        implicit = SystemConfig()
+        explicit = SystemConfig(detection_latency=30.0, use_farm=True,
+                                placement="random")
+        assert config_digest(implicit) == config_digest(explicit)
+
+    def test_digest_ignores_dict_field_order(self):
+        d = config_to_dict(PAPER_BASE)
+        shuffled = dict(reversed(list(d.items())))
+        assert config_from_dict(shuffled) == PAPER_BASE
+        assert config_digest(config_from_dict(shuffled)) == \
+            config_digest(PAPER_BASE)
+
+    def test_digest_sensitive_to_every_changed_field(self):
+        base = config_digest(PAPER_BASE)
+        for cfg in (PAPER_BASE.with_(detection_latency=31.0),
+                    PAPER_BASE.with_(scheme=MIRROR_3),
+                    PAPER_BASE.with_(racks=2),
+                    PAPER_BASE.with_(
+                        vintage=PAPER_BASE.vintage.with_rate_multiplier(2.0))):
+            assert config_digest(cfg) != base
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_config_json(PAPER_BASE)
+        data = json.loads(text)
+        assert data["schema"] == CONFIG_SCHEMA
+        assert ": " not in text and ", " not in text
+        assert list(data) == sorted(data)
+
+    def test_partial_dict_fills_defaults(self):
+        cfg = config_from_dict({"detection_latency": 600.0})
+        assert cfg == SystemConfig(detection_latency=600.0)
+
+    def test_scheme_string_accepted(self):
+        cfg = config_from_dict({"scheme": "8/10"})
+        assert cfg.scheme == ECC_8_10
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            config_from_dict({"detection_latencyy": 1.0})
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            config_from_dict({"schema": "repro.config.v999"})
+
+    def test_infinite_period_round_trips(self):
+        """The unbounded bathtub period survives JSON (no Infinity)."""
+        d = json.loads(canonical_config_json(PAPER_BASE))
+        assert d["vintage"]["failure_model"]["periods"][-1]["end_months"] \
+            is None
+        assert config_from_dict(d).vintage == PAPER_BASE.vintage

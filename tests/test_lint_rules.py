@@ -27,6 +27,7 @@ EXPECTED = {
     "core/rpr009_silent_except.py": ("RPR009", 7),
     "core/rpr010_hardcoded_param.py": ("RPR010", 5),
     "cluster/rpr011_wall_clock.py": ("RPR011", 11),
+    "service/rpr011_wall_clock.py": ("RPR011", 13),
     "experiments/rpr012_weight_math.py": ("RPR012", 5),
 }
 
@@ -99,9 +100,25 @@ class TestRuleEdges:
 
     def test_wall_clock_in_telemetry_flagged_once_as_rpr011(self):
         src = "import time\nt = time.time()\n"
-        for directory in ("telemetry", "cluster", "faults"):
+        for directory in ("telemetry", "cluster", "faults", "service"):
             violations = lint_source(src, f"{directory}/probes.py")
             assert [v.rule for v in violations] == ["RPR011"], directory
+
+    def test_wall_clock_allowlist_exempts_service_app_only(self):
+        # service/app.py is allowlisted (request latency is host time by
+        # definition); every other service file stays guarded.
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "repro/service/app.py") == []
+        violations = lint_source(src, "repro/service/cascade.py")
+        assert [v.rule for v in violations] == ["RPR011"]
+
+    def test_wall_clock_allowlist_entries_are_justified(self):
+        from repro.analysis.determinism import (WALL_CLOCK_ALLOWLIST,
+                                                WALL_CLOCK_GUARDED_DIRS)
+        for suffix, why in WALL_CLOCK_ALLOWLIST.items():
+            directory = suffix.split("/")[0]
+            assert directory in WALL_CLOCK_GUARDED_DIRS, suffix
+            assert why.strip(), f"{suffix} needs a justification"
 
     def test_core_never_double_reports_wall_clock(self):
         # core/ is in both RPR004's and RPR011's directory sets; exactly

@@ -1,11 +1,15 @@
 """Tests for the single-group Markov chain (repro.reliability.markov)."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
+from repro.config import PAPER_BASE
+from repro.disks.failure import BathtubFailureModel, RatePeriod
 from repro.redundancy import ECC_4_6, MIRROR_2, MIRROR_3
-from repro.reliability import (group_generator, mttdl, p_group_loss,
-                               p_system_loss)
+from repro.reliability import (analytic, group_generator, markov, mttdl,
+                               p_group_loss, p_system_loss)
 from repro.units import HOUR, YEAR
 
 LAM = 1e-6 / HOUR        # per-disk failure rate
@@ -105,3 +109,53 @@ class TestMTTDL:
         t = m / 1000.0
         p = p_group_loss(MIRROR_2, LAM, MU, t)
         assert p == pytest.approx(t / m, rel=0.05)
+
+
+def _flat_rate_config(**overrides):
+    """PAPER_BASE with a single constant-rate hazard period (chain-exact)."""
+    flat = BathtubFailureModel((RatePeriod(0.0, float("inf"), 0.20),))
+    vintage = replace(PAPER_BASE.vintage, failure_model=flat)
+    return PAPER_BASE.with_(vintage=vintage, **overrides)
+
+
+class TestConfigMapped:
+    """supports()/p_loss_config(): the chain refuses non-constant rates."""
+
+    def test_paper_base_refused_bathtub(self):
+        """The paper's 4-period bathtub is not a constant rate."""
+        assert not markov.supports(PAPER_BASE)
+        assert any("rate period" in r
+                   for r in markov.unsupported_reasons(PAPER_BASE))
+
+    def test_flat_rate_supported(self):
+        assert markov.supports(_flat_rate_config())
+
+    def test_structural_refusals_shared_with_analytic(self):
+        for kw in ({"use_smart": True}, {"racks": 2},
+                   {"placement": "rush"}, {"workload_peak_load": 0.5}):
+            assert not markov.supports(_flat_rate_config(**kw))
+
+    def test_hazard_window_not_a_markov_concern(self):
+        """The chain is exact at any rate — no first-order truncation."""
+        hot = _flat_rate_config().with_(
+            vintage=_flat_rate_config().vintage.with_rate_multiplier(500.0))
+        assert markov.supports(hot)
+
+    def test_p_loss_config_matches_direct_chain(self):
+        cfg = _flat_rate_config()
+        lam = float(cfg.vintage.failure_model.hazard(0.0))
+        mu = 1.0 / (cfg.detection_latency + cfg.rebuild_seconds_per_block)
+        direct = p_system_loss(cfg.scheme, cfg.n_groups, lam, mu,
+                               cfg.duration)
+        assert markov.p_loss_config(cfg) == pytest.approx(direct)
+
+    def test_config_mttdl_close_to_analytic(self):
+        """Two independent closed forms agree at first order."""
+        cfg = _flat_rate_config()
+        assert markov.mttdl_config(cfg) == pytest.approx(
+            analytic.mttdl_estimate(cfg), rel=0.25)
+
+    def test_config_p_loss_close_to_window_model(self):
+        cfg = _flat_rate_config()
+        assert markov.p_loss_config(cfg) == pytest.approx(
+            analytic.p_loss(cfg), rel=0.25)
