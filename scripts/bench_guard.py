@@ -55,6 +55,11 @@ SERVICE_SWEEP_NAME = "service-bench"
 #: minute of aggregate Monte-Carlo throughput.
 SERVICE_LATENCY_TOLERANCE = 3.0
 
+#: The sweep name the availability experiment records under
+#: (``python -m repro run availability``: the lazy-recovery /
+#: repair-bandwidth trade-off grid on the fast DES engine).
+AVAILABILITY_SWEEP_NAME = "availability"
+
 DEFAULT_PATH = Path("results") / "BENCH_sweep.json"
 
 
@@ -99,6 +104,36 @@ def service_guard(path: Path) -> int:
     return 0
 
 
+def availability_guard(path: Path) -> int:
+    """Guard the availability sweep's DES throughput (0 ok, 1 fail).
+
+    Same shape as the bulk guard: latest ``runs_per_s`` of an
+    ``availability`` record must clear :data:`TOLERANCE` of the best
+    prior one.  This series tracks the lazy-recovery hot path (held
+    queue, span accounting) that the bulk engine cannot cover.
+    """
+    records = _named_records(path, AVAILABILITY_SWEEP_NAME, "runs_per_s")
+    if len(records) < 2:
+        print(f"bench_guard: {len(records)} availability record(s) in "
+              f"{path}; need 2+ to compare — ok")
+        return 0
+    latest = records[-1]
+    baseline = max(r["runs_per_s"] for r in records[:-1])
+    current = latest["runs_per_s"]
+    floor = TOLERANCE * baseline
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(f"bench_guard: availability {current:,.1f} runs/s vs best "
+          f"prior {baseline:,.1f} (floor {floor:,.1f} = {TOLERANCE:g}x) "
+          f"over {len(records)} records — {verdict}")
+    if current < floor:
+        print(f"bench_guard: latest availability record "
+              f"(run_id={latest.get('run_id', '?')}) regressed; if the "
+              f"hardware changed, re-record a baseline with "
+              f"'python -m repro run availability'", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
     path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
     if not path.exists():
@@ -113,7 +148,7 @@ def main(argv: list[str]) -> int:
     if len(records) < 2:
         print(f"bench_guard: {len(records)} bulk-sweep record(s) in "
               f"{path}; need 2+ to compare — ok")
-        return service_guard(path)
+        return max(service_guard(path), availability_guard(path))
     latest = records[-1]
     baseline = max(r["runs_per_s"] for r in records[:-1])
     current = latest["runs_per_s"]
@@ -130,7 +165,7 @@ def main(argv: list[str]) -> int:
               f"hardware changed, re-record a baseline with "
               f"'python -m repro run bulk'", file=sys.stderr)
         bulk_status = 1
-    return max(bulk_status, service_guard(path))
+    return max(bulk_status, service_guard(path), availability_guard(path))
 
 
 if __name__ == "__main__":

@@ -47,10 +47,14 @@ step "topology experiment (smoke)" \
   env REPRO_SCALE=smoke python -m repro run topology
 step "bulk engine benchmark (smoke, asserts >= 100x over DES baseline)" \
   env REPRO_SCALE=smoke python -m repro run bulk
-step "bench-regression guard (bulk runs/s vs recorded history)" \
+step "availability experiment (smoke, asserts trade-off monotonicity)" \
+  env REPRO_SCALE=smoke python -m repro run availability
+step "bench-regression guard (bulk + availability runs/s vs history)" \
   python scripts/bench_guard.py
 step "bulk conformance suite (incl. slow CI-overlap tests)" \
   python -m pytest tests/test_bulk.py -q -m "slow or not slow"
+step "availability conformance suite (incl. slow lazy-policy brackets)" \
+  python -m pytest tests/test_availability.py -q -m "slow or not slow"
 optional_step "ruff" ruff python -m ruff check src tests examples benchmarks
 optional_step "mypy" mypy python -m mypy
 step "fault-injection tests" python -m pytest tests/test_faults.py tests/test_fault_scenarios.py -q

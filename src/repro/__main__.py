@@ -46,11 +46,11 @@ import time
 
 from .config import SystemConfig
 from .experiments import SCALES, ablations, base
-from .experiments import (bulk_sweep, faults_sweep, figure3, figure4,
-                          figure5, figure7, figure8, mttdl_table,
-                          perf_table, rare_sweep, redirection, table1,
-                          table3, topology_sweep)
-from .redundancy.schemes import RedundancyScheme
+from .experiments import (availability_sweep, bulk_sweep, faults_sweep,
+                          figure3, figure4, figure5, figure7, figure8,
+                          mttdl_table, perf_table, rare_sweep, redirection,
+                          table1, table3, topology_sweep)
+from .redundancy.schemes import MIRROR_3, RedundancyScheme
 from .reliability import estimate_p_loss, p_loss_window_model
 from .service.protocol import DEFAULT_PORT
 from .units import GB, PB
@@ -75,6 +75,7 @@ EXPERIMENTS = {
     "rare": lambda s, seed, est: [rare_sweep.run(s, seed)],
     "bulk": lambda s, seed, est: [bulk_sweep.run(s, seed)],
     "topology": lambda s, seed, est: [topology_sweep.run(s, seed)],
+    "availability": lambda s, seed, est: [availability_sweep.run(s, seed)],
     "ablations": lambda s, seed, est: [ablations.run_placement(s, seed),
                                        ablations.run_policy(s, seed),
                                        ablations.run_workload(s, seed),
@@ -185,6 +186,12 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
         # bit-identical.
         "topology": tiny.with_(racks=4, machines_per_rack=2,
                                max_chunks_per_domain=1),
+        # Lazy recovery with a rate-limited repair lane: the held-rebuild
+        # queue and unavailability-span accounting must fold through the
+        # reorder buffers bit-identically too.  (Excluded from the bulk
+        # pass below — recovery_threshold > 1 is bulk-unsupported.)
+        "availability": tiny.with_(scheme=MIRROR_3, recovery_threshold=2,
+                                   repair_bandwidth_fraction=0.2),
     }
     serial = sweep(points, n_runs=args.runs, base_seed=args.seed,
                    n_jobs=None, bench_path=None, sweep_name="sweep-check",
@@ -218,6 +225,12 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
                                   p.aggregate.window_moments.m2),
             "failure_moments.m2": (s.aggregate.failure_moments.m2,
                                    p.aggregate.failure_moments.m2),
+            "unavail_group_seconds": (s.aggregate.unavail_group_seconds,
+                                      p.aggregate.unavail_group_seconds),
+            "unavail_spans": (s.aggregate.unavail_spans,
+                              p.aggregate.unavail_spans),
+            "rebuilds_held": (s.aggregate.rebuilds_held,
+                              p.aggregate.rebuilds_held),
         }
         for field_name, (a, b) in checks.items():
             if a != b:
@@ -260,17 +273,22 @@ def cmd_sweep_check(args: argparse.Namespace) -> int:
             if a != b:
                 failures.append(f"{label}.{field_name}: {a!r} != {b!r}")
 
-    # Bulk pass: the same points on the vectorized engine.  Its parallel
-    # path submits chunked tasks, so this exercises the chunk-expansion
-    # side of the reorder buffers (and the capped topology sampler).
-    serial_b = sweep(points, n_runs=args.runs, base_seed=args.seed,
+    # Bulk pass: the supported points on the vectorized engine.  Its
+    # parallel path submits chunked tasks, so this exercises the
+    # chunk-expansion side of the reorder buffers (and the capped
+    # topology sampler).  Points outside the bulk engine's envelope
+    # (lazy recovery) run on the DES passes only.
+    from .reliability.bulk import bulk_unsupported_reasons
+    bulk_points = {label: cfg for label, cfg in points.items()
+                   if not bulk_unsupported_reasons(cfg)}
+    serial_b = sweep(bulk_points, n_runs=args.runs, base_seed=args.seed,
                      n_jobs=None, bench_path=None,
                      sweep_name="sweep-check-bulk", engine="bulk")
-    parallel_b = sweep(points, n_runs=args.runs, base_seed=args.seed,
+    parallel_b = sweep(bulk_points, n_runs=args.runs, base_seed=args.seed,
                        n_jobs=args.jobs, bench_path=None,
                        sweep_name="sweep-check-bulk", engine="bulk")
     shutdown_pool()
-    for label in points:
+    for label in bulk_points:
         s, p = serial_b[label], parallel_b[label]
         checks = {
             "bulk.losses": (s.losses, p.losses),

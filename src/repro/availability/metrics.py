@@ -1,0 +1,68 @@
+"""Availability fractions, "nines", and degraded-read cost.
+
+These are pure closed-form reductions of the engines' per-group
+unavailability accounting (``RecoveryStats.unavail_group_seconds`` and
+the ``repro_group_unavailability_seconds`` span tracker): a group is
+*unavailable-degraded* while at least one of its blocks is failed, and
+the exposure base is ``n_groups * duration`` group-seconds.
+
+"Nines" is the usual transform ``-log10(1 - A)``: A = 0.999 is three
+nines.  A perfectly available run (zero degraded group-seconds) has
+infinitely many nines — returned as ``math.inf`` rather than clamped,
+so monotonicity assertions stay exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Re-exported here so availability consumers get the whole nines story
+# from one namespace; the model itself lives with the other degraded-
+# mode performance math.
+from ..performance.degraded import degraded_read_cost
+
+__all__ = [
+    "availability_fraction",
+    "availability_nines",
+    "degraded_read_cost",
+    "unavailability_fraction",
+]
+
+
+def unavailability_fraction(unavail_group_seconds: float, n_groups: int,
+                            duration: float) -> float:
+    """Fraction of group-seconds spent degraded, in ``[0, 1]``.
+
+    ``unavail_group_seconds`` is the engines' summed span total; the
+    exposure base is ``n_groups * duration``.  Values are clamped to 1
+    only by validation — the spans cannot exceed the base by
+    construction (each group contributes at most ``duration``).
+    """
+    if n_groups <= 0:
+        raise ValueError("n_groups must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if unavail_group_seconds < 0:
+        raise ValueError("unavail_group_seconds must be >= 0")
+    frac = unavail_group_seconds / (n_groups * duration)
+    if frac > 1.0 + 1e-9:
+        raise ValueError(
+            f"unavailability {frac:.6g} exceeds the exposure base: "
+            f"span accounting is broken")
+    return min(frac, 1.0)
+
+
+def availability_fraction(unavail_group_seconds: float, n_groups: int,
+                          duration: float) -> float:
+    """``1 - unavailability_fraction`` — the group-seconds available."""
+    return 1.0 - unavailability_fraction(
+        unavail_group_seconds, n_groups, duration)
+
+
+def availability_nines(availability: float) -> float:
+    """``-log10(1 - A)``; ``inf`` for a perfectly available run."""
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError("availability must be in [0, 1]")
+    if availability == 1.0:
+        return math.inf
+    return -math.log10(1.0 - availability)

@@ -67,6 +67,21 @@ class SystemConfig:
     #: (the default) disables the constraint entirely.  The machine-level
     #: bound follows a fortiori since machines nest inside racks.
     max_chunks_per_domain: int | None = None
+    #: Lazy-recovery trigger (:mod:`repro.availability`): a group only
+    #: enqueues rebuilds once >= this many of its blocks are lost or
+    #: unavailable (transient outages count toward the trigger).  The
+    #: default 1 is eager recovery — bit-identical to the pre-policy
+    #: engines; values > 1 require a scheme that tolerates that many
+    #: simultaneous losses.
+    recovery_threshold: int = 1
+    #: Rate-limited repair lane: cap the per-disk recovery bandwidth at
+    #: this fraction of the vintage's *full* disk bandwidth, modelling
+    #: foreground traffic claiming the rest.  ``None`` (the default)
+    #: leaves ``recovery_bandwidth`` untouched; setting it is mutually
+    #: exclusive with ``recovery_bandwidth_bps``.  Both engines reject a
+    #: rate-limited config whose steady-state repair demand exceeds the
+    #: lane (Luby bound; see :mod:`repro.availability.luby`).
+    repair_bandwidth_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if self.total_user_bytes <= 0:
@@ -108,6 +123,21 @@ class SystemConfig:
                     "domain constraint needs every machine populated: "
                     f"{self.n_disks} disks < {self.racks} racks x "
                     f"{self.machines_per_rack} machines")
+        if self.recovery_threshold < 1:
+            raise ValueError("recovery_threshold must be >= 1")
+        if self.recovery_threshold > max(1, self.scheme.tolerance):
+            raise ValueError(
+                f"recovery_threshold {self.recovery_threshold} exceeds the "
+                f"scheme's fault tolerance ({self.scheme.tolerance}): the "
+                f"group would be lost before recovery ever triggered")
+        if self.repair_bandwidth_fraction is not None:
+            if not 0 < self.repair_bandwidth_fraction <= 1:
+                raise ValueError(
+                    "repair_bandwidth_fraction must be in (0, 1]")
+            if self.recovery_bandwidth_bps is not None:
+                raise ValueError(
+                    "recovery_bandwidth_bps and repair_bandwidth_fraction "
+                    "are mutually exclusive ways to set the repair rate")
         block = self.scheme.block_bytes(self.group_user_bytes)
         usable = self.vintage.capacity_bytes * (
             1.0 - self.spare_reserve_fraction)
@@ -119,7 +149,17 @@ class SystemConfig:
     # -- derived geometry -------------------------------------------------- #
     @property
     def recovery_bandwidth(self) -> float:
-        """Effective per-disk recovery bandwidth (bytes/s)."""
+        """Effective per-disk recovery bandwidth (bytes/s).
+
+        The rate-limited repair lane (``repair_bandwidth_fraction``)
+        takes precedence: it carves the lane out of the vintage's *full*
+        disk bandwidth, so every consumer — both engines' transfer
+        times, ``disk_rebuild_seconds``, and the Luby feasibility rail —
+        sees the cap through this single property.
+        """
+        if self.repair_bandwidth_fraction is not None:
+            return self.repair_bandwidth_fraction \
+                * self.vintage.bandwidth_bps
         if self.recovery_bandwidth_bps is not None:
             return self.recovery_bandwidth_bps
         return self.vintage.recovery_bandwidth_bps
@@ -288,6 +328,8 @@ def config_to_dict(cfg: SystemConfig) -> dict[str, Any]:
         "racks": cfg.racks,
         "machines_per_rack": cfg.machines_per_rack,
         "max_chunks_per_domain": cfg.max_chunks_per_domain,
+        "recovery_threshold": cfg.recovery_threshold,
+        "repair_bandwidth_fraction": cfg.repair_bandwidth_fraction,
     }
 
 

@@ -112,6 +112,14 @@ class FarmRecovery(RecoveryManager):
             self.sim.schedule_at(start, self._start_if_alive, group, rep,
                                  now, name="farm-detect")
 
+    def _schedule_one(self, group: RedundancyGroup, rep_id: int,
+                      failed_at: float, now: float) -> None:
+        """A lazy-trigger release: detection runs from the release time,
+        but the window of vulnerability keeps the original failure time."""
+        self.sim.schedule_at(now + self.config.detection_latency,
+                             self._start_if_alive, group, rep_id, failed_at,
+                             name="farm-detect")
+
     def _start_if_alive(self, group: RedundancyGroup, rep: int,
                         failed_at: float) -> None:
         """Detection fired: begin the rebuild unless the group died since."""

@@ -29,6 +29,8 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from ..availability.luby import check_repair_lane
+from ..availability.queue import RepairPriority, RepairPriorityQueue
 from ..cluster.system import StorageSystem
 from ..redundancy.group import RedundancyGroup
 from ..sim.engine import Simulator
@@ -74,6 +76,21 @@ class RecoveryStats:
     latent_window_total: float = 0.0
     #: Transient outages processed (disk went offline and work redirected).
     transient_outages: int = 0
+    #: Seconds of per-group *unavailability*: summed over closed degraded
+    #: spans (first block failure -> full redundancy restored).  Spans
+    #: still open at the horizon are closed by :meth:`RecoveryManager.
+    #: finalize`; spans ended by data loss are dropped — loss belongs to
+    #: durability's ledger, not availability's (the telemetry span
+    #: tracker aborts the same spans, keeping ``*_sum_total`` exactly
+    #: equal to this field).
+    unavail_group_seconds: float = 0.0
+    #: Closed unavailability spans (horizon closures included).
+    unavail_spans: int = 0
+    #: Longest single unavailability span.
+    unavail_max: float = 0.0
+    #: Rebuilds parked by the lazy-recovery trigger
+    #: (``recovery_threshold`` > 1), awaiting further failures.
+    rebuilds_held: int = 0
     #: Log likelihood-ratio weight of this run under an importance-sampled
     #: estimator (0.0 — i.e. weight 1 — for ordinary runs).  Weights are
     #: only ever *applied* through
@@ -103,6 +120,17 @@ class RecoveryStats:
         if self.latent_errors_discovered == 0:
             return 0.0
         return self.latent_window_total / self.latent_errors_discovered
+
+    def availability(self, n_groups: int, duration: float) -> float:
+        """Fraction of group-seconds spent fully redundant, in [0, 1]."""
+        from ..availability.metrics import availability_fraction
+        return availability_fraction(self.unavail_group_seconds, n_groups,
+                                     duration)
+
+    def nines(self, n_groups: int, duration: float) -> float:
+        """The run's availability as "nines" (inf for a clean run)."""
+        from ..availability.metrics import availability_nines
+        return availability_nines(self.availability(n_groups, duration))
 
     def record_loss(self, group: RedundancyGroup, now: float) -> None:
         self.groups_lost += 1
@@ -180,6 +208,17 @@ class RecoveryManager(ABC):
         self._reserved: dict[int, float] = {}
         # Rebuilds awaiting a viable target/source, keyed (grp_id, rep_id).
         self._deferred: dict[tuple[int, int], DeferredRebuild] = {}
+        # Lazy-recovery policy (recovery_threshold > 1): rebuilds held
+        # back until the group accumulates >= r missing blocks, keyed
+        # (grp_id, rep_id) -> failure time.  Empty forever at the default
+        # threshold of 1, where dispatch short-circuits to the eager path.
+        self._held: dict[tuple[int, int], float] = {}
+        # Open per-group unavailability spans: grp_id -> degraded-since.
+        self._degraded_since: dict[int, float] = {}
+        # A rate-limited repair lane too narrow for its own failure
+        # inflow is a modelling error: reject it up front, exactly like
+        # the forecast service's 422 rail.
+        check_repair_lane(self.config)
 
     # -- queues ------------------------------------------------------------ #
     def server(self, disk_id: int) -> SerialServer:
@@ -271,6 +310,8 @@ class RecoveryManager(ABC):
         for group, reps in affected:
             if group.lost and group.loss_time == now:
                 self.stats.record_loss(group, now)
+                self._degraded_since.pop(group.grp_id, None)
+                self._drop_held(group.grp_id)
                 if tele is not None:
                     tele.group_lost(group.grp_id)
                 for job in list(self._jobs_by_group.get(group.grp_id, ())):
@@ -279,13 +320,15 @@ class RecoveryManager(ABC):
                 continue
             if group.lost:
                 continue
+            if reps:
+                self._note_degraded(group, now)
             for rep in reps:
                 newly_lost.append((group, rep))
                 if tele is not None:
                     tele.block_failed(group.grp_id, rep, now,
                                       group.scheme.n)
         if newly_lost:
-            self._schedule_rebuilds(disk_id, newly_lost, now)
+            self._dispatch_rebuilds(disk_id, newly_lost, now)
         self._after_failure(disk_id, now)
 
     # -- completion path ---------------------------------------------------- #
@@ -314,6 +357,119 @@ class RecoveryManager(ABC):
         if self.telemetry is not None:
             self.telemetry.rebuilds_completed.inc()
             self.telemetry.block_rebuilt(job.group.grp_id, job.rep_id, now)
+        if not job.group.failed:
+            self._note_repaired(job.group.grp_id, now)
+
+    # -- lazy recovery (recovery_threshold > 1) ------------------------------ #
+    def _missing_count(self, group: RedundancyGroup) -> int:
+        """Blocks of ``group`` without a live, *reachable* replica right
+        now: failed blocks plus live replicas on transiently offline
+        disks — both count toward the lazy trigger."""
+        missing = len(group.failed)
+        disks = self.system.disks
+        for rep, disk_id in enumerate(group.disks):
+            if rep in group.failed or disk_id < 0:
+                continue
+            if not disks[disk_id].online:
+                missing += 1
+        return missing
+
+    def _dispatch_rebuilds(self, failed_disk: int,
+                           losses: list[tuple[RedundancyGroup, int]],
+                           now: float) -> None:
+        """Route new block losses through the lazy-recovery policy.
+
+        At the default ``recovery_threshold`` of 1 this is a verbatim
+        delegation to :meth:`_schedule_rebuilds` — no extra events, no
+        reordering, bit-identical to the eager path (the golden-pin
+        conformance contract).  Above 1, losses are parked in the held
+        map until their group reaches ``r`` missing blocks, then every
+        held rebuild of the group is released most-at-risk-first.
+        """
+        if self.config.recovery_threshold <= 1:
+            self._schedule_rebuilds(failed_disk, losses, now)
+            return
+        fresh: dict[int, RedundancyGroup] = {}
+        for group, rep in losses:
+            self._held[(group.grp_id, rep)] = now
+            fresh.setdefault(group.grp_id, group)
+        queue: RepairPriorityQueue = RepairPriorityQueue()
+        released: set[int] = set()
+        for group in fresh.values():
+            if self._missing_count(group) >= self.config.recovery_threshold:
+                released.add(group.grp_id)
+                self._collect_held(group, queue)
+        n_held = sum(1 for g, _ in losses if g.grp_id not in released)
+        if n_held:
+            self.stats.rebuilds_held += n_held
+            if self.telemetry is not None:
+                self.telemetry.rebuilds_held.inc(n_held)
+            self._trace_marker("rebuild-held")
+        self._release_queue(queue, now)
+
+    def _collect_held(self, group: RedundancyGroup,
+                      queue: RepairPriorityQueue) -> None:
+        """Move every held rebuild of ``group`` into the release queue,
+        keyed most-at-risk-first (surviving redundancy, then age)."""
+        grp_id = group.grp_id
+        surviving = max(0, group.scheme.tolerance
+                        - self._missing_count(group))
+        for key in sorted(k for k in self._held if k[0] == grp_id):
+            failed_at = self._held.pop(key)
+            queue.push(RepairPriority(surviving, failed_at, grp_id, key[1]),
+                       (group, key[1], failed_at))
+
+    def _release_queue(self, queue: RepairPriorityQueue,
+                       now: float) -> None:
+        """Schedule released rebuilds in priority order."""
+        tele = self.telemetry
+        for _prio, (group, rep_id, failed_at) in queue.drain():
+            if group.lost or rep_id not in group.failed:
+                continue
+            if tele is not None:
+                tele.held_released.inc()
+            self._schedule_one(group, rep_id, failed_at, now)
+
+    def _drop_held(self, grp_id: int) -> None:
+        """Forget held rebuilds of a group that just lost data."""
+        for key in [k for k in self._held if k[0] == grp_id]:
+            del self._held[key]
+
+    @property
+    def held_outstanding(self) -> int:
+        """Rebuilds currently parked by the lazy-recovery trigger."""
+        return len(self._held)
+
+    # -- unavailability spans ------------------------------------------------ #
+    def _note_degraded(self, group: RedundancyGroup, now: float) -> None:
+        """First missing block of the group: open its degraded span."""
+        grp_id = group.grp_id
+        if grp_id in self._degraded_since:
+            return
+        self._degraded_since[grp_id] = now
+        if self.telemetry is not None:
+            self.telemetry.group_degraded(grp_id, now, group.scheme.n)
+
+    def _note_repaired(self, grp_id: int, now: float) -> None:
+        """Full redundancy restored: close the span, account it."""
+        since = self._degraded_since.pop(grp_id, None)
+        if since is None:
+            return
+        duration = now - since
+        self.stats.unavail_group_seconds += duration
+        self.stats.unavail_spans += 1
+        self.stats.unavail_max = max(self.stats.unavail_max, duration)
+        if self.telemetry is not None:
+            self.telemetry.group_restored(grp_id, now)
+
+    def finalize(self, now: float) -> None:
+        """Close accounting still open at the simulation horizon.
+
+        Groups degraded at the end contribute their partial span in
+        ascending group-id order — deterministic, and identical between
+        the two engines so span totals stay float-exact."""
+        for grp_id in sorted(self._degraded_since):
+            self._note_repaired(grp_id, now)
 
     # -- deferred-rebuild retry queue ---------------------------------------- #
     @property
@@ -387,7 +543,16 @@ class RecoveryManager(ABC):
         batch or spare arrived (space freed), or a disk returned from a
         transient outage (sources readable again).
         """
-        for key, entry in list(self._deferred.items()):
+        entries = list(self._deferred.items())
+        if self.config.recovery_threshold > 1:
+            # Lazy policies re-arm most-at-risk-first (the same order the
+            # release queue uses); the default path keeps insertion order
+            # so the eager trajectory stays bit-identical.
+            entries.sort(key=lambda kv: (
+                max(0, kv[1].group.scheme.tolerance
+                    - self._missing_count(kv[1].group)),
+                kv[1].failed_at, kv[0]))
+        for key, entry in entries:
             if entry.event is not None:
                 entry.event.cancel()
             entry.attempts = 0
@@ -422,15 +587,18 @@ class RecoveryManager(ABC):
         if group.lost and group.loss_time == now:
             # The corrupt block defeated what redundancy remained.
             self.stats.record_loss(group, now)
+            self._degraded_since.pop(grp_id, None)
+            self._drop_held(grp_id)
             if tele is not None:
                 tele.group_lost(grp_id)
             for job in list(self._jobs_by_group.get(grp_id, ())):
                 self._unregister(job)
                 job.cancel()
             return True
+        self._note_degraded(group, now)
         if tele is not None:
             tele.block_failed(grp_id, rep_id, now, group.scheme.n)
-        self._schedule_rebuilds(disk_id, [(group, rep_id)], now)
+        self._dispatch_rebuilds(disk_id, [(group, rep_id)], now)
         return True
 
     def _discover_latent_partners(self, group: RedundancyGroup,
@@ -492,6 +660,21 @@ class RecoveryManager(ABC):
                 job.cancel()
                 self.defer_rebuild(job.group, job.rep_id, job.failed_at,
                                    now)
+
+        # Transient outages count toward the lazy trigger: a group whose
+        # held rebuilds plus now-unreachable replicas reach the threshold
+        # releases immediately (the rebuilds themselves may still defer
+        # until a readable source returns — the retry queue drains them).
+        if self.config.recovery_threshold > 1 and self._held:
+            queue: RepairPriorityQueue = RepairPriorityQueue()
+            touched: dict[int, RedundancyGroup] = {}
+            for grp_id, _rep in self._held:
+                touched.setdefault(grp_id, self.system.groups[grp_id])
+            for group in touched.values():
+                if (self._missing_count(group)
+                        >= self.config.recovery_threshold):
+                    self._collect_held(group, queue)
+            self._release_queue(queue, now)
 
     def on_disk_online(self, disk_id: int) -> None:
         """DES callback: a transient outage ends; the disk's data is back.
@@ -576,6 +759,16 @@ class RecoveryManager(ABC):
                            losses: list[tuple[RedundancyGroup, int]],
                            now: float) -> None:
         """Schedule reconstruction of the given (group, rep) losses."""
+
+    @abstractmethod
+    def _schedule_one(self, group: RedundancyGroup, rep_id: int,
+                      failed_at: float, now: float) -> None:
+        """Schedule one rebuild released by the lazy-recovery trigger.
+
+        ``failed_at`` is the block's *original* failure time (windows of
+        vulnerability measure true exposure); detection/queueing starts
+        from ``now``, the release time.
+        """
 
     @abstractmethod
     def _reschedule(self, job: RebuildJob, now: float) -> None:

@@ -112,6 +112,13 @@ class TraditionalRecovery(RecoveryManager):
             if not self._try_start(group, rep, now, now):
                 self.defer_rebuild(group, rep, now, now)
 
+    def _schedule_one(self, group: RedundancyGroup, rep_id: int,
+                      failed_at: float, now: float) -> None:
+        """A lazy-trigger release: queue on the spare now, keeping the
+        block's original failure time for window accounting."""
+        if not self._try_start(group, rep_id, failed_at, now):
+            self.defer_rebuild(group, rep_id, failed_at, now)
+
     def _reschedule(self, job: RebuildJob, now: float) -> None:
         """The spare died or went offline: restart the block elsewhere.
 

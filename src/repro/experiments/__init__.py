@@ -5,8 +5,9 @@ Each module exposes ``run(scale=None, base_seed=0) -> ExperimentResult``;
 :mod:`repro.experiments.base`).
 """
 
-from . import (ablations, faults_sweep, figure3, figure4, figure5, figure7,
-               figure8, mttdl_table, perf_table, redirection, table1, table3)
+from . import (ablations, availability_sweep, faults_sweep, figure3, figure4,
+               figure5, figure7, figure8, mttdl_table, perf_table, redirection,
+               table1, table3)
 from .base import SCALES, ExperimentResult, Scale, current_scale
 from .report import pct, render_proportion, render_table
 
@@ -15,5 +16,5 @@ __all__ = [
     "render_table", "render_proportion", "pct",
     "table1", "figure3", "figure4", "figure5", "table3",
     "figure7", "figure8", "redirection", "ablations", "mttdl_table",
-    "perf_table", "faults_sweep",
+    "perf_table", "faults_sweep", "availability_sweep",
 ]

@@ -1,10 +1,10 @@
 """Degraded-mode performance models (the declustering argument)."""
 
 from .degraded import (DegradedLoad, compare_layouts,
-                       degraded_read_amplification, rebuild_read_share,
-                       user_load_factor)
+                       degraded_read_amplification, degraded_read_cost,
+                       rebuild_read_share, user_load_factor)
 
 __all__ = [
     "DegradedLoad", "compare_layouts", "degraded_read_amplification",
-    "rebuild_read_share", "user_load_factor",
+    "degraded_read_cost", "rebuild_read_share", "user_load_factor",
 ]

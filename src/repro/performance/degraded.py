@@ -54,6 +54,27 @@ def degraded_read_amplification(scheme: SchemeLike) -> float:
     return 1.0 if scheme.m == 1 else float(scheme.m)
 
 
+def degraded_read_cost(scheme: SchemeLike, degraded_group_seconds: float,
+                       read_rate_per_group: float = 1.0) -> float:
+    """Extra physical reads incurred while groups sat degraded.
+
+    A degraded group serves each logical read with
+    :func:`degraded_read_amplification` physical reads instead of one, so
+    with ``read_rate_per_group`` logical reads per group-second the excess
+    over healthy operation is ``(amp - 1) * rate * degraded_seconds``.
+    ``degraded_group_seconds`` is the engines' summed per-group
+    unavailability span total (``RecoveryStats.unavail_group_seconds``),
+    so mirrored schemes (amp = 1, reads redirect to the surviving
+    replica) cost exactly zero, matching the paper's declustering story.
+    """
+    if degraded_group_seconds < 0:
+        raise ValueError("degraded_group_seconds must be >= 0")
+    if read_rate_per_group < 0:
+        raise ValueError("read_rate_per_group must be >= 0")
+    amp = degraded_read_amplification(scheme)
+    return (amp - 1.0) * read_rate_per_group * degraded_group_seconds
+
+
 def user_load_factor(scheme: SchemeLike, n_disks: int,
                      failed: int = 1) -> float:
     """Relative user-serving load per survivor with ``failed`` disks out.

@@ -132,6 +132,9 @@ def unsupported_reasons(cfg: SystemConfig) -> tuple[str, ...]:
     if cfg.workload_peak_load > 0:
         reasons.append("diurnal workload (recovery bandwidth varies "
                        "over the day)")
+    if cfg.recovery_threshold > 1:
+        reasons.append("lazy recovery (recovery_threshold > 1): windows "
+                       "are no longer detection + rebuild per failure)")
     hw = mean_hazard(cfg) * mean_window(cfg)
     if hw > MAX_HAZARD_WINDOW:
         reasons.append(f"hazard-window product {hw:.3g} exceeds the "

@@ -98,6 +98,10 @@ def bulk_unsupported_reasons(config: SystemConfig) -> tuple[str, ...]:
     if config.placement != "random":
         problems.append(f"placement={config.placement!r} "
                         f"(only 'random' is expressible)")
+    if config.recovery_threshold > 1:
+        problems.append("lazy recovery (recovery_threshold > 1): repair "
+                        "onset depends on the group's failure history, "
+                        "which a static window predicate cannot couple")
     return tuple(problems)
 
 

@@ -54,6 +54,46 @@ def p_group_loss(scheme: RedundancyScheme, fail_rate: float,
     return float(pt[-1])
 
 
+def lazy_group_generator(scheme: RedundancyScheme, fail_rate: float,
+                         repair_rate: float, threshold: int,
+                         parallel_repair: bool = True) -> np.ndarray:
+    """Generator of the *lazy-recovery* chain (repairs gated below r).
+
+    Identical to :func:`group_generator` except that repair transitions
+    from states ``0 < i < threshold`` are removed: a lazy policy with
+    ``recovery_threshold = r`` starts no rebuild until the group has at
+    least ``r`` missing blocks.  This slightly over-penalizes the policy
+    (the real engines keep repairing a group back to health once the
+    trigger has fired, while the chain re-gates whenever ``i`` drops
+    below ``r``), making it a conservative upper bound on the simulated
+    lazy p_loss — the bracket the conformance tests assert.
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    if threshold > max(1, scheme.tolerance):
+        raise ValueError(f"threshold {threshold} exceeds the scheme's "
+                         f"fault tolerance ({scheme.tolerance})")
+    q = group_generator(scheme, fail_rate, repair_rate, parallel_repair)
+    for i in range(1, min(threshold, q.shape[0] - 1)):
+        q[i, i] += q[i, i - 1]
+        q[i, i - 1] = 0.0
+    return q
+
+
+def p_group_loss_lazy(scheme: RedundancyScheme, fail_rate: float,
+                      repair_rate: float, horizon: float, threshold: int,
+                      parallel_repair: bool = True) -> float:
+    """P(loss within ``horizon``) for one group under lazy recovery."""
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    q = lazy_group_generator(scheme, fail_rate, repair_rate, threshold,
+                             parallel_repair)
+    p0 = np.zeros(q.shape[0])
+    p0[0] = 1.0
+    pt = p0 @ expm(q * horizon)
+    return float(pt[-1])
+
+
 def p_system_loss(scheme: RedundancyScheme, n_groups: int, fail_rate: float,
                   repair_rate: float, horizon: float,
                   parallel_repair: bool = True) -> float:

@@ -274,6 +274,10 @@ class StatsAggregate:
     latent_errors_discovered: int = 0
     latent_window_total: float = 0.0
     transient_outages: int = 0
+    unavail_group_seconds: float = 0.0
+    unavail_spans: int = 0
+    unavail_max: float = 0.0
+    rebuilds_held: int = 0
     events_fired: int = 0
     run_seconds_total: float = 0.0
     window_moments: RunningMoments = field(default_factory=RunningMoments)
@@ -309,6 +313,10 @@ class StatsAggregate:
         self.latent_errors_discovered += stats.latent_errors_discovered
         self.latent_window_total += stats.latent_window_total
         self.transient_outages += stats.transient_outages
+        self.unavail_group_seconds += stats.unavail_group_seconds
+        self.unavail_spans += stats.unavail_spans
+        self.unavail_max = max(self.unavail_max, stats.unavail_max)
+        self.rebuilds_held += stats.rebuilds_held
         self.events_fired += events_fired
         self.run_seconds_total += run_seconds
         self.window_moments.add(stats.mean_window)

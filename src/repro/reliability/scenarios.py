@@ -54,6 +54,8 @@ class ScenarioOutcome:
     fault_stats: FaultStats = field(default_factory=FaultStats)
     #: rebuilds still parked in the deferred queue at the horizon.
     deferred_outstanding: int = 0
+    #: rebuilds still held by the lazy-recovery trigger at the horizon.
+    held_outstanding: int = 0
 
     @property
     def data_survived(self) -> bool:
@@ -224,6 +226,7 @@ class Scenario:
             sim.schedule_at(at, self._inject_latent, ctx, latent_rng, disk,
                             name="injected-latent")
         sim.run(until=end)
+        manager.finalize(end)
 
         lost = [g.grp_id for g in system.groups if g.lost]
         return ScenarioOutcome(config=self.config, injections=resolved,
@@ -231,7 +234,8 @@ class Scenario:
                                trace=trace, lost_groups=lost,
                                fault_stats=ctx.stats,
                                deferred_outstanding=(
-                                   manager.deferred_outstanding))
+                                   manager.deferred_outstanding),
+                               held_outstanding=manager.held_outstanding)
 
     @staticmethod
     def _inject_latent(ctx: FaultContext, rng, disk: int) -> None:

@@ -25,6 +25,8 @@ from typing import Iterator, Protocol
 
 import numpy as np
 
+from ..availability.luby import check_repair_lane
+from ..availability.queue import RepairPriority, RepairPriorityQueue
 from ..cluster.topology import Topology, enforce_domain_constraint
 from ..cluster.workload import ConstantWorkload, DiurnalWorkload
 from ..config import SystemConfig
@@ -121,6 +123,11 @@ class SplitState:
     machine_of: list[int] = field(default_factory=list)
     #: deferred-rebuild queue: (g, rep, attempts)
     deferred: list[tuple[int, int, int]] = field(default_factory=list)
+    #: lazy-recovery held rebuilds: (g, rep, failed_at, origin)
+    lazy_held: list[tuple[int, int, float, int]] = field(
+        default_factory=list)
+    #: open per-group unavailability spans: (g, degraded-since)
+    degraded_since: list[tuple[int, float]] = field(default_factory=list)
 
 
 class ReliabilitySimulation:
@@ -147,6 +154,16 @@ class ReliabilitySimulation:
         #: count of groups currently degraded (>=1 failed block, not
         #: lost) — the multilevel-splitting level variable.
         self._degraded = 0
+        #: Lazy-recovery threshold (1 = eager, the bit-identical default).
+        self._lazy_r = config.recovery_threshold
+        #: held rebuilds (lazy policy): (g, rep) -> (failed_at, origin).
+        self._held: dict[tuple[int, int], tuple[float, int]] = {}
+        #: open per-group unavailability spans: g -> degraded-since.
+        self._degraded_since: dict[int, float] = {}
+        # Reject a rate-limited repair lane that cannot keep up with its
+        # own failure inflow (the forecast service's 422 rail, applied at
+        # engine construction).
+        check_repair_lane(config)
         self._split_level: int | None = None
         self._split_state: SplitState | None = None
         self._restored = False
@@ -358,6 +375,9 @@ class ReliabilitySimulation:
                 self.stats.bytes_lost += self.cfg.group_user_bytes
                 if self.stats.first_loss_time is None:
                     self.stats.first_loss_time = now
+                self._degraded_since.pop(g, None)
+                for key in [k for k in self._held if k[0] == g]:
+                    del self._held[key]
                 if tele is not None:
                     tele.group_lost(g)
                 for job in list(self._jobs_by_group.get(g, ())):
@@ -365,13 +385,18 @@ class ReliabilitySimulation:
             else:
                 if self.failed_count[g] == 1:
                     self._degraded += 1
+                    self._note_degraded(g, now)
                 losses.append((g, rep))
                 if tele is not None:
                     tele.block_failed(g, rep, now, self.n)
 
-        for g, rep in losses:
-            self.sim.schedule(self.cfg.detection_latency, self._start_rebuild,
-                              g, rep, now, disk, name="detect")
+        if self._lazy_r > 1:
+            self._lazy_dispatch(losses, now, disk)
+        else:
+            for g, rep in losses:
+                self.sim.schedule(self.cfg.detection_latency,
+                                  self._start_rebuild, g, rep, now, disk,
+                                  name="detect")
         self._maybe_replace(now)
         # A new batch may open constraint-compliant targets: retries for
         # deferred rebuilds are already armed, nothing extra to do here.
@@ -385,6 +410,83 @@ class ReliabilitySimulation:
                      or self.stats.groups_lost > 0):
             self._split_state = self._capture_split()
             self.sim.clear()
+
+    # ------------------------------------------------------------------ #
+    # Lazy recovery (recovery_threshold > 1) and unavailability spans
+    # ------------------------------------------------------------------ #
+    def _lazy_dispatch(self, losses: list[tuple[int, int]], now: float,
+                       origin: int) -> None:
+        """Hold new losses until their group reaches the threshold, then
+        release every held rebuild of the group most-at-risk-first.
+
+        Mirrors ``RecoveryManager._dispatch_rebuilds`` on the object
+        engine; the fast engine has no transient outages, so the trigger
+        count is exactly ``failed_count``.
+        """
+        fresh: list[int] = []
+        seen: set[int] = set()
+        for g, rep in losses:
+            self._held[(g, rep)] = (now, origin)
+            if g not in seen:
+                seen.add(g)
+                fresh.append(g)
+        queue: RepairPriorityQueue = RepairPriorityQueue()
+        released: set[int] = set()
+        for g in fresh:
+            if int(self.failed_count[g]) >= self._lazy_r:
+                released.add(g)
+                self._collect_held(g, queue)
+        n_held = sum(1 for g, _ in losses if g not in released)
+        if n_held:
+            self.stats.rebuilds_held += n_held
+            if self.telemetry is not None:
+                self.telemetry.rebuilds_held.inc(n_held)
+        self._release_queue(queue, now)
+
+    def _collect_held(self, g: int, queue: RepairPriorityQueue) -> None:
+        surviving = max(0, self.tol - int(self.failed_count[g]))
+        for key in sorted(k for k in self._held if k[0] == g):
+            failed_at, origin = self._held.pop(key)
+            queue.push(RepairPriority(surviving, failed_at, g, key[1]),
+                       (key[1], failed_at, origin))
+
+    def _release_queue(self, queue: RepairPriorityQueue,
+                       now: float) -> None:
+        tele = self.telemetry
+        for prio, (rep, failed_at, origin) in queue.drain():
+            g = prio.grp_id
+            if self.lost[g] or self.group_disks[g, rep] != -1:
+                continue
+            if tele is not None:
+                tele.held_released.inc()
+            self.sim.schedule(self.cfg.detection_latency,
+                              self._start_rebuild, g, rep, failed_at,
+                              origin, name="detect")
+
+    def _note_degraded(self, g: int, now: float) -> None:
+        if g in self._degraded_since:
+            return
+        self._degraded_since[g] = now
+        if self.telemetry is not None:
+            self.telemetry.group_degraded(g, now, self.n)
+
+    def _note_repaired(self, g: int, now: float) -> None:
+        since = self._degraded_since.pop(g, None)
+        if since is None:
+            return
+        duration = now - since
+        self.stats.unavail_group_seconds += duration
+        self.stats.unavail_spans += 1
+        self.stats.unavail_max = max(self.stats.unavail_max, duration)
+        if self.telemetry is not None:
+            self.telemetry.group_restored(g, now)
+
+    def _finalize(self, now: float) -> None:
+        """Close spans still open at the horizon, ascending group id —
+        the same order the object engine's ``finalize`` uses, keeping
+        span totals float-exact across engines."""
+        for g in sorted(self._degraded_since):
+            self._note_repaired(g, now)
 
     # ------------------------------------------------------------------ #
     # Rebuild scheduling
@@ -620,6 +722,8 @@ class ReliabilitySimulation:
             self.telemetry.rebuilds_completed.inc()
             self.telemetry.block_rebuilt(job.g, job.rep, now)
             self._rebuild_writes[job.target] += 1
+        if self.failed_count[job.g] == 0:
+            self._note_repaired(job.g, now)
 
     # ------------------------------------------------------------------ #
     # Replacement batches (Figure 7)
@@ -771,6 +875,7 @@ class ReliabilitySimulation:
         if not self._restored:
             self._schedule_initial_failures()
         self.sim.run(until=self.duration)
+        self._finalize(self.duration)
         if self.failure_draw is not None:
             self.stats.log_weight = self.failure_draw.log_weight
         return self.stats
@@ -797,6 +902,8 @@ class ReliabilitySimulation:
         if not self._restored:
             self._schedule_initial_failures()
         self.sim.run(until=self.duration)
+        if self._split_state is None:
+            self._finalize(self.duration)     # horizon reached: close spans
         return self._split_state
 
     def _capture_split(self) -> SplitState:
@@ -839,7 +946,10 @@ class ReliabilitySimulation:
             detects=detects,
             machine_of=self.topology.assignments(),
             deferred=sorted((g, rep, a)
-                            for (g, rep), a in self._deferred.items()))
+                            for (g, rep), a in self._deferred.items()),
+            lazy_held=sorted((g, rep, fa, o)
+                             for (g, rep), (fa, o) in self._held.items()),
+            degraded_since=sorted(self._degraded_since.items()))
 
     @classmethod
     def from_split_state(cls, config: SystemConfig, state: SplitState,
@@ -888,6 +998,9 @@ class ReliabilitySimulation:
         # Attempt counts survive the restore so a re-deferral on the clone
         # neither double-counts rebuilds_deferred nor resets the backoff.
         self._deferred = {(g, rep): a for g, rep, a in state.deferred}
+        self._held = {(g, rep): (fa, o)
+                      for g, rep, fa, o in state.lazy_held}
+        self._degraded_since = dict(state.degraded_since)
         self._domain_blocked = False
         self._restored = True
 

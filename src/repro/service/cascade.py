@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..availability.luby import (InfeasibleConfig, check_feasible,
+                                 repair_utilization)
 from ..config import SystemConfig, config_digest
 from ..reliability import analytic, markov
 from ..reliability.bulk import bulk_unsupported_reasons
@@ -56,17 +58,6 @@ DEFAULT_TARGET_CI_WIDTH = 0.05
 #: pathological query cannot monopolize the refinement queue forever.
 MAX_LIVE_TRIALS = 100_000
 
-#: Redundancy overhead factor in the repair-demand rail: every lost
-#: block is rebuilt by reading its surviving peers, so the recovery
-#: *work* is at least twice the lost bytes (read + write) — the Luby
-#: argument's constant for mirrored/small-m codes.
-_REPAIR_WORK_FACTOR = 2.0
-
-
-class InfeasibleConfig(Exception):
-    """A config whose repair demand outruns its recovery bandwidth."""
-
-
 @dataclass(frozen=True)
 class Forecast:
     """One cascade answer with its provenance."""
@@ -80,29 +71,6 @@ class Forecast:
     detail: str
     #: True when background refinement will keep tightening this CI.
     refining: bool = False
-
-
-def repair_utilization(cfg: SystemConfig) -> float:
-    """Steady-state fraction of recovery bandwidth repair demand uses.
-
-    Failures arrive at ``n_disks * mean_hazard`` and each costs one disk
-    rebuild spread over the farm; utilization ≥ 1 means the repair queue
-    grows without bound and *no* lifetime estimate is meaningful — the
-    per-disk form reduces to ``factor * hazard * disk_rebuild_seconds``.
-    """
-    return _REPAIR_WORK_FACTOR * analytic.mean_hazard(cfg) \
-        * cfg.disk_rebuild_seconds
-
-
-def check_feasible(cfg: SystemConfig) -> None:
-    """Raise :class:`InfeasibleConfig` when repair cannot keep up."""
-    util = repair_utilization(cfg)
-    if util >= 1.0:
-        raise InfeasibleConfig(
-            f"repair utilization {util:.3g} >= 1: failure inflow "
-            f"exceeds recovery bandwidth, the rebuild queue diverges "
-            f"and P(loss) -> 1; add bandwidth or redundancy instead "
-            f"of forecasting this configuration")
 
 
 def _mttdl_from_p(p: float, duration_s: float) -> float | None:

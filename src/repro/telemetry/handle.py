@@ -67,6 +67,10 @@ _COUNTER_SPECS: tuple[tuple[str, str, str], ...] = (
      "dedicated spares provisioned (traditional recovery)"),
     ("index_entries_compacted", "repro_index_entries_compacted_total",
      "stale disk->group index entries swept by compaction"),
+    ("rebuilds_held", "repro_rebuilds_held_total",
+     "rebuilds held back by the lazy recovery_threshold trigger"),
+    ("held_released", "repro_held_released_total",
+     "held rebuilds released once a group crossed its lazy threshold"),
 )
 
 
@@ -112,6 +116,12 @@ class Telemetry:
             bounds=self.config.window_bounds(),
             help="window of vulnerability per completed rebuild (seconds), "
                  "bucketed by redundancy-group size n")
+        self.group_unavailability = SpanTracker(
+            self.registry, "repro_group_unavailability_seconds",
+            bounds=self.config.window_bounds(),
+            help="per-group degraded (unavailable) span: first block "
+                 "failure to full redundancy restored (seconds), bucketed "
+                 "by redundancy-group size n")
         # Fixed bounds from the config (never from the data), so parallel
         # sweep snapshots merge element-wise exactly like the span
         # histograms, in run-index order.
@@ -132,10 +142,20 @@ class Telemetry:
         """Its re-replication completed: close the span."""
         self.windows.end((grp_id, rep_id), now)
 
+    def group_degraded(self, grp_id: int, now: float,
+                       group_size: int) -> None:
+        """First block of the group went missing: open its span."""
+        self.group_unavailability.begin((grp_id, -1), now, group_size)
+
+    def group_restored(self, grp_id: int, now: float) -> None:
+        """Full redundancy restored: close the unavailability span."""
+        self.group_unavailability.end((grp_id, -1), now)
+
     def group_lost(self, grp_id: int) -> None:
         """The group died: abort its open spans, count the loss."""
         self.groups_lost.inc()
         self.windows.abort_group(grp_id)
+        self.group_unavailability.abort_group(grp_id)
 
     def detection_latency(self, latency_s: float) -> None:
         """A heartbeat monitor declared a disk failed after ``latency_s``."""
@@ -154,4 +174,5 @@ class Telemetry:
         """Plain-dict snapshot of every instrument (schema
         ``repro.telemetry.v1``); safe to pickle, merge, and export."""
         self.windows.sync_open_gauge()
+        self.group_unavailability.sync_open_gauge()
         return self.registry.snapshot()

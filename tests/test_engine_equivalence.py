@@ -154,3 +154,74 @@ def test_traditional_spare_counts_agree():
     # fast engine: same provisioning rule
     assert fast.total_disks - fast.N0 == pytest.approx(
         obj.stats.disk_failures, abs=3)
+
+
+class TestLazyPolicyParity:
+    """Lazy recovery must mean the *same thing* on both engines: same
+    failure process (exact), same hold/release/span semantics (within
+    the placement-draw drift every recovery-side count carries)."""
+
+    def lazy_cfg(self, **kw):
+        from repro.disks.failure import BathtubFailureModel, RatePeriod
+        from repro.disks.vintage import DiskVintage
+        from repro.redundancy import MIRROR_3
+        model = BathtubFailureModel((RatePeriod(0.0, float("inf"), 2.0),))
+        defaults = dict(total_user_bytes=20 * TB, group_user_bytes=10 * GB,
+                        scheme=MIRROR_3,
+                        vintage=DiskVintage(failure_model=model),
+                        duration=2 * YEAR, recovery_threshold=2,
+                        repair_bandwidth_fraction=0.2)
+        defaults.update(kw)
+        return cfg(**defaults)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_failure_and_loss_counts_exact(self, seed):
+        c = self.lazy_cfg()
+        obj = simulate_run(c, seed=seed).stats
+        fast = ReliabilitySimulation(c, seed=seed).run()
+        assert obj.disk_failures == fast.disk_failures
+        assert obj.groups_lost == fast.groups_lost
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_held_and_span_accounting_agree(self, seed):
+        """Hold counts and unavailability spans carry the engines'
+        placement differences (which disk hosts which group), so they
+        agree to a few percent, never exactly."""
+        c = self.lazy_cfg()
+        obj = simulate_run(c, seed=seed).stats
+        fast = ReliabilitySimulation(c, seed=seed).run()
+        assert obj.rebuilds_held > 0
+        assert fast.rebuilds_held == pytest.approx(
+            obj.rebuilds_held, rel=0.05)
+        assert fast.unavail_spans == pytest.approx(
+            obj.unavail_spans, rel=0.05)
+        assert fast.unavail_group_seconds == pytest.approx(
+            obj.unavail_group_seconds, rel=0.05)
+
+    def test_eager_spans_agree_too(self):
+        """Span accounting is engine-parallel on the default policy as
+        well — groups degrade for one rebuild's length on both sides."""
+        c = self.lazy_cfg(recovery_threshold=1,
+                          repair_bandwidth_fraction=None)
+        obj = simulate_run(c, seed=0).stats
+        fast = ReliabilitySimulation(c, seed=0).run()
+        assert obj.unavail_spans > 0
+        assert fast.unavail_spans == pytest.approx(
+            obj.unavail_spans, rel=0.05)
+        assert fast.unavail_group_seconds == pytest.approx(
+            obj.unavail_group_seconds, rel=0.10)
+
+    def test_lazy_shift_matches_across_engines(self):
+        """The *policy effect* — extra degraded time when going lazy —
+        must have the same sign and magnitude on both engines."""
+        eager_c = self.lazy_cfg(recovery_threshold=1)
+        lazy_c = self.lazy_cfg()
+        obj_shift = (simulate_run(lazy_c, seed=1).stats.unavail_group_seconds
+                     - simulate_run(eager_c, seed=1).stats
+                     .unavail_group_seconds)
+        fast_shift = (ReliabilitySimulation(lazy_c, seed=1).run()
+                      .unavail_group_seconds
+                      - ReliabilitySimulation(eager_c, seed=1).run()
+                      .unavail_group_seconds)
+        assert obj_shift > 0 and fast_shift > 0
+        assert fast_shift == pytest.approx(obj_shift, rel=0.05)
